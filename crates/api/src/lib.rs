@@ -1,0 +1,238 @@
+//! # rsk-api — common trait surface for stream-summary sketches
+//!
+//! The stream-summary problem (paper §2.1): given a stream of
+//! `⟨key, value⟩` pairs, estimate for any key `e` the sum `f(e)` of all
+//! values carried by that key. An *outlier* is a key whose estimate misses
+//! the truth by more than the user's tolerance `Λ`.
+//!
+//! This crate defines the minimal trait vocabulary shared by the
+//! ReliableSketch implementation (`rsk-core`), the nine baselines
+//! (`rsk-baselines`), the hardware models (`rsk-dataplane`) and the
+//! evaluation harness (`rsk-metrics`, `rsk-exp`):
+//!
+//! * [`StreamSummary`] — insert / point-query;
+//! * [`ErrorSensing`] — point-query with a certified [`Estimate`] interval
+//!   (the paper's "Maximum Possible Error"); only ReliableSketch and the
+//!   exact oracle can implement this;
+//! * [`MemoryFootprint`] — bytes used, so experiments can sweep memory;
+//! * [`Algorithm`] — display name for harness tables;
+//! * [`Clear`] — reset without reallocation (benchmarks).
+//!
+//! All traits are object safe: the harness manipulates
+//! `Box<dyn Sketch<u64>>` values uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rsk_hash::HashKey;
+
+/// Marker bound for key types accepted by every sketch in the workspace.
+///
+/// `Key` is automatically implemented for all [`HashKey`] types (`u32`,
+/// `u64`, `u128`, 13-byte 5-tuples).
+pub trait Key: HashKey + 'static {}
+impl<T: HashKey + 'static> Key for T {}
+
+/// A point-query answer together with its certified error bound.
+///
+/// ReliableSketch guarantees `truth ∈ [value − max_possible_error, value]`
+/// for every key (paper §3.1): estimates never undershoot and overshoot by
+/// at most the Maximum Possible Error (MPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Estimate {
+    /// The estimated value sum `f̂(e)` (an upper bound on the truth).
+    pub value: u64,
+    /// Maximum Possible Error: `f̂(e) − f(e) ≤ max_possible_error`.
+    pub max_possible_error: u64,
+}
+
+impl Estimate {
+    /// An exact answer (MPE = 0).
+    #[inline]
+    pub fn exact(value: u64) -> Self {
+        Self {
+            value,
+            max_possible_error: 0,
+        }
+    }
+
+    /// Lower end of the certified interval, `value − MPE` (saturating).
+    #[inline]
+    pub fn lower_bound(&self) -> u64 {
+        self.value.saturating_sub(self.max_possible_error)
+    }
+
+    /// Upper end of the certified interval (the estimate itself).
+    #[inline]
+    pub fn upper_bound(&self) -> u64 {
+        self.value
+    }
+
+    /// Does the certified interval contain `truth`?
+    #[inline]
+    pub fn contains(&self, truth: u64) -> bool {
+        self.lower_bound() <= truth && truth <= self.value
+    }
+
+    /// Width of the certified interval (= MPE).
+    #[inline]
+    pub fn width(&self) -> u64 {
+        self.max_possible_error
+    }
+}
+
+/// The stream-summary interface: feed `⟨key, value⟩` pairs, point-query sums.
+pub trait StreamSummary<K: Key> {
+    /// Process one stream item, adding `value` to key `key`.
+    fn insert(&mut self, key: &K, value: u64);
+
+    /// Estimate the value sum of `key`.
+    fn query(&self, key: &K) -> u64;
+
+    /// Convenience: insert with value 1 (frequency estimation).
+    #[inline]
+    fn insert_one(&mut self, key: &K) {
+        self.insert(key, 1);
+    }
+}
+
+/// A sketch that reports a certified error interval with every answer.
+///
+/// `query_with_error(e).value` must equal `query(e)`, and the interval must
+/// contain the truth whenever the sketch's guarantee holds.
+pub trait ErrorSensing<K: Key>: StreamSummary<K> {
+    /// Estimate the value sum of `key` along with its Maximum Possible
+    /// Error.
+    fn query_with_error(&self, key: &K) -> Estimate;
+}
+
+/// Bytes of memory occupied by the sketch's data structure.
+///
+/// This is the *model* footprint used for the paper's memory sweeps: it
+/// counts the bit-widths the paper assigns to each field (e.g. 32-bit `YES`,
+/// 16-bit `NO`, 32-bit `ID` per bucket — §6.1.1), not Rust allocator
+/// overhead, so memory axes are comparable across algorithms.
+pub trait MemoryFootprint {
+    /// Model memory footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Display name for result tables (e.g. `"Ours"`, `"CM_fast"`, `"SS"`).
+pub trait Algorithm {
+    /// Short, stable identifier used in figures and CSV output.
+    fn name(&self) -> String;
+}
+
+/// Reset the sketch to its empty state without reallocating.
+pub trait Clear {
+    /// Clear all cells; the sketch afterwards behaves as freshly built.
+    fn clear(&mut self);
+}
+
+/// Sketches that can absorb another instance built with identical
+/// parameters (same shape, same seeds) — the distributed-aggregation
+/// primitive: summarize per shard, merge centrally.
+///
+/// After `a.merge(&b)`, `a` must answer as if it had ingested both input
+/// streams (exactly for linear sketches like CM/Count; within the usual
+/// one-sided error for CU).
+pub trait Merge {
+    /// Fold `other` into `self`.
+    ///
+    /// # Errors
+    /// Returns a description when the instances are not mergeable
+    /// (mismatched shape or hash seeds).
+    fn merge(&mut self, other: &Self) -> Result<(), String>;
+}
+
+/// Object-safe bundle used by the evaluation harness.
+pub trait Sketch<K: Key>: StreamSummary<K> + MemoryFootprint + Algorithm {}
+impl<K: Key, T: StreamSummary<K> + MemoryFootprint + Algorithm> Sketch<K> for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Minimal exact implementation used to validate the trait surface.
+    #[derive(Default)]
+    struct Exact(HashMap<u64, u64>);
+
+    impl StreamSummary<u64> for Exact {
+        fn insert(&mut self, key: &u64, value: u64) {
+            *self.0.entry(*key).or_insert(0) += value;
+        }
+        fn query(&self, key: &u64) -> u64 {
+            self.0.get(key).copied().unwrap_or(0)
+        }
+    }
+    impl ErrorSensing<u64> for Exact {
+        fn query_with_error(&self, key: &u64) -> Estimate {
+            Estimate::exact(self.query(key))
+        }
+    }
+    impl MemoryFootprint for Exact {
+        fn memory_bytes(&self) -> usize {
+            self.0.len() * 16
+        }
+    }
+    impl Algorithm for Exact {
+        fn name(&self) -> String {
+            "Exact".into()
+        }
+    }
+
+    #[test]
+    fn estimate_interval_logic() {
+        let e = Estimate {
+            value: 100,
+            max_possible_error: 30,
+        };
+        assert_eq!(e.lower_bound(), 70);
+        assert_eq!(e.upper_bound(), 100);
+        assert!(e.contains(70) && e.contains(100) && e.contains(85));
+        assert!(!e.contains(69) && !e.contains(101));
+        assert_eq!(e.width(), 30);
+    }
+
+    #[test]
+    fn estimate_saturates_at_zero() {
+        let e = Estimate {
+            value: 5,
+            max_possible_error: 30,
+        };
+        assert_eq!(e.lower_bound(), 0);
+        assert!(e.contains(0));
+    }
+
+    #[test]
+    fn exact_estimate_is_tight() {
+        let e = Estimate::exact(7);
+        assert!(e.contains(7));
+        assert!(!e.contains(6) && !e.contains(8));
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let mut s: Box<dyn Sketch<u64>> = Box::<Exact>::default();
+        s.insert(&1, 5);
+        s.insert_one(&1);
+        assert_eq!(s.query(&1), 6);
+        assert_eq!(s.query(&2), 0);
+        assert_eq!(s.name(), "Exact");
+        assert_eq!(s.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn error_sensing_consistency() {
+        let mut s = Exact::default();
+        for k in 0u64..100 {
+            s.insert(&k, k);
+        }
+        for k in 0u64..100 {
+            let est = s.query_with_error(&k);
+            assert_eq!(est.value, s.query(&k));
+            assert!(est.contains(k));
+        }
+    }
+}

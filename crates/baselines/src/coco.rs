@@ -1,0 +1,186 @@
+//! CocoSketch (Zhang et al., SIGCOMM 2021) — stochastic-election counter
+//! sketch, specialized here to the full-key stream-summary case the
+//! ReliableSketch evaluation uses (`d = 2` arrays, §6.1.4).
+//!
+//! Each slot holds `(key, count)`. An arriving item adds its value to a
+//! matching slot if one of its `d` mapped slots holds its key; otherwise
+//! it picks the mapped slot with the smallest count, adds its value, and
+//! *takes over the slot's key with probability `v / count_after`* — the
+//! unbiased ownership-transfer rule that lets the slot's count track
+//! whichever key dominates it.
+//!
+//! Queries answer the count of a matching slot (summed if the key owns
+//! several), else 0; estimates are unbiased but two-sided.
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::{HashFamily, SplitMix64};
+
+/// CocoSketch with `d` slot arrays.
+#[derive(Debug, Clone)]
+pub struct CocoSketch<K: Key> {
+    arrays: usize,
+    width: usize,
+    slots: Vec<(Option<K>, u64)>, // arrays × width, row-major
+    hashes: HashFamily,
+    rng: SplitMix64,
+}
+
+const SLOT_BYTES: usize = KEY_BYTES + COUNTER_BYTES;
+
+impl<K: Key> CocoSketch<K> {
+    /// Build with the evaluation's `d = 2` arrays.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_arrays(memory_bytes, 2, seed)
+    }
+
+    /// Build with an explicit array count.
+    pub fn with_arrays(memory_bytes: usize, arrays: usize, seed: u64) -> Self {
+        assert!(arrays > 0);
+        let width = (memory_bytes / SLOT_BYTES / arrays).max(1);
+        Self {
+            arrays,
+            width,
+            slots: vec![(None, 0); arrays * width],
+            hashes: HashFamily::new(arrays, seed),
+            rng: SplitMix64::new(seed ^ 0xc0c0),
+        }
+    }
+
+    /// Number of arrays `d`.
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    #[inline]
+    fn slot_index(&self, row: usize, key: &K) -> usize {
+        row * self.width + self.hashes.index(row, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for CocoSketch<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        // pass 1: match?
+        let mut min_idx = usize::MAX;
+        let mut min_count = u64::MAX;
+        for row in 0..self.arrays {
+            let idx = self.slot_index(row, key);
+            let (k, c) = self.slots[idx];
+            if k == Some(*key) {
+                self.slots[idx].1 = c + value;
+                return;
+            }
+            if c < min_count {
+                min_count = c;
+                min_idx = idx;
+            }
+        }
+        // pass 2: stochastic takeover of the smallest mapped slot
+        let slot = &mut self.slots[min_idx];
+        slot.1 += value;
+        let p = value as f64 / slot.1 as f64;
+        if slot.0.is_none() || self.rng.next_f64() < p {
+            slot.0 = Some(*key);
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let mut sum = 0;
+        for row in 0..self.arrays {
+            let (k, c) = self.slots[self.slot_index(row, key)];
+            if k == Some(*key) {
+                sum += c;
+            }
+        }
+        sum
+    }
+}
+
+impl<K: Key> MemoryFootprint for CocoSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.arrays * self.width * SLOT_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for CocoSketch<K> {
+    fn name(&self) -> String {
+        "Coco".into()
+    }
+}
+
+impl<K: Key> Clear for CocoSketch<K> {
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = (None, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lone_key_is_exact() {
+        let mut c = CocoSketch::<u64>::new(8_000, 1);
+        for _ in 0..100 {
+            c.insert(&5, 7);
+        }
+        assert_eq!(c.query(&5), 700);
+    }
+
+    #[test]
+    fn dominant_key_owns_its_slot() {
+        let mut c = CocoSketch::<u64>::new(160, 2); // 10 slots/array
+        for i in 0..10_000u64 {
+            if i % 10 == 0 {
+                c.insert(&(1000 + i), 1); // scattered mice
+            } else {
+                c.insert(&42, 1); // 90% of the stream
+            }
+        }
+        let est = c.query(&42);
+        assert!(est >= 8_000, "dominant key should own a slot: {est}");
+    }
+
+    #[test]
+    fn estimates_bounded_by_stream_mass() {
+        let mut c = CocoSketch::<u64>::new(400, 3);
+        let mut total = 0u64;
+        for i in 0..2_000u64 {
+            c.insert(&(i % 77), 2);
+            total += 2;
+        }
+        for k in 0..77u64 {
+            assert!(c.query(&k) <= total);
+        }
+    }
+
+    #[test]
+    fn roughly_unbiased_over_keys() {
+        // ownership transfer is the unbiasedness mechanism: summed error
+        // over many keys should be centered near zero
+        let mut c = CocoSketch::<u64>::new(4_000, 4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let k = i % 800;
+            c.insert(&k, 1);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        let total_est: i64 = truth.keys().map(|k| c.query(k) as i64).sum();
+        let total_truth: i64 = truth.values().map(|&f| f as i64).sum();
+        let bias = (total_est - total_truth) as f64 / total_truth as f64;
+        assert!(bias.abs() < 0.25, "aggregate bias too large: {bias}");
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mk = || {
+            let mut c = CocoSketch::<u64>::new(1_000, 9);
+            for i in 0..5_000u64 {
+                c.insert(&(i % 50), 1);
+            }
+            (0..50u64).map(|k| c.query(&k)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,200 @@
+//! Count sketch (Charikar, Chen, Farach-Colton 2002) — the canonical
+//! L2-norm counter sketch of Table 1.
+//!
+//! Each row assigns the key a random sign; insert adds `sign·v`, query
+//! takes the *median* of `sign·counter` across rows. Estimates are
+//! unbiased but two-sided (they can undershoot), with error scaling in the
+//! stream's L2 norm. The paper leaves L2 sketches out of its experimental
+//! comparison because L1/L2 complexities are dataset-dependent and not
+//! directly comparable (§2.2); we implement it for Table 1 completeness
+//! and for the workspace's own cross-checking tests.
+
+use crate::COUNTER_BYTES;
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+/// Count sketch (a.k.a. AMS-style sketch with medians).
+#[derive(Debug, Clone)]
+pub struct CountSketch<K: Key> {
+    rows: usize,
+    width: usize,
+    counters: Vec<i64>,
+    hashes: HashFamily,
+    _key: core::marker::PhantomData<K>,
+}
+
+impl<K: Key> CountSketch<K> {
+    /// Build from a byte budget with the given (odd, for median) row count.
+    pub fn new(memory_bytes: usize, rows: usize, seed: u64) -> Self {
+        assert!(rows > 0);
+        let width = (memory_bytes / COUNTER_BYTES / rows).max(1);
+        Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            hashes: HashFamily::new(rows, seed),
+            _key: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: &K) -> usize {
+        row * self.width + self.hashes.index(row, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for CountSketch<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        for row in 0..self.rows {
+            let sign = self.hashes.sign(row, key);
+            let s = self.slot(row, key);
+            self.counters[s] += sign * value as i64;
+        }
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        let mut ests: Vec<i64> = (0..self.rows)
+            .map(|row| self.hashes.sign(row, key) * self.counters[self.slot(row, key)])
+            .collect();
+        ests.sort_unstable();
+        let median = ests[ests.len() / 2];
+        median.max(0) as u64
+    }
+}
+
+impl<K: Key> MemoryFootprint for CountSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.rows * self.width * COUNTER_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for CountSketch<K> {
+    fn name(&self) -> String {
+        "Count".into()
+    }
+}
+
+impl<K: Key> Clear for CountSketch<K> {
+    fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl<K: Key> rsk_api::Merge for CountSketch<K> {
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.rows != other.rows || self.width != other.width {
+            return Err("shape mismatch".into());
+        }
+        if (0..self.rows).any(|i| self.hashes.seed(i) != other.hashes.seed(i)) {
+            return Err("hash seeds differ".into());
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_oversized() {
+        let mut cs = CountSketch::<u64>::new(1 << 18, 3, 1);
+        for k in 0u64..50 {
+            cs.insert(&k, (k + 1) * 10);
+        }
+        for k in 0u64..50 {
+            assert_eq!(cs.query(&k), (k + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn heavy_key_recovered_under_collisions() {
+        let mut cs = CountSketch::<u64>::new(4_096, 5, 2);
+        for i in 0..20_000u64 {
+            cs.insert(&(i % 400), 1); // 50 each
+        }
+        for _ in 0..5_000 {
+            cs.insert(&9999u64, 1);
+        }
+        let est = cs.query(&9999);
+        assert!(
+            (4_000..=6_000).contains(&est),
+            "heavy key estimate off: {est}"
+        );
+    }
+
+    #[test]
+    fn roughly_unbiased_on_uniform_load() {
+        // signs cancel collisions in expectation: mean signed error ≈ 0
+        // (keys are frequent enough that the ≥0 clamp rarely engages, so
+        // the clamp-induced positive bias stays small)
+        let mut cs = CountSketch::<u64>::new(16_384, 3, 3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..30_000u64 {
+            let k = i % 200;
+            cs.insert(&k, 1);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        let mean_err: f64 = truth
+            .iter()
+            .map(|(k, &f)| cs.query(k) as f64 - f as f64)
+            .sum::<f64>()
+            / truth.len() as f64;
+        assert!(
+            mean_err.abs() < 15.0,
+            "Count sketch should be near unbiased, mean err {mean_err}"
+        );
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut cs = CountSketch::<u64>::new(256, 3, 4);
+        for i in 0..1_000u64 {
+            cs.insert(&(i % 37), 2);
+        }
+        for ghost in 100u64..200 {
+            let _ = cs.query(&ghost); // must not panic / underflow
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cs = CountSketch::<u64>::new(12_000, 3, 1);
+        assert!(cs.memory_bytes() <= 12_000);
+        assert_eq!(cs.name(), "Count");
+    }
+
+    #[test]
+    fn merge_is_linear() {
+        use rsk_api::Merge;
+        let mut a = CountSketch::<u64>::new(4_096, 3, 2);
+        let mut b = CountSketch::<u64>::new(4_096, 3, 2);
+        let mut whole = CountSketch::<u64>::new(4_096, 3, 2);
+        for i in 0..2_000u64 {
+            let k = i % 61;
+            if i % 3 == 0 {
+                a.insert(&k, 2);
+            } else {
+                b.insert(&k, 2);
+            }
+            whole.insert(&k, 2);
+        }
+        a.merge(&b).unwrap();
+        for k in 0..61u64 {
+            assert_eq!(a.query(&k), whole.query(&k));
+        }
+        let bad = CountSketch::<u64>::new(4_096, 5, 2);
+        assert!(a.merge(&bad).is_err());
+    }
+}

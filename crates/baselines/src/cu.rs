@@ -1,0 +1,242 @@
+//! CU sketch — Count-Min with *conservative update* (Estan & Varghese
+//! 2002).
+//!
+//! Same layout as CM, but an insert only raises the counters that would
+//! otherwise fall below the new lower bound `min + v`. Estimates remain
+//! overestimates, pointwise no larger than CM's under the same hash
+//! functions — which the property test at the bottom verifies.
+//!
+//! The paper evaluates `CU_fast` (`d = 3`) and `CU_acc` (`d = 16`), and
+//! §3.3 uses a CU structure as ReliableSketch's mice filter.
+
+use crate::COUNTER_BYTES;
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+/// CU (conservative-update) sketch.
+///
+/// ```
+/// use rsk_baselines::{CmSketch, CuSketch};
+/// use rsk_api::StreamSummary;
+///
+/// let mut cm = CmSketch::<u64>::new(4 * 1024, 3, 7);
+/// let mut cu = CuSketch::<u64>::new(4 * 1024, 3, 7);
+/// for i in 0..5_000u64 {
+///     cm.insert(&(i % 400), 1);
+///     cu.insert(&(i % 400), 1);
+/// }
+/// // same layout and seeds: CU is pointwise at least as tight as CM
+/// assert!(cu.query(&7) >= 12);          // truth is 12 or 13 per key
+/// assert!(cu.query(&7) <= cm.query(&7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuSketch<K: Key> {
+    rows: usize,
+    width: usize,
+    counters: Vec<u64>,
+    hashes: HashFamily,
+    label: &'static str,
+    _key: core::marker::PhantomData<K>,
+}
+
+impl<K: Key> CuSketch<K> {
+    /// Build with an explicit row count from a byte budget.
+    pub fn new(memory_bytes: usize, rows: usize, seed: u64) -> Self {
+        Self::labelled(memory_bytes, rows, seed, "CU")
+    }
+
+    /// The evaluation's fast variant (`d = 3`).
+    pub fn fast(memory_bytes: usize, seed: u64) -> Self {
+        Self::labelled(memory_bytes, 3, seed, "CU_fast")
+    }
+
+    /// The evaluation's accurate variant (`d = 16`).
+    pub fn accurate(memory_bytes: usize, seed: u64) -> Self {
+        Self::labelled(memory_bytes, 16, seed, "CU_acc")
+    }
+
+    fn labelled(memory_bytes: usize, rows: usize, seed: u64, label: &'static str) -> Self {
+        assert!(rows > 0);
+        let width = (memory_bytes / COUNTER_BYTES / rows).max(1);
+        Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            hashes: HashFamily::new(rows, seed),
+            label,
+            _key: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of rows `d`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: &K) -> usize {
+        row * self.width + self.hashes.index(row, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for CuSketch<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        let target = self.query(key) + value;
+        for row in 0..self.rows {
+            let s = self.slot(row, key);
+            if self.counters[s] < target {
+                self.counters[s] = target;
+            }
+        }
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        (0..self.rows)
+            .map(|row| self.counters[self.slot(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Key> MemoryFootprint for CuSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.rows * self.width * COUNTER_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for CuSketch<K> {
+    fn name(&self) -> String {
+        self.label.into()
+    }
+}
+
+impl<K: Key> Clear for CuSketch<K> {
+    fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl<K: Key> rsk_api::Merge for CuSketch<K> {
+    /// Counter-wise addition. Unlike CM this is *not* equivalent to
+    /// single-pass ingestion (conservative update is history-dependent),
+    /// but the result still never undershoots: per shard every mapped
+    /// counter is ⩾ that shard's true sum, and `min_i (a_i + b_i) ⩾
+    /// min_i a_i + min_i b_i`. The merged estimate is also pointwise ⩽
+    /// the merged-CM estimate, preserving CU's advantage.
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.rows != other.rows || self.width != other.width {
+            return Err(format!(
+                "CU shape mismatch: {}x{} vs {}x{}",
+                self.rows, self.width, other.rows, other.width
+            ));
+        }
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::CmSketch;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn variants() {
+        assert_eq!(CuSketch::<u64>::fast(1200, 1).rows(), 3);
+        assert_eq!(CuSketch::<u64>::accurate(6400, 1).rows(), 16);
+        assert_eq!(CuSketch::<u64>::fast(1200, 1).name(), "CU_fast");
+    }
+
+    #[test]
+    fn never_undershoots() {
+        let mut cu = CuSketch::<u64>::fast(4_000, 7);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..5_000u64 {
+            let k = i % 300;
+            cu.insert(&k, 1 + i % 3);
+            *truth.entry(k).or_insert(0) += 1 + i % 3;
+        }
+        for (&k, &f) in &truth {
+            assert!(cu.query(&k) >= f, "CU undershoot at {k}");
+        }
+    }
+
+    #[test]
+    fn exact_single_key() {
+        let mut cu = CuSketch::<u64>::fast(1_000, 1);
+        for _ in 0..100 {
+            cu.insert(&5, 3);
+        }
+        assert_eq!(cu.query(&5), 300);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        use rsk_api::Merge;
+        let mut a = CuSketch::<u64>::new(512, 3, 1);
+        let b = CuSketch::<u64>::new(512, 4, 1);
+        assert!(a.merge(&b).is_err());
+    }
+
+    proptest! {
+        /// Merged CU never undershoots the combined truth and stays below
+        /// merged CM, for any stream split (same seeds, same layout).
+        #[test]
+        fn prop_cu_merge_sound(
+            ops in proptest::collection::vec((0u64..64, 1u64..5, proptest::bool::ANY), 1..300),
+            seed in 0u64..8,
+        ) {
+            use rsk_api::Merge;
+            let mut cu1 = CuSketch::<u64>::new(512, 3, seed);
+            let mut cu2 = CuSketch::<u64>::new(512, 3, seed);
+            let mut cm1 = CmSketch::<u64>::new(512, 3, seed);
+            let mut cm2 = CmSketch::<u64>::new(512, 3, seed);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v, first) in ops {
+                if first {
+                    cu1.insert(&k, v);
+                    cm1.insert(&k, v);
+                } else {
+                    cu2.insert(&k, v);
+                    cm2.insert(&k, v);
+                }
+                *truth.entry(k).or_insert(0) += v;
+            }
+            cu1.merge(&cu2).unwrap();
+            cm1.merge(&cm2).unwrap();
+            for (&k, &f) in &truth {
+                let q = cu1.query(&k);
+                prop_assert!(q >= f, "merged CU undershoot at {}", k);
+                prop_assert!(q <= cm1.query(&k), "merged CU above merged CM at {}", k);
+            }
+        }
+
+        /// Conservative update dominates plain CM pointwise (same seeds,
+        /// same layout) while never undershooting the truth.
+        #[test]
+        fn prop_cu_between_truth_and_cm(
+            ops in proptest::collection::vec((0u64..64, 1u64..5), 1..300),
+            seed in 0u64..8,
+        ) {
+            let mut cm = CmSketch::<u64>::new(512, 3, seed);
+            let mut cu = CuSketch::<u64>::new(512, 3, seed);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v) in ops {
+                cm.insert(&k, v);
+                cu.insert(&k, v);
+                *truth.entry(k).or_insert(0) += v;
+            }
+            for (&k, &f) in &truth {
+                let (qcm, qcu) = (cm.query(&k), cu.query(&k));
+                prop_assert!(qcu >= f, "CU undershoot");
+                prop_assert!(qcu <= qcm, "CU {} > CM {} at key {}", qcu, qcm, k);
+            }
+        }
+    }
+}

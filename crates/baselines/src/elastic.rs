@@ -1,0 +1,389 @@
+//! Elastic sketch (Yang et al., SIGCOMM 2018) — the competitor most
+//! similar in appearance to ReliableSketch (§7): its heavy part runs the
+//! same positive/negative-vote election, but *resets the negative counter
+//! on replacement*, which destroys the error-sensing property the
+//! ReliableSketch paper builds on.
+//!
+//! Structure (standard single-layer CPU version):
+//! * **heavy part** — `w_h` buckets of `(key, vote⁺, vote⁻, flag)`; on
+//!   insert, matching keys bump `vote⁺`; others bump `vote⁻` and, once
+//!   `vote⁻/vote⁺ ≥ λ` (λ = 8), evict the incumbent into the light part
+//!   (setting the bucket's `flag`) and take over;
+//! * **light part** — one array of 8-bit saturating counters (a 1-row CM).
+//!
+//! Query: a heavy-part resident answers `vote⁺`, plus the light part when
+//! its `flag` indicates earlier evictions; everyone else asks the light
+//! part. The paper sets the light:heavy memory ratio to 3 (§6.1.4).
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+/// Eviction threshold λ of the heavy part (SIGCOMM-paper default).
+const EVICT_RATIO: u64 = 8;
+
+/// Saturation cap of the 8-bit light counters.
+const LIGHT_CAP: u8 = u8::MAX;
+
+#[derive(Debug, Clone)]
+struct HeavyBucket<K> {
+    key: Option<K>,
+    vote_pos: u64,
+    vote_neg: u64,
+    flag: bool,
+}
+
+impl<K> Default for HeavyBucket<K> {
+    fn default() -> Self {
+        Self {
+            key: None,
+            vote_pos: 0,
+            vote_neg: 0,
+            flag: false,
+        }
+    }
+}
+
+/// Elastic sketch.
+///
+/// ```
+/// use rsk_baselines::ElasticSketch;
+/// use rsk_api::StreamSummary;
+///
+/// let mut e = ElasticSketch::<u64>::new(64 * 1024, 7);
+/// for _ in 0..1_000 {
+///     e.insert(&5, 1);
+/// }
+/// assert_eq!(e.query(&5), 1_000); // an undisturbed heavy key is exact
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticSketch<K: Key> {
+    heavy: Vec<HeavyBucket<K>>,
+    light: Vec<u8>,
+    hashes: HashFamily,
+}
+
+/// Modeled heavy-bucket cost: key + two votes + flag byte.
+const HEAVY_BYTES: usize = KEY_BYTES + 2 * COUNTER_BYTES + 1;
+
+impl<K: Key> ElasticSketch<K> {
+    /// Build with the paper's light:heavy = 3:1 memory split.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_ratio(memory_bytes, 3.0, seed)
+    }
+
+    /// Build with an explicit light:heavy memory ratio.
+    pub fn with_ratio(memory_bytes: usize, light_to_heavy: f64, seed: u64) -> Self {
+        assert!(light_to_heavy > 0.0);
+        let heavy_bytes = ((memory_bytes as f64) / (1.0 + light_to_heavy)).round() as usize;
+        let light_bytes = memory_bytes - heavy_bytes;
+        let w_h = (heavy_bytes / HEAVY_BYTES).max(1);
+        let w_l = light_bytes.max(1); // one byte per counter
+        Self {
+            heavy: vec![HeavyBucket::default(); w_h],
+            light: vec![0; w_l],
+            hashes: HashFamily::new(2, seed), // [0] heavy, [1] light
+        }
+    }
+
+    /// Heavy-part width.
+    pub fn heavy_buckets(&self) -> usize {
+        self.heavy.len()
+    }
+
+    /// Light-part width (counters).
+    pub fn light_counters(&self) -> usize {
+        self.light.len()
+    }
+
+    fn light_insert(&mut self, key: &K, value: u64) {
+        let idx = self.hashes.index(1, key, self.light.len());
+        let c = &mut self.light[idx];
+        *c = c.saturating_add(value.min(LIGHT_CAP as u64) as u8);
+    }
+
+    fn light_query(&self, key: &K) -> u64 {
+        let idx = self.hashes.index(1, key, self.light.len());
+        self.light[idx] as u64
+    }
+}
+
+impl<K: Key> StreamSummary<K> for ElasticSketch<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        let idx = self.hashes.index(0, key, self.heavy.len());
+        let b = &mut self.heavy[idx];
+        match b.key {
+            None => {
+                b.key = Some(*key);
+                b.vote_pos = value;
+                b.vote_neg = 0;
+            }
+            Some(k) if k == *key => {
+                b.vote_pos += value;
+            }
+            Some(old) => {
+                b.vote_neg += value;
+                if b.vote_neg >= EVICT_RATIO * b.vote_pos {
+                    // evict the incumbent into the light part and take over
+                    let evicted_votes = b.vote_pos;
+                    b.key = Some(*key);
+                    b.vote_pos = value;
+                    b.vote_neg = 1;
+                    b.flag = true;
+                    // flush after releasing the borrow on `b`
+                    let mut left = evicted_votes;
+                    while left > 0 {
+                        let chunk = left.min(LIGHT_CAP as u64);
+                        self.light_insert(&old, chunk);
+                        left -= chunk;
+                    }
+                } else {
+                    // the colliding item itself goes to the light part
+                    self.light_insert(key, value);
+                }
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let idx = self.hashes.index(0, key, self.heavy.len());
+        let b = &self.heavy[idx];
+        if b.key == Some(*key) {
+            b.vote_pos + if b.flag { self.light_query(key) } else { 0 }
+        } else {
+            self.light_query(key)
+        }
+    }
+}
+
+impl<K: Key> MemoryFootprint for ElasticSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.heavy.len() * HEAVY_BYTES + self.light.len()
+    }
+}
+
+impl<K: Key> Algorithm for ElasticSketch<K> {
+    fn name(&self) -> String {
+        "Elastic".into()
+    }
+}
+
+impl<K: Key> Clear for ElasticSketch<K> {
+    fn clear(&mut self) {
+        for b in &mut self.heavy {
+            *b = HeavyBucket::default();
+        }
+        self.light.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl<K: Key> rsk_api::Merge for ElasticSketch<K> {
+    /// The Elastic paper's own aggregation recipe: light parts add
+    /// counter-wise (saturating, like the counters themselves); heavy
+    /// buckets merge per index — same incumbent adds votes, different
+    /// incumbents elect the larger `vote⁺` and evict the loser's votes
+    /// into the light part with the bucket flagged (exactly what a
+    /// single-sketch eviction does).
+    ///
+    /// Both instances must share the bucket layout and hash seeds; only
+    /// the layout can be checked here, seeds are the caller's contract.
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.heavy.len() != other.heavy.len() || self.light.len() != other.light.len() {
+            return Err(format!(
+                "Elastic shape mismatch: {}h/{}l vs {}h/{}l",
+                self.heavy.len(),
+                self.light.len(),
+                other.heavy.len(),
+                other.light.len()
+            ));
+        }
+        for (c, o) in self.light.iter_mut().zip(&other.light) {
+            *c = c.saturating_add(*o);
+        }
+        let mut evictions: Vec<(K, u64)> = Vec::new();
+        for (b, ob) in self.heavy.iter_mut().zip(&other.heavy) {
+            match (b.key, ob.key) {
+                (_, None) => {}
+                (None, Some(_)) => *b = ob.clone(),
+                (Some(mine), Some(theirs)) if mine == theirs => {
+                    b.vote_pos += ob.vote_pos;
+                    b.vote_neg += ob.vote_neg;
+                    b.flag |= ob.flag;
+                }
+                (Some(mine), Some(theirs)) => {
+                    let (winner, loser) = if b.vote_pos >= ob.vote_pos {
+                        ((mine, b.vote_pos), (theirs, ob.vote_pos))
+                    } else {
+                        ((theirs, ob.vote_pos), (mine, b.vote_pos))
+                    };
+                    b.key = Some(winner.0);
+                    b.vote_pos = winner.1;
+                    b.vote_neg += ob.vote_neg + loser.1;
+                    b.flag = true;
+                    evictions.push(loser);
+                }
+            }
+        }
+        for (key, votes) in evictions {
+            let mut left = votes;
+            while left > 0 {
+                let chunk = left.min(LIGHT_CAP as u64);
+                self.light_insert(&key, chunk);
+                left -= chunk;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn memory_split_is_one_to_three() {
+        let e = ElasticSketch::<u64>::new(400_000, 1);
+        let heavy = e.heavy_buckets() * HEAVY_BYTES;
+        let light = e.light_counters();
+        let ratio = light as f64 / heavy as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+        assert!(e.memory_bytes() <= 400_000);
+    }
+
+    #[test]
+    fn single_heavy_key_is_exact() {
+        let mut e = ElasticSketch::<u64>::new(64_000, 1);
+        for _ in 0..5_000 {
+            e.insert(&7, 1);
+        }
+        assert_eq!(e.query(&7), 5_000);
+    }
+
+    #[test]
+    fn elephants_survive_mice_pressure() {
+        let mut e = ElasticSketch::<u64>::new(64_000, 2);
+        for i in 0..50_000u64 {
+            e.insert(&(i % 2_000), 1); // 25 each
+        }
+        for _ in 0..10_000 {
+            e.insert(&999_999, 1);
+        }
+        let est = e.query(&999_999);
+        assert!(
+            est >= 9_000,
+            "elephant estimate collapsed: {est} (vote reset on eviction loses history)"
+        );
+    }
+
+    #[test]
+    fn light_part_answers_evicted_and_colliding_keys() {
+        let mut e = ElasticSketch::<u64>::new(2_000, 3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..3_000u64 {
+            let k = i % 150;
+            e.insert(&k, 1);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        // estimates exist for all keys (possibly approximate)
+        let mut nonzero = 0;
+        for (k, _) in truth.iter() {
+            if e.query(k) > 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 100, "most keys should be answerable: {nonzero}");
+    }
+
+    #[test]
+    fn light_saturates_not_wraps() {
+        let mut e = ElasticSketch::<u64>::new(600, 4);
+        // force everything through one light counter by colliding heavy
+        for i in 0..10_000u64 {
+            e.insert(&(i % 50), 1);
+        }
+        // query of any key must not exceed stream total and must not panic
+        for k in 0..50u64 {
+            assert!(e.query(&k) <= 10_000);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = ElasticSketch::<u64>::new(2_000, 5);
+        e.insert(&1, 10);
+        rsk_api::Clear::clear(&mut e);
+        assert_eq!(e.query(&1), 0);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        use rsk_api::Merge;
+        let mut a = ElasticSketch::<u64>::new(2_000, 1);
+        let b = ElasticSketch::<u64>::new(4_000, 1);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_same_incumbent_adds_votes() {
+        use rsk_api::Merge;
+        let mut a = ElasticSketch::<u64>::new(64_000, 6);
+        let mut b = ElasticSketch::<u64>::new(64_000, 6);
+        for _ in 0..3_000 {
+            a.insert(&7, 1);
+            b.insert(&7, 1);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.query(&7), 6_000);
+    }
+
+    #[test]
+    fn merge_conflicting_incumbents_keeps_heavier_and_flushes_loser() {
+        use rsk_api::Merge;
+        // single heavy bucket so both keys collide deterministically
+        let mut a =
+            ElasticSketch::<u64>::with_ratio(HEAVY_BYTES + 256, 256.0 / HEAVY_BYTES as f64, 6);
+        let mut b = a.clone();
+        assert_eq!(a.heavy_buckets(), 1);
+        for _ in 0..500 {
+            a.insert(&1, 1);
+        }
+        for _ in 0..200 {
+            b.insert(&2, 1);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.query(&1), 500, "winner keeps its votes");
+        let loser = a.query(&2);
+        assert!(loser > 0, "loser must survive in the light part");
+        assert!(loser <= 255, "light part saturates per counter");
+    }
+
+    #[test]
+    fn merged_split_stream_tracks_single_pass_for_elephants() {
+        use rsk_api::Merge;
+        let mut single = ElasticSketch::<u64>::new(64_000, 8);
+        let mut s1 = ElasticSketch::<u64>::new(64_000, 8);
+        let mut s2 = ElasticSketch::<u64>::new(64_000, 8);
+        for i in 0..40_000u64 {
+            let k = i % 500;
+            single.insert(&k, 1);
+            if i % 2 == 0 {
+                s1.insert(&k, 1);
+            } else {
+                s2.insert(&k, 1);
+            }
+        }
+        s1.merge(&s2).unwrap();
+        // elephants (80 each) should agree within light-part noise
+        let mut close = 0;
+        for k in 0..500u64 {
+            if s1.query(&k).abs_diff(single.query(&k)) <= 20 {
+                close += 1;
+            }
+        }
+        assert!(
+            close > 400,
+            "merged answers drifted: only {close}/500 close"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Construction of the full competitor set at a given memory budget, as
+//! boxed trait objects for the evaluation harness.
+//!
+//! The set mirrors §6.1.4: CM (fast/acc), CU (fast/acc), SS, Elastic,
+//! Coco, HashPipe, PRECISION. ReliableSketch itself lives in `rsk-core`;
+//! the harness (`rsk-exp`) combines both sides.
+
+use crate::{
+    CmSketch, CocoSketch, CuSketch, ElasticSketch, HashPipe, NitroSketch, Precision, SalsaSketch,
+    SpaceSaving,
+};
+use rsk_api::Sketch;
+
+/// Identifier for constructing a single competitor by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Count-Min with 3 rows.
+    CmFast,
+    /// Count-Min with 16 rows.
+    CmAcc,
+    /// CU with 3 rows.
+    CuFast,
+    /// CU with 16 rows.
+    CuAcc,
+    /// Space-Saving.
+    SpaceSaving,
+    /// Elastic sketch (light:heavy = 3).
+    Elastic,
+    /// CocoSketch (2 arrays).
+    Coco,
+    /// HashPipe (6 stages).
+    HashPipe,
+    /// PRECISION (3 stages).
+    Precision,
+    /// SALSA (4 rows of self-adjusting 8-bit cells) — related work §7,
+    /// not part of the paper's figure sets.
+    Salsa,
+    /// NitroSketch (4 rows, 5 % sampled updates) — related work §7, not
+    /// part of the paper's figure sets.
+    Nitro,
+}
+
+impl Baseline {
+    /// Every competitor of the accuracy figures (Figures 4–6).
+    pub const ACCURACY_SET: [Baseline; 8] = [
+        Baseline::CmAcc,
+        Baseline::CuAcc,
+        Baseline::CmFast,
+        Baseline::CuFast,
+        Baseline::Elastic,
+        Baseline::SpaceSaving,
+        Baseline::Coco,
+        Baseline::HashPipe,
+    ];
+
+    /// The data-plane capable competitors of Figure 7.
+    pub const ELEPHANT_SET: [Baseline; 4] = [
+        Baseline::Precision,
+        Baseline::Elastic,
+        Baseline::HashPipe,
+        Baseline::SpaceSaving,
+    ];
+
+    /// Every competitor of the throughput figure (Figure 10).
+    pub const THROUGHPUT_SET: [Baseline; 9] = [
+        Baseline::CmFast,
+        Baseline::CuFast,
+        Baseline::CmAcc,
+        Baseline::CuAcc,
+        Baseline::SpaceSaving,
+        Baseline::Elastic,
+        Baseline::Coco,
+        Baseline::HashPipe,
+        Baseline::Precision,
+    ];
+
+    /// Beyond-paper related-work competitors (§7): counter-layout and
+    /// update-sampling optimizations.
+    pub const EXTENDED_SET: [Baseline; 2] = [Baseline::Salsa, Baseline::Nitro];
+
+    /// Build the sketch at the given byte budget.
+    pub fn build(&self, memory_bytes: usize, seed: u64) -> Box<dyn Sketch<u64>> {
+        match self {
+            Baseline::CmFast => Box::new(CmSketch::<u64>::fast(memory_bytes, seed)),
+            Baseline::CmAcc => Box::new(CmSketch::<u64>::accurate(memory_bytes, seed)),
+            Baseline::CuFast => Box::new(CuSketch::<u64>::fast(memory_bytes, seed)),
+            Baseline::CuAcc => Box::new(CuSketch::<u64>::accurate(memory_bytes, seed)),
+            Baseline::SpaceSaving => Box::new(SpaceSaving::<u64>::new(memory_bytes, seed)),
+            Baseline::Elastic => Box::new(ElasticSketch::<u64>::new(memory_bytes, seed)),
+            Baseline::Coco => Box::new(CocoSketch::<u64>::new(memory_bytes, seed)),
+            Baseline::HashPipe => Box::new(HashPipe::<u64>::new(memory_bytes, seed)),
+            Baseline::Precision => Box::new(Precision::<u64>::new(memory_bytes, seed)),
+            Baseline::Salsa => Box::new(SalsaSketch::<u64>::new(memory_bytes, seed)),
+            Baseline::Nitro => Box::new(NitroSketch::<u64>::new(memory_bytes, seed)),
+        }
+    }
+
+    /// Display name (matches each sketch's `Algorithm::name`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Baseline::CmFast => "CM_fast",
+            Baseline::CmAcc => "CM_acc",
+            Baseline::CuFast => "CU_fast",
+            Baseline::CuAcc => "CU_acc",
+            Baseline::SpaceSaving => "SS",
+            Baseline::Elastic => "Elastic",
+            Baseline::Coco => "Coco",
+            Baseline::HashPipe => "HashPipe",
+            Baseline::Precision => "PRECISION",
+            Baseline::Salsa => "SALSA",
+            Baseline::Nitro => "Nitro",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_build_and_answer() {
+        for b in Baseline::THROUGHPUT_SET {
+            let mut s = b.build(64 * 1024, 7);
+            assert_eq!(s.name(), b.label(), "{b:?}");
+            for i in 0..1_000u64 {
+                s.insert(&(i % 50), 1);
+            }
+            // every sketch must answer something sane for a present key
+            let q = s.query(&1);
+            assert!(q <= 1_000, "{}: q={q}", s.name());
+        }
+    }
+
+    #[test]
+    fn memory_budgets_respected() {
+        for b in Baseline::THROUGHPUT_SET {
+            for budget in [10_000usize, 100_000, 1 << 20] {
+                let s = b.build(budget, 1);
+                assert!(
+                    s.memory_bytes() <= budget,
+                    "{}: {} > {budget}",
+                    s.name(),
+                    s.memory_bytes()
+                );
+                assert!(
+                    s.memory_bytes() as f64 >= budget as f64 * 0.8,
+                    "{}: {} ≪ {budget}",
+                    s.name(),
+                    s.memory_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_contents_match_paper() {
+        assert_eq!(Baseline::ACCURACY_SET.len(), 8);
+        assert_eq!(Baseline::ELEPHANT_SET.len(), 4);
+        assert_eq!(Baseline::THROUGHPUT_SET.len(), 9);
+        // the paper's figure sets stay faithful: no beyond-paper entries
+        for extra in Baseline::EXTENDED_SET {
+            assert!(!Baseline::ACCURACY_SET.contains(&extra));
+            assert!(!Baseline::THROUGHPUT_SET.contains(&extra));
+        }
+    }
+
+    #[test]
+    fn extended_baselines_build_and_answer() {
+        for b in Baseline::EXTENDED_SET {
+            let mut s = b.build(64 * 1024, 7);
+            assert_eq!(s.name(), b.label(), "{b:?}");
+            for i in 0..10_000u64 {
+                s.insert(&(i % 50), 1); // truth: 200 each
+            }
+            // loose sanity band: SALSA upper-bounds, Nitro is unbiased
+            let q = s.query(&1);
+            assert!((100..=2_000).contains(&q), "{}: q={q}", s.name());
+            assert!(s.memory_bytes() <= 64 * 1024);
+        }
+    }
+}

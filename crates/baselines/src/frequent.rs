@@ -1,0 +1,295 @@
+//! Frequent / Misra–Gries (Demaine, López-Ortiz, Munro 2002) — the second
+//! heap-based family member of Table 1.
+//!
+//! `m` counters; a new key either takes a free slot or decrements *all*
+//! counters (weighted: by the minimum of the arriving value and the
+//! current minimum count, repeatedly until the value is spent or absorbed).
+//! Decrement-all is implemented lazily with a global `base` offset so
+//! updates stay `O(log m)`.
+//!
+//! Guarantees (verified by the property tests):
+//! * monitored estimates never overshoot: `ĉ(e) ≤ f(e)`;
+//! * undershoot is bounded by the total decrement:
+//!   `f(e) − ĉ(e) ≤ base ≤ N/(m+1)` for unit updates.
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use std::collections::{BTreeSet, HashMap};
+
+/// Misra–Gries "Frequent" summary.
+#[derive(Debug, Clone)]
+pub struct Frequent<K: Key> {
+    /// key → absolute count (effective count = absolute − base)
+    entries: HashMap<K, u64>,
+    /// (absolute count, key), ordered for min extraction
+    order: BTreeSet<(u64, K)>,
+    /// lazy global decrement
+    base: u64,
+    capacity: usize,
+}
+
+const SLOT_BYTES: usize = KEY_BYTES + COUNTER_BYTES;
+
+impl<K: Key + Ord> Frequent<K> {
+    /// Build with capacity `memory_bytes / 8` counters.
+    pub fn new(memory_bytes: usize, _seed: u64) -> Self {
+        let capacity = (memory_bytes / SLOT_BYTES).max(1);
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            base: 0,
+            capacity,
+        }
+    }
+
+    /// Capacity in counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total decrement applied so far (the undershoot bound).
+    pub fn total_decrement(&self) -> u64 {
+        self.base
+    }
+
+    /// Drop entries whose effective count reached zero.
+    fn purge(&mut self) {
+        while let Some(&(abs, key)) = self.order.first() {
+            if abs > self.base {
+                break;
+            }
+            self.order.remove(&(abs, key));
+            self.entries.remove(&key);
+        }
+    }
+}
+
+impl<K: Key + Ord> StreamSummary<K> for Frequent<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        if let Some(abs) = self.entries.get_mut(key) {
+            self.order.remove(&(*abs, *key));
+            *abs += value;
+            self.order.insert((*abs, *key));
+            return;
+        }
+        let mut v = value;
+        loop {
+            if self.entries.len() < self.capacity {
+                let abs = self.base + v;
+                self.entries.insert(*key, abs);
+                self.order.insert((abs, *key));
+                return;
+            }
+            // full: decrement everyone by min(v, current minimum effective)
+            let min_eff = self
+                .order
+                .first()
+                .map(|&(abs, _)| abs - self.base)
+                .expect("non-empty");
+            let dec = v.min(min_eff);
+            self.base += dec;
+            v -= dec;
+            self.purge();
+            if v == 0 {
+                return; // value fully consumed by the decrement
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        self.entries
+            .get(key)
+            .map(|&abs| abs - self.base)
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Key> MemoryFootprint for Frequent<K> {
+    fn memory_bytes(&self) -> usize {
+        self.capacity * SLOT_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for Frequent<K> {
+    fn name(&self) -> String {
+        "Frequent".into()
+    }
+}
+
+impl<K: Key> Clear for Frequent<K> {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.base = 0;
+    }
+}
+
+impl<K: Key + Ord> rsk_api::Merge for Frequent<K> {
+    /// The Misra–Gries merge of *Mergeable Summaries* (Agarwal et al.,
+    /// 2012): add the effective counts key-wise, then subtract the
+    /// `(capacity+1)`-largest combined count from everyone and drop the
+    /// non-positive remainder. The classic error bound is additive:
+    /// undershoot stays ⩽ `(N₁ + N₂)/(capacity + 1)` and estimates still
+    /// never overshoot.
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.capacity != other.capacity {
+            return Err(format!(
+                "Frequent capacity mismatch: {} vs {}",
+                self.capacity, other.capacity
+            ));
+        }
+        let mut combined: HashMap<K, u64> = self
+            .entries
+            .iter()
+            .map(|(&k, &abs)| (k, abs - self.base))
+            .collect();
+        for (&k, &abs) in &other.entries {
+            *combined.entry(k).or_insert(0) += abs - other.base;
+        }
+        let mut ranked: Vec<(K, u64)> = combined.into_iter().collect();
+        ranked.sort_by_key(|&(k, c)| (core::cmp::Reverse(c), k));
+        let cut = ranked.get(self.capacity).map_or(0, |&(_, c)| c);
+
+        self.base += other.base + cut;
+        self.entries.clear();
+        self.order.clear();
+        for (k, c) in ranked.into_iter().take(self.capacity) {
+            if c > cut {
+                let abs = self.base + (c - cut);
+                self.entries.insert(k, abs);
+                self.order.insert((abs, k));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut fq = Frequent::<u64>::new(8 * 10, 0); // 10 slots
+        for k in 0u64..5 {
+            fq.insert(&k, 3 * (k + 1));
+        }
+        for k in 0u64..5 {
+            assert_eq!(fq.query(&k), 3 * (k + 1));
+        }
+        assert_eq!(fq.total_decrement(), 0);
+    }
+
+    #[test]
+    fn decrement_on_overflow() {
+        let mut fq = Frequent::<u64>::new(8 * 2, 0); // 2 slots
+        fq.insert(&1, 5);
+        fq.insert(&2, 3);
+        fq.insert(&3, 1); // decrement all by 1; key 3 not admitted
+        assert_eq!(fq.query(&1), 4);
+        assert_eq!(fq.query(&2), 2);
+        assert_eq!(fq.query(&3), 0);
+        assert_eq!(fq.total_decrement(), 1);
+    }
+
+    #[test]
+    fn newcomer_displaces_after_consuming_minimum() {
+        let mut fq = Frequent::<u64>::new(8 * 2, 0);
+        fq.insert(&1, 5);
+        fq.insert(&2, 3);
+        fq.insert(&3, 10); // dec by 3 (kills 2), insert 3 with 7
+        assert_eq!(fq.query(&2), 0);
+        assert_eq!(fq.query(&3), 7);
+        assert_eq!(fq.query(&1), 2);
+    }
+
+    #[test]
+    fn majority_key_survives() {
+        let mut fq = Frequent::<u64>::new(8 * 4, 0);
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                fq.insert(&42, 1);
+            } else {
+                fq.insert(&(100 + i), 1);
+            }
+        }
+        assert!(fq.query(&42) > 0, "majority key must be monitored");
+    }
+
+    #[test]
+    fn merge_underfull_is_exact() {
+        use rsk_api::Merge;
+        let mut a = Frequent::<u64>::new(8 * 20, 0);
+        let mut b = Frequent::<u64>::new(8 * 20, 0);
+        for k in 0u64..8 {
+            a.insert(&k, k + 1);
+            b.insert(&k, 10 * (k + 1));
+        }
+        a.merge(&b).unwrap();
+        for k in 0u64..8 {
+            assert_eq!(a.query(&k), 11 * (k + 1));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        use rsk_api::Merge;
+        let mut a = Frequent::<u64>::new(8 * 4, 0);
+        let b = Frequent::<u64>::new(8 * 8, 0);
+        assert!(a.merge(&b).is_err());
+    }
+
+    proptest! {
+        /// Merged Misra–Gries keeps the classic bounds against the
+        /// combined truth: never overshoots, undershoot ≤ N/(m+1).
+        #[test]
+        fn prop_frequent_merge_invariants(
+            ops in proptest::collection::vec((0u64..30, proptest::bool::ANY), 1..500)
+        ) {
+            use rsk_api::Merge;
+            let m = 6usize;
+            let mut f1 = Frequent::<u64>::new(8 * m, 0);
+            let mut f2 = Frequent::<u64>::new(8 * m, 0);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            let mut total = 0u64;
+            for (k, first) in ops {
+                if first { f1.insert(&k, 1); } else { f2.insert(&k, 1); }
+                *truth.entry(k).or_insert(0) += 1;
+                total += 1;
+            }
+            f1.merge(&f2).unwrap();
+            for (&k, &f) in &truth {
+                let q = f1.query(&k);
+                prop_assert!(q <= f, "overshoot at {}: {} > {}", k, q, f);
+                prop_assert!(f - q <= total / (m as u64 + 1) + 1,
+                    "undershoot too large at {}: {} vs {}", k, f - q, total);
+            }
+        }
+
+        /// Misra–Gries invariants: never overshoot, undershoot ≤ base,
+        /// base ≤ N/(m+1) for unit updates.
+        #[test]
+        fn prop_frequent_invariants(
+            keys in proptest::collection::vec(0u64..30, 1..500)
+        ) {
+            let m = 6usize;
+            let mut fq = Frequent::<u64>::new(8 * m, 0);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            let mut n = 0u64;
+            for k in keys {
+                fq.insert(&k, 1);
+                *truth.entry(k).or_insert(0) += 1;
+                n += 1;
+            }
+            prop_assert!(fq.total_decrement() <= n / (m as u64 + 1));
+            for (&k, &f) in &truth {
+                let est = fq.query(&k);
+                prop_assert!(est <= f, "MG overshoot: {} > {}", est, f);
+                prop_assert!(f - est <= fq.total_decrement(),
+                    "undershoot beyond decrement bound");
+            }
+        }
+    }
+}

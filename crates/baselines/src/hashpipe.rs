@@ -1,0 +1,180 @@
+//! HashPipe (Sivaraman et al., SOSR 2017) — heavy-hitter detection
+//! entirely in the data plane, the pipelined baseline of Figures 7 and 10
+//! (`d = 6` stages, §6.1.4).
+//!
+//! Stage 1 *always inserts*: a new key takes the slot and evicts the
+//! incumbent, which is carried down the pipeline. Later stages keep the
+//! larger of (carried, resident) and carry the smaller onward; whatever
+//! leaves the last stage is dropped. Queries sum matching slots across
+//! stages. Because evicted remainders are dropped, HashPipe *undershoots*
+//! — the property test checks `f̂(e) ≤ f(e)` — which is exactly why it
+//! cannot bound outliers among low-frequency keys.
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+/// HashPipe with `d` pipeline stages.
+#[derive(Debug, Clone)]
+pub struct HashPipe<K: Key> {
+    stages: usize,
+    width: usize,
+    slots: Vec<(Option<K>, u64)>, // stages × width
+    hashes: HashFamily,
+}
+
+const SLOT_BYTES: usize = KEY_BYTES + COUNTER_BYTES;
+
+impl<K: Key> HashPipe<K> {
+    /// Build with the evaluation's `d = 6` stages.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_stages(memory_bytes, 6, seed)
+    }
+
+    /// Build with an explicit stage count.
+    pub fn with_stages(memory_bytes: usize, stages: usize, seed: u64) -> Self {
+        assert!(stages > 0);
+        let width = (memory_bytes / SLOT_BYTES / stages).max(1);
+        Self {
+            stages,
+            width,
+            slots: vec![(None, 0); stages * width],
+            hashes: HashFamily::new(stages, seed),
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    #[inline]
+    fn idx(&self, stage: usize, key: &K) -> usize {
+        stage * self.width + self.hashes.index(stage, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for HashPipe<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        // stage 1: always insert, evict incumbent
+        let i0 = self.idx(0, key);
+        let (mut carry_key, mut carry_count) = match self.slots[i0] {
+            (Some(k), c) if k == *key => {
+                self.slots[i0].1 = c + value;
+                return;
+            }
+            (None, _) => {
+                self.slots[i0] = (Some(*key), value);
+                return;
+            }
+            (Some(k), c) => {
+                self.slots[i0] = (Some(*key), value);
+                (k, c)
+            }
+        };
+
+        // stages 2..d: keep the max, carry the min
+        for stage in 1..self.stages {
+            let i = self.idx(stage, &carry_key);
+            match self.slots[i] {
+                (Some(k), c) if k == carry_key => {
+                    self.slots[i].1 = c + carry_count;
+                    return;
+                }
+                (None, _) => {
+                    self.slots[i] = (Some(carry_key), carry_count);
+                    return;
+                }
+                (Some(k), c) => {
+                    if carry_count > c {
+                        self.slots[i] = (Some(carry_key), carry_count);
+                        carry_key = k;
+                        carry_count = c;
+                    }
+                }
+            }
+        }
+        // carried value falls off the pipe: dropped (undercount)
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        (0..self.stages)
+            .map(|s| match self.slots[self.idx(s, key)] {
+                (Some(k), c) if k == *key => c,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl<K: Key> MemoryFootprint for HashPipe<K> {
+    fn memory_bytes(&self) -> usize {
+        self.stages * self.width * SLOT_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for HashPipe<K> {
+    fn name(&self) -> String {
+        "HashPipe".into()
+    }
+}
+
+impl<K: Key> Clear for HashPipe<K> {
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = (None, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lone_key_is_exact() {
+        let mut hp = HashPipe::<u64>::new(8_000, 1);
+        for _ in 0..1_000 {
+            hp.insert(&3, 2);
+        }
+        assert_eq!(hp.query(&3), 2_000);
+    }
+
+    #[test]
+    fn stage_count_default_is_six() {
+        assert_eq!(HashPipe::<u64>::new(48_000, 1).stages(), 6);
+    }
+
+    #[test]
+    fn heavy_keys_retained() {
+        let mut hp = HashPipe::<u64>::new(16_000, 2);
+        for i in 0..50_000u64 {
+            hp.insert(&(i % 3_000), 1);
+        }
+        for _ in 0..10_000 {
+            hp.insert(&555_555, 1);
+        }
+        let est = hp.query(&555_555);
+        assert!(est >= 7_000, "elephant should dominate the pipe: {est}");
+    }
+
+    proptest! {
+        /// HashPipe never overestimates: evictions only drop mass.
+        #[test]
+        fn prop_hashpipe_undershoots(
+            ops in proptest::collection::vec((0u64..50, 1u64..4), 1..400),
+            seed in 0u64..8,
+        ) {
+            let mut hp = HashPipe::<u64>::with_stages(240, 3, seed);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v) in ops {
+                hp.insert(&k, v);
+                *truth.entry(k).or_insert(0) += v;
+            }
+            for (&k, &f) in &truth {
+                prop_assert!(hp.query(&k) <= f,
+                    "overshoot at {}: {} > {}", k, hp.query(&k), f);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # rsk-baselines — the competitor sketches of the evaluation
+//!
+//! From-scratch implementations of every algorithm ReliableSketch is
+//! compared against (paper §6.1.4), plus the two families of Table 1 that
+//! only appear analytically:
+//!
+//! | module | algorithm | family | evaluated in |
+//! |--------|-----------|--------|--------------|
+//! | [`cm`] | Count-Min (Cormode & Muthukrishnan) | counter, L1 | Figs 4–10, 16, 19b |
+//! | [`cu`] | CU / conservative update (Estan & Varghese) | counter, L1 | Figs 4–10 |
+//! | [`count`] | Count sketch (Charikar et al.) | counter, L2 | Table 1 |
+//! | [`spacesaving`] | Space-Saving (Metwally et al.) | heap | Figs 4–10 |
+//! | [`frequent`] | Frequent / Misra–Gries (Demaine et al.) | heap | Table 1 |
+//! | [`elastic`] | Elastic sketch (Yang et al.) | counter + election | Figs 4–10 |
+//! | [`coco`] | CocoSketch (Zhang et al.) | counter + stochastic election | Figs 4, 6, 8–10 |
+//! | [`hashpipe`] | HashPipe (Sivaraman et al.) | pipeline | Figs 7, 10 |
+//! | [`mv`] | MV-Sketch (Tang et al.) | counter + election | §7 related work |
+//! | [`precision`] | PRECISION (Ben-Basat et al.) | pipeline + recirculation | Figs 7, 10 |
+//! | [`salsa`] | SALSA (Ben Basat et al.) | counter, self-adjusting layout | §7 related work |
+//! | [`nitro`] | NitroSketch (Liu et al.) | counter, L2, sampled updates | §7 related work |
+//!
+//! All sketches implement the `rsk-api` traits, take a *memory budget in
+//! bytes* (so the harness can sweep memory like the paper's figures) and
+//! account memory with the same per-field widths the paper assumes
+//! (32-bit counters, 32-bit key IDs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cm;
+pub mod coco;
+pub mod count;
+pub mod cu;
+pub mod elastic;
+pub mod factory;
+pub mod frequent;
+pub mod hashpipe;
+pub mod mv;
+pub mod nitro;
+pub mod precision;
+pub mod salsa;
+pub mod spacesaving;
+
+pub use cm::CmSketch;
+pub use coco::CocoSketch;
+pub use count::CountSketch;
+pub use cu::CuSketch;
+pub use elastic::ElasticSketch;
+pub use frequent::Frequent;
+pub use hashpipe::HashPipe;
+pub use mv::MvSketch;
+pub use nitro::NitroSketch;
+pub use precision::Precision;
+pub use salsa::SalsaSketch;
+pub use spacesaving::SpaceSaving;
+
+/// Modeled bytes of a key identifier (the paper's C++ implementations use
+/// 32-bit flow IDs; we charge the same regardless of the Rust key type so
+/// memory axes match the paper).
+pub const KEY_BYTES: usize = 4;
+
+/// Modeled bytes of a standard counter (32-bit).
+pub const COUNTER_BYTES: usize = 4;

@@ -1,0 +1,214 @@
+//! MV-Sketch (Tang, Huang, Lee — INFOCOM 2019): the invertible
+//! majority-vote sketch the paper cites as an election-technique relative
+//! (§3.1, §7 "Majority, MV, Elastic"). Like ReliableSketch's bucket it
+//! runs a Boyer–Moore election per cell; unlike it, the election state
+//! cannot certify its own error — the contrast that motivates Key
+//! Technique I.
+//!
+//! Structure: `d` rows of buckets `(V, K, C)` — total value `V`, candidate
+//! `K`, election counter `C`. Insert `⟨e, v⟩` into one bucket per row:
+//! `V += v`; if `K = e` then `C += v` else `C −= v`, flipping the
+//! candidate when `C` goes negative. Query: for rows whose bucket holds
+//! `e`, the estimate is `(C + V) / 2`, else `V` is an upper bound; the
+//! final answer is the minimum over rows (an overestimate, like CM).
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+#[derive(Debug, Clone)]
+struct MvBucket<K> {
+    total: u64,
+    key: Option<K>,
+    count: i64,
+}
+
+impl<K> Default for MvBucket<K> {
+    fn default() -> Self {
+        Self {
+            total: 0,
+            key: None,
+            count: 0,
+        }
+    }
+}
+
+/// MV-Sketch with `d` rows.
+#[derive(Debug, Clone)]
+pub struct MvSketch<K: Key> {
+    rows: usize,
+    width: usize,
+    buckets: Vec<MvBucket<K>>,
+    hashes: HashFamily,
+}
+
+/// Modeled bucket cost: V + K + C (the paper's 32-bit fields).
+const BUCKET_COST: usize = 2 * COUNTER_BYTES + KEY_BYTES;
+
+impl<K: Key> MvSketch<K> {
+    /// Build with the INFOCOM-paper default of `d = 4` rows.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_rows(memory_bytes, 4, seed)
+    }
+
+    /// Build with an explicit row count.
+    pub fn with_rows(memory_bytes: usize, rows: usize, seed: u64) -> Self {
+        assert!(rows > 0);
+        let width = (memory_bytes / BUCKET_COST / rows).max(1);
+        Self {
+            rows,
+            width,
+            buckets: vec![MvBucket::default(); rows * width],
+            hashes: HashFamily::new(rows, seed),
+        }
+    }
+
+    /// Number of rows `d`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, key: &K) -> usize {
+        row * self.width + self.hashes.index(row, key, self.width)
+    }
+
+    /// Candidate heavy keys currently held (the "invertible" part of
+    /// MV-Sketch: decode without a key list).
+    pub fn candidates(&self) -> Vec<K> {
+        let mut seen = std::collections::HashSet::new();
+        self.buckets
+            .iter()
+            .filter_map(|b| b.key)
+            .filter(|k| seen.insert(*k))
+            .collect()
+    }
+}
+
+impl<K: Key> StreamSummary<K> for MvSketch<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        for row in 0..self.rows {
+            let i = self.idx(row, key);
+            let b = &mut self.buckets[i];
+            b.total += value;
+            if b.key.is_none() {
+                b.key = Some(*key);
+                b.count = value as i64;
+            } else if b.key.as_ref() == Some(key) {
+                b.count += value as i64;
+            } else {
+                b.count -= value as i64;
+                if b.count < 0 {
+                    b.key = Some(*key);
+                    b.count = -b.count;
+                }
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        (0..self.rows)
+            .map(|row| {
+                let b = &self.buckets[self.idx(row, key)];
+                if b.key.as_ref() == Some(key) {
+                    // (V + C)/2 ≥ f(e): C = votes_for − votes_against,
+                    // V = votes_for + votes_against within the bucket
+                    ((b.total as i64 + b.count) / 2).max(0) as u64
+                } else {
+                    b.total
+                }
+            })
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Key> MemoryFootprint for MvSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.rows * self.width * BUCKET_COST
+    }
+}
+
+impl<K: Key> Algorithm for MvSketch<K> {
+    fn name(&self) -> String {
+        "MV".into()
+    }
+}
+
+impl<K: Key> Clear for MvSketch<K> {
+    fn clear(&mut self) {
+        self.buckets
+            .iter_mut()
+            .for_each(|b| *b = MvBucket::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lone_key_exact() {
+        let mut mv = MvSketch::<u64>::new(4_096, 1);
+        for _ in 0..100 {
+            mv.insert(&9, 3);
+        }
+        assert_eq!(mv.query(&9), 300);
+    }
+
+    #[test]
+    fn majority_key_found_and_estimated() {
+        let mut mv = MvSketch::<u64>::new(2_048, 2);
+        for i in 0..30_000u64 {
+            if i % 3 == 0 {
+                mv.insert(&(i % 500), 1);
+            } else {
+                mv.insert(&42, 1); // 2/3 of the stream
+            }
+        }
+        assert!(mv.candidates().contains(&42));
+        let est = mv.query(&42);
+        let truth = 20_000;
+        assert!(
+            est >= truth && est <= truth + 10_000,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn default_rows() {
+        assert_eq!(MvSketch::<u64>::new(8_192, 0).rows(), 4);
+        assert_eq!(MvSketch::<u64>::new(8_192, 0).name(), "MV");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut mv = MvSketch::<u64>::new(1_024, 3);
+        mv.insert(&1, 5);
+        rsk_api::Clear::clear(&mut mv);
+        assert_eq!(mv.query(&1), 0);
+        assert!(mv.candidates().is_empty());
+    }
+
+    proptest! {
+        /// MV-Sketch never undershoots (the (V+C)/2 and V answers are both
+        /// upper bounds on the key's sum in the bucket).
+        #[test]
+        fn prop_mv_overestimates(
+            ops in proptest::collection::vec((0u64..40, 1u64..6), 1..400)
+        ) {
+            let mut mv = MvSketch::<u64>::with_rows(480, 2, 5);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v) in ops {
+                mv.insert(&k, v);
+                *truth.entry(k).or_insert(0) += v;
+            }
+            for (&k, &f) in &truth {
+                prop_assert!(mv.query(&k) >= f,
+                    "MV undershoot at {}: {} < {}", k, mv.query(&k), f);
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! NitroSketch (Liu et al., SIGCOMM 2019) — sketching at line rate via
+//! sampled updates.
+//!
+//! NitroSketch decouples per-packet cost from the row count `d`: instead
+//! of touching every row for every packet, it samples *row updates* with
+//! probability `p` using geometric skips (draw how many row-updates to
+//! skip, jump straight there) and compensates by adding `v/p` to each
+//! sampled counter. Over a Count-sketch substrate the estimate stays
+//! unbiased while the amortized per-packet work drops to `O(p·d)`.
+//!
+//! This is the paper's related-work representative of the L2-norm family
+//! with optimized insertion (cited as Nitro \[10\] in §1 and §7). Estimates
+//! are two-sided (they can undershoot), so it is excluded from the
+//! upper-bound-dependent experiments, mirroring the paper's scope
+//! (§2.2 leaves L2 sketches out of the accuracy comparison).
+
+use crate::COUNTER_BYTES;
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::{splitmix64, HashFamily};
+
+/// NitroSketch over a Count-sketch substrate with geometric update
+/// sampling.
+///
+/// ```
+/// use rsk_baselines::NitroSketch;
+/// use rsk_api::StreamSummary;
+///
+/// let mut n = NitroSketch::<u64>::with_sampling(32 * 1024, 4, 0.05, 7);
+/// for i in 0..100_000u64 {
+///     n.insert(&(i % 100), 1);
+/// }
+/// // ≈ 5% of the 4 row-updates per insert actually executed
+/// assert!(n.sampled_updates() < 40_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NitroSketch<K: Key> {
+    rows: usize,
+    width: usize,
+    counters: Vec<i64>,
+    hashes: HashFamily,
+    /// Sampling probability `p` of one row update.
+    p: f64,
+    /// Scaled increment `round(1/p)` applied per sampled update.
+    inv_p: i64,
+    /// Row-updates remaining to skip before the next sampled one.
+    skip: u64,
+    /// State of the skip generator.
+    rng: u64,
+    /// Row updates actually performed (diagnostics / speed accounting).
+    sampled_updates: u64,
+    /// Insert operations observed.
+    inserts: u64,
+    _key: core::marker::PhantomData<K>,
+}
+
+impl<K: Key> NitroSketch<K> {
+    /// Default configuration: 4 rows, 5 % sampling.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_sampling(memory_bytes, 4, 0.05, seed)
+    }
+
+    /// Build with explicit row count and sampling probability
+    /// `p ∈ (0, 1]`.
+    pub fn with_sampling(memory_bytes: usize, rows: usize, p: f64, seed: u64) -> Self {
+        assert!(rows > 0);
+        assert!(p > 0.0 && p <= 1.0, "sampling probability out of range");
+        let width = (memory_bytes / COUNTER_BYTES / rows).max(1);
+        let mut s = Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            hashes: HashFamily::new(rows, seed),
+            p,
+            inv_p: (1.0 / p).round() as i64,
+            skip: 0,
+            rng: splitmix64(seed ^ 0x4e17_2057_a11e),
+            sampled_updates: 0,
+            inserts: 0,
+            _key: core::marker::PhantomData,
+        };
+        s.skip = s.draw_skip();
+        s
+    }
+
+    /// Number of rows `d`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Configured sampling probability.
+    pub fn sampling_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Row updates actually executed (≈ `p · d · inserts` in expectation)
+    /// — the quantity NitroSketch exists to shrink.
+    pub fn sampled_updates(&self) -> u64 {
+        self.sampled_updates
+    }
+
+    /// Insert operations observed.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Geometric skip: number of row-updates to pass over before the next
+    /// sample, `⌊ln U / ln(1−p)⌋` (0 when `p = 1`).
+    fn draw_skip(&mut self) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        self.rng = splitmix64(self.rng);
+        // map to (0, 1]: avoid ln(0)
+        let u = ((self.rng >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: &K) -> usize {
+        row * self.width + self.hashes.index(row, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for NitroSketch<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        self.inserts += 1;
+        // this packet offers `rows` consecutive row-update opportunities;
+        // consume the skip sequence across them
+        let mut row = 0u64;
+        while row < self.rows as u64 {
+            let remaining = self.rows as u64 - row;
+            if self.skip >= remaining {
+                self.skip -= remaining;
+                return;
+            }
+            row += self.skip;
+            let r = row as usize;
+            let sign = self.hashes.sign(r, key);
+            let s = self.slot(r, key);
+            self.counters[s] += sign * value as i64 * self.inv_p;
+            self.sampled_updates += 1;
+            self.skip = self.draw_skip();
+            row += 1;
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let mut signed: Vec<i64> = (0..self.rows)
+            .map(|row| self.hashes.sign(row, key) * self.counters[self.slot(row, key)])
+            .collect();
+        signed.sort_unstable();
+        let mid = self.rows / 2;
+        let median = if self.rows % 2 == 1 {
+            signed[mid]
+        } else {
+            (signed[mid - 1] + signed[mid]) / 2
+        };
+        median.max(0) as u64
+    }
+}
+
+impl<K: Key> MemoryFootprint for NitroSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        self.rows * self.width * COUNTER_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for NitroSketch<K> {
+    fn name(&self) -> String {
+        "Nitro".into()
+    }
+}
+
+impl<K: Key> Clear for NitroSketch<K> {
+    fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.sampled_updates = 0;
+        self.inserts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sampling_equals_count_sketch_behaviour() {
+        // p = 1 degenerates to a plain Count sketch: exact for a lone key
+        let mut n = NitroSketch::<u64>::with_sampling(8_000, 5, 1.0, 3);
+        for _ in 0..500 {
+            n.insert(&9, 2);
+        }
+        assert_eq!(n.query(&9), 1_000);
+        assert_eq!(n.sampled_updates(), 500 * 5);
+    }
+
+    #[test]
+    fn sampling_rate_shrinks_update_count() {
+        let mut n = NitroSketch::<u64>::with_sampling(8_000, 4, 0.05, 4);
+        for i in 0..50_000u64 {
+            n.insert(&(i % 100), 1);
+        }
+        let expected = 50_000.0 * 4.0 * 0.05;
+        let actual = n.sampled_updates() as f64;
+        assert!(
+            (actual - expected).abs() < expected * 0.2,
+            "sampled {actual}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn heavy_key_estimate_concentrates() {
+        // one elephant among mice: the unbiased median estimate must land
+        // within a reasonable band of the truth
+        let mut n = NitroSketch::<u64>::with_sampling(64 * 1024, 5, 0.1, 5);
+        for i in 0..100_000u64 {
+            n.insert(&(i % 1000), 1); // 100 each
+        }
+        for _ in 0..50_000 {
+            n.insert(&7777u64, 1);
+        }
+        let q = n.query(&7777) as f64;
+        assert!(
+            (q - 50_100.0).abs() < 15_000.0,
+            "elephant estimate too far off: {q}"
+        );
+    }
+
+    #[test]
+    fn unbiasedness_over_seeds() {
+        // average signed error over many independent sketches ≈ 0
+        let mut total: i64 = 0;
+        let runs = 40;
+        for seed in 0..runs {
+            let mut n = NitroSketch::<u64>::with_sampling(16 * 1024, 5, 0.1, seed);
+            for i in 0..20_000u64 {
+                n.insert(&(i % 200), 1); // truth: 100 each
+            }
+            total += n.query(&13) as i64 - 100;
+        }
+        let mean = total as f64 / runs as f64;
+        assert!(mean.abs() < 60.0, "mean signed error {mean}");
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        for budget in [10_000usize, 100_000] {
+            let n = NitroSketch::<u64>::new(budget, 1);
+            assert!(n.memory_bytes() <= budget);
+            assert!(n.memory_bytes() >= budget * 8 / 10);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut n = NitroSketch::<u64>::new(4_000, 1);
+        for i in 0..1_000u64 {
+            n.insert(&i, 3);
+        }
+        Clear::clear(&mut n);
+        assert_eq!(n.sampled_updates(), 0);
+        assert_eq!(n.query(&5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn rejects_zero_sampling() {
+        NitroSketch::<u64>::with_sampling(1_000, 3, 0.0, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! PRECISION (Ben-Basat, Chen, Einziger, Rottenstreich, ICNP 2018) —
+//! heavy-hitter measurement with *probabilistic recirculation*, the second
+//! pipelined baseline (`d = 3` stages for best accuracy, §6.1.4).
+//!
+//! A miss in every stage does not modify the pipe immediately; instead the
+//! packet is recirculated with probability `≈ 1/(min_count + 1)` and, on
+//! that second pass, claims the minimum-count entry with its count bumped.
+//! We model the recirculation decision inline (the behavioural outcome is
+//! identical; the switch-level cost is modeled in `rsk-dataplane`): for a
+//! value-`v` arrival the takeover probability is `v / (min + v)`, the
+//! weighted generalization used for byte counting.
+//!
+//! Like all eviction-by-sampling schemes, estimates are two-sided but the
+//! expected error of a claimed entry matches the evicted mass.
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::{HashFamily, SplitMix64};
+
+/// PRECISION with `d` stages.
+#[derive(Debug, Clone)]
+pub struct Precision<K: Key> {
+    stages: usize,
+    width: usize,
+    slots: Vec<(Option<K>, u64)>,
+    hashes: HashFamily,
+    rng: SplitMix64,
+    recirculations: u64,
+}
+
+const SLOT_BYTES: usize = KEY_BYTES + COUNTER_BYTES;
+
+/// Salt decorrelating the recirculation coin from the stage hashes.
+const RECIRC_SALT: u64 = 0x09ec_1510;
+
+impl<K: Key> Precision<K> {
+    /// Build with the evaluation's `d = 3` stages.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_stages(memory_bytes, 3, seed)
+    }
+
+    /// Build with an explicit stage count.
+    pub fn with_stages(memory_bytes: usize, stages: usize, seed: u64) -> Self {
+        assert!(stages > 0);
+        let width = (memory_bytes / SLOT_BYTES / stages).max(1);
+        Self {
+            stages,
+            width,
+            slots: vec![(None, 0); stages * width],
+            hashes: HashFamily::new(stages, seed),
+            rng: SplitMix64::new(seed ^ RECIRC_SALT),
+            recirculations: 0,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// How many packets would have been recirculated on a switch (cost
+    /// proxy used by the dataplane model).
+    pub fn recirculations(&self) -> u64 {
+        self.recirculations
+    }
+
+    #[inline]
+    fn idx(&self, stage: usize, key: &K) -> usize {
+        stage * self.width + self.hashes.index(stage, key, self.width)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for Precision<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        let mut min_idx = usize::MAX;
+        let mut min_count = u64::MAX;
+        for stage in 0..self.stages {
+            let i = self.idx(stage, key);
+            match self.slots[i] {
+                (Some(k), c) if k == *key => {
+                    self.slots[i].1 = c + value;
+                    return;
+                }
+                (None, _) => {
+                    self.slots[i] = (Some(*key), value);
+                    return;
+                }
+                (Some(_), c) => {
+                    if c < min_count {
+                        min_count = c;
+                        min_idx = i;
+                    }
+                }
+            }
+        }
+        // miss everywhere: recirculate with probability v/(min+v)
+        let p = value as f64 / (min_count + value) as f64;
+        if self.rng.next_f64() < p {
+            self.recirculations += 1;
+            self.slots[min_idx] = (Some(*key), min_count + value);
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        (0..self.stages)
+            .map(|s| match self.slots[self.idx(s, key)] {
+                (Some(k), c) if k == *key => c,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl<K: Key> MemoryFootprint for Precision<K> {
+    fn memory_bytes(&self) -> usize {
+        self.stages * self.width * SLOT_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for Precision<K> {
+    fn name(&self) -> String {
+        "PRECISION".into()
+    }
+}
+
+impl<K: Key> Clear for Precision<K> {
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = (None, 0));
+        self.recirculations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_key_exact() {
+        let mut p = Precision::<u64>::new(8_000, 1);
+        for _ in 0..500 {
+            p.insert(&9, 4);
+        }
+        assert_eq!(p.query(&9), 2_000);
+    }
+
+    #[test]
+    fn default_three_stages() {
+        assert_eq!(Precision::<u64>::new(24_000, 1).stages(), 3);
+    }
+
+    #[test]
+    fn elephants_claim_entries() {
+        let mut p = Precision::<u64>::new(8_000, 2);
+        for i in 0..50_000u64 {
+            p.insert(&(i % 2_500), 1);
+        }
+        for _ in 0..10_000 {
+            p.insert(&888_888, 1);
+        }
+        let est = p.query(&888_888);
+        assert!(est >= 5_000, "elephant should claim an entry: {est}");
+    }
+
+    #[test]
+    fn recirculation_rate_is_low_for_skewed_streams() {
+        let mut p = Precision::<u64>::new(8_000, 3);
+        let mut n = 0u64;
+        for i in 0..100_000u64 {
+            // zipf-ish: key i%k with k denser at low ranks
+            let k = (i * i + 7) % 997;
+            p.insert(&(k / ((k % 7) + 1)), 1);
+            n += 1;
+        }
+        let rate = p.recirculations() as f64 / n as f64;
+        assert!(rate < 0.5, "recirculation should be rare: {rate}");
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let run = || {
+            let mut p = Precision::<u64>::new(2_000, 5);
+            for i in 0..20_000u64 {
+                p.insert(&(i % 300), 1);
+            }
+            (0..300u64).map(|k| p.query(&k)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

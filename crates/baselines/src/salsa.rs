@@ -1,0 +1,368 @@
+//! SALSA (Ben Basat, Einziger, Mitzenmacher, Vargaftik, ICDE 2021) —
+//! self-adjusting lean streaming analytics.
+//!
+//! SALSA packs a CM-style sketch with tiny (8-bit) counters and lets
+//! counters *grow where the data needs it*: when a counter overflows, it
+//! merges with its aligned buddy into a counter of twice the width (8 →
+//! 16 → 32 → 64 bits), taking the **maximum** of the two merged values.
+//! Max-merging preserves the Count-Min upper-bound property — each
+//! constituent counter over-approximated the keys mapped to it, so their
+//! maximum still does — while mice keys keep enjoying narrow counters and
+//! low collision rates.
+//!
+//! This is the paper's related-work representative of counter-layout
+//! optimization (cited as SALSA \[6\] in §7), a complementary direction to
+//! ReliableSketch's error control: SALSA shrinks the *average* error at a
+//! given budget but, like CM/CU, cannot bound the error of *all* keys.
+//!
+//! Implementation notes: rows store raw bytes; a per-byte `level` array
+//! (`2^level` bytes per counter block, block-aligned like a buddy
+//! allocator) tracks merge state. The modeled footprint charges the
+//! paper's bookkeeping estimate of 1 bit per 8-bit cell on top of the
+//! counter bytes.
+
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::HashFamily;
+
+/// Maximum merge level: `2^3 = 8` bytes (64-bit counters).
+const MAX_LEVEL: u8 = 3;
+
+/// One SALSA row: `width` byte-cells plus per-cell merge levels.
+#[derive(Debug, Clone)]
+struct SalsaRow {
+    bytes: Vec<u8>,
+    /// `level[i]` = log2 of the block size (in bytes) containing cell `i`;
+    /// every cell of a block stores the same level.
+    level: Vec<u8>,
+}
+
+impl SalsaRow {
+    fn new(width: usize) -> Self {
+        Self {
+            bytes: vec![0; width],
+            level: vec![0; width],
+        }
+    }
+
+    /// Start of the aligned block containing `i` at its current level.
+    #[inline]
+    fn block_start(&self, i: usize) -> usize {
+        let size = 1usize << self.level[i];
+        i & !(size - 1)
+    }
+
+    /// Little-endian value of the block containing cell `i`.
+    fn read(&self, i: usize) -> u64 {
+        let start = self.block_start(i);
+        let size = 1usize << self.level[i];
+        let mut v = 0u64;
+        for (b, &byte) in self.bytes[start..start + size].iter().enumerate() {
+            v |= (byte as u64) << (8 * b);
+        }
+        v
+    }
+
+    /// Overwrite the block containing cell `i`.
+    fn write(&mut self, i: usize, v: u64) {
+        let start = self.block_start(i);
+        let size = 1usize << self.level[i];
+        for (b, byte) in self.bytes[start..start + size].iter_mut().enumerate() {
+            *byte = (v >> (8 * b)) as u8;
+        }
+    }
+
+    /// Merge the block containing `i` with its buddy, doubling its width.
+    /// The merged block takes the max of the two halves (CM-flavor
+    /// soundness: each half upper-bounds its keys, the max bounds both).
+    fn merge_up(&mut self, i: usize) {
+        let level = self.level[i];
+        debug_assert!(level < MAX_LEVEL);
+        let size = 1usize << level;
+        let start = self.block_start(i);
+        let parent_start = i & !((size << 1) - 1);
+        let buddy_start = if parent_start == start {
+            start + size
+        } else {
+            parent_start
+        };
+        let mine = self.read(start);
+        // the buddy may itself sit at a *smaller* level only if our level
+        // is ahead; SALSA keeps buddies level-synchronized by raising the
+        // buddy first
+        while self.level[buddy_start] < level {
+            self.merge_up(buddy_start);
+        }
+        let theirs = self.read(buddy_start);
+        let merged = mine.max(theirs);
+        for cell in &mut self.level[parent_start..parent_start + (size << 1)] {
+            *cell = level + 1;
+        }
+        self.write(parent_start, merged);
+    }
+
+    /// Add `v` to the counter serving cell `i`, growing it on overflow.
+    fn add(&mut self, i: usize, v: u64) {
+        loop {
+            let level = self.level[i];
+            let current = self.read(i);
+            let cap = if level >= MAX_LEVEL {
+                u64::MAX
+            } else {
+                (1u64 << (8 << level)) - 1
+            };
+            match current.checked_add(v) {
+                Some(next) if next <= cap => {
+                    self.write(i, next);
+                    return;
+                }
+                _ if level >= MAX_LEVEL => {
+                    self.write(i, u64::MAX); // saturate at the top level
+                    return;
+                }
+                _ => self.merge_up(i),
+            }
+        }
+    }
+
+    /// Fraction of cells that have merged at least once (diagnostics).
+    fn merged_ratio(&self) -> f64 {
+        let merged = self.level.iter().filter(|&&l| l > 0).count();
+        merged as f64 / self.level.len().max(1) as f64
+    }
+}
+
+/// SALSA sketch (CM-flavor, 8-bit base cells, buddy merging).
+///
+/// ```
+/// use rsk_baselines::SalsaSketch;
+/// use rsk_api::StreamSummary;
+///
+/// let mut s = SalsaSketch::<u64>::new(8 * 1024, 7);
+/// for _ in 0..1_000 {
+///     s.insert(&42, 1); // 1000 > 255 forces an 8→16-bit merge
+/// }
+/// assert!(s.query(&42) >= 1_000); // still an upper bound
+/// assert!(s.merged_ratio() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SalsaSketch<K: Key> {
+    rows: Vec<SalsaRow>,
+    width: usize,
+    hashes: HashFamily,
+    _key: core::marker::PhantomData<K>,
+}
+
+impl<K: Key> SalsaSketch<K> {
+    /// Default configuration: 4 rows of 8-bit base cells.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        Self::with_rows(memory_bytes, 4, seed)
+    }
+
+    /// Build with an explicit row count.
+    pub fn with_rows(memory_bytes: usize, rows: usize, seed: u64) -> Self {
+        assert!(rows > 0);
+        // 9 bits per base cell: 8 counter bits + 1 bookkeeping bit
+        let cells = (memory_bytes * 8 / 9 / rows).max(8);
+        // block alignment needs power-of-two-friendly widths; round down
+        // to a multiple of the largest block (8 bytes)
+        let width = (cells / 8).max(1) * 8;
+        Self {
+            rows: (0..rows).map(|_| SalsaRow::new(width)).collect(),
+            width,
+            hashes: HashFamily::new(rows, seed),
+            _key: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Base cells per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mean fraction of cells that outgrew 8 bits (diagnostics).
+    pub fn merged_ratio(&self) -> f64 {
+        self.rows.iter().map(SalsaRow::merged_ratio).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+impl<K: Key> StreamSummary<K> for SalsaSketch<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        for r in 0..self.rows.len() {
+            let i = self.hashes.index(r, key, self.width);
+            self.rows[r].add(i, value);
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        (0..self.rows.len())
+            .map(|r| {
+                let i = self.hashes.index(r, key, self.width);
+                self.rows[r].read(i)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Key> MemoryFootprint for SalsaSketch<K> {
+    fn memory_bytes(&self) -> usize {
+        // counter bytes + 1 bookkeeping bit per base cell
+        self.rows.len() * self.width * 9 / 8
+    }
+}
+
+impl<K: Key> Algorithm for SalsaSketch<K> {
+    fn name(&self) -> String {
+        "SALSA".into()
+    }
+}
+
+impl<K: Key> Clear for SalsaSketch<K> {
+    fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.bytes.iter_mut().for_each(|b| *b = 0);
+            row.level.iter_mut().for_each(|l| *l = 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn small_counts_stay_in_8bit_cells() {
+        let mut s = SalsaSketch::<u64>::new(4_096, 1);
+        for k in 0..50u64 {
+            for _ in 0..10 {
+                s.insert(&k, 1);
+            }
+        }
+        assert_eq!(s.merged_ratio(), 0.0, "no counter needed to grow");
+        for k in 0..50u64 {
+            assert!(s.query(&k) >= 10);
+        }
+    }
+
+    #[test]
+    fn overflow_grows_counters_and_preserves_value() {
+        let mut s = SalsaSketch::<u64>::new(4_096, 2);
+        for _ in 0..1000 {
+            s.insert(&42, 1); // 1000 > 255: must merge to 16-bit
+        }
+        assert!(s.merged_ratio() > 0.0, "merging must have happened");
+        assert!(s.query(&42) >= 1000, "upper bound lost in merge");
+    }
+
+    #[test]
+    fn growth_reaches_64_bit() {
+        let mut s = SalsaSketch::<u64>::new(1_024, 3);
+        s.insert(&1, u32::MAX as u64 + 10); // needs a 64-bit block at once
+        assert!(s.query(&1) >= u32::MAX as u64 + 10);
+    }
+
+    #[test]
+    fn row_merge_keeps_buddy_alignment() {
+        let mut row = SalsaRow::new(16);
+        // overflow cell 5 → block [4,6) at level 1
+        row.add(5, 300);
+        assert_eq!(row.level[4], 1);
+        assert_eq!(row.level[5], 1);
+        assert_eq!(row.read(5), 300);
+        assert_eq!(row.read(4), 300, "buddy shares the merged counter");
+        // push beyond 16-bit → block [4,8) at level 2
+        row.add(5, 70_000);
+        assert_eq!(row.level[6], 2);
+        assert_eq!(row.read(7), 70_300);
+    }
+
+    #[test]
+    fn never_undershoots_under_pressure() {
+        let mut s = SalsaSketch::<u64>::new(8 * 1024, 4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..30_000u64 {
+            let k = i % 700;
+            let v = 1 + (k % 11) * (k % 5);
+            s.insert(&k, v);
+            *truth.entry(k).or_insert(0) += v;
+        }
+        assert!(s.merged_ratio() > 0.0);
+        for (&k, &f) in &truth {
+            assert!(s.query(&k) >= f, "SALSA undershoot at {k}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        for budget in [10_000usize, 100_000, 1 << 20] {
+            let s = SalsaSketch::<u64>::new(budget, 1);
+            assert!(
+                s.memory_bytes() <= budget,
+                "{} > {budget}",
+                s.memory_bytes()
+            );
+            assert!(s.memory_bytes() >= budget * 8 / 10);
+        }
+    }
+
+    #[test]
+    fn clear_resets_levels_and_values() {
+        let mut s = SalsaSketch::<u64>::new(2_048, 1);
+        for _ in 0..5_000 {
+            s.insert(&3, 7);
+        }
+        Clear::clear(&mut s);
+        assert_eq!(s.merged_ratio(), 0.0);
+        assert_eq!(s.query(&3), 0);
+    }
+
+    proptest! {
+        /// The Count-Min upper-bound property survives arbitrary merge
+        /// cascades: SALSA never undershoots any key's true sum.
+        #[test]
+        fn prop_salsa_upper_bound(
+            ops in proptest::collection::vec((0u64..64, 1u64..2000), 1..400),
+            seed in 0u64..8,
+        ) {
+            let mut s = SalsaSketch::<u64>::with_rows(512, 2, seed);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v) in ops {
+                s.insert(&k, v);
+                *truth.entry(k).or_insert(0) += v;
+            }
+            for (&k, &f) in &truth {
+                prop_assert!(s.query(&k) >= f,
+                    "undershoot at {}: {} < {}", k, s.query(&k), f);
+            }
+        }
+
+        /// Block levels stay consistent: every cell of a block reports the
+        /// same level and blocks are aligned.
+        #[test]
+        fn prop_block_alignment(
+            ops in proptest::collection::vec((0usize..32, 1u64..100_000), 1..200),
+        ) {
+            let mut row = SalsaRow::new(32);
+            for (i, v) in ops {
+                row.add(i, v);
+            }
+            let mut i = 0;
+            while i < 32 {
+                let level = row.level[i];
+                let size = 1usize << level;
+                prop_assert_eq!(i % size, 0, "block at {} misaligned", i);
+                for j in i..i + size {
+                    prop_assert_eq!(row.level[j], level, "level split in block");
+                }
+                i += size;
+            }
+        }
+    }
+}

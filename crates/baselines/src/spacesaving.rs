@@ -1,0 +1,312 @@
+//! Space-Saving (Metwally, Agrawal, El Abbadi 2005) — the reference
+//! heap-based sketch (paper Table 1, §6.1.4 "SS").
+//!
+//! Maintains `m` monitored `(key, count, error)` entries. A monitored
+//! key's arrival increments its count; an unmonitored key *overwrites the
+//! minimum-count entry*, inheriting its count as the new entry's
+//! overestimate. Classic guarantees, which the property tests verify:
+//!
+//! * `count(e) − error(e) ≤ f(e) ≤ count(e)` for monitored keys;
+//! * `min_count ≤ N/m`, bounding every error;
+//! * unmonitored keys satisfy `f(e) ≤ min_count` (we answer `min_count`,
+//!   the standard guarantee-preserving upper bound — this is why SS shows
+//!   the large AAE/ARE the paper reports in Figures 8–9 while still
+//!   winning on outlier counts).
+//!
+//! Implemented with a hash map + ordered set (`O(log m)` per update),
+//! mirroring the heap complexity the paper critiques in §2.2.
+
+use crate::{COUNTER_BYTES, KEY_BYTES};
+use rsk_api::{Algorithm, Clear, Key, MemoryFootprint, StreamSummary};
+use std::collections::{BTreeSet, HashMap};
+
+/// Space-Saving stream summary.
+///
+/// ```
+/// use rsk_baselines::SpaceSaving;
+/// use rsk_api::StreamSummary;
+///
+/// let mut ss = SpaceSaving::<u64>::new(24, 0); // two monitored slots
+/// ss.insert(&1, 10);
+/// ss.insert(&2, 5);
+/// ss.insert(&3, 1); // evicts key 2, inheriting its count as error
+/// let top = ss.top();
+/// assert_eq!(top[0], (1, 10, 0));
+/// assert_eq!(top[1], (3, 6, 5)); // truth 1 ∈ [6 − 5, 6]
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Key> {
+    /// key → (count, overestimate)
+    entries: HashMap<K, (u64, u64)>,
+    /// (count, key) ordered for O(log m) minimum extraction
+    order: BTreeSet<(u64, K)>,
+    capacity: usize,
+}
+
+/// Modeled slot cost: key + count + error (all 32-bit in the paper's
+/// implementations).
+const SLOT_BYTES: usize = KEY_BYTES + 2 * COUNTER_BYTES;
+
+impl<K: Key + Ord> SpaceSaving<K> {
+    /// Build with capacity `memory_bytes / 12` entries.
+    pub fn new(memory_bytes: usize, _seed: u64) -> Self {
+        let capacity = (memory_bytes / SLOT_BYTES).max(1);
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            capacity,
+        }
+    }
+
+    /// Number of monitored entries the structure can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current minimum monitored count (0 while not full).
+    pub fn min_count(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            self.order.first().map(|&(c, _)| c).unwrap_or(0)
+        }
+    }
+
+    /// Monitored keys with their `(count, error)` pairs, descending by
+    /// count — the top-k report Space-Saving exists for.
+    pub fn top(&self) -> Vec<(K, u64, u64)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(&k, &(c, e))| (k, c, e)).collect();
+        v.sort_by_key(|&(_, c, _)| core::cmp::Reverse(c));
+        v
+    }
+}
+
+impl<K: Key + Ord> StreamSummary<K> for SpaceSaving<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            self.order.remove(&(entry.0, *key));
+            entry.0 += value;
+            self.order.insert((entry.0, *key));
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(*key, (value, 0));
+            self.order.insert((value, *key));
+            return;
+        }
+        // overwrite the minimum
+        let &(min_count, min_key) = self.order.first().expect("capacity ≥ 1");
+        self.order.remove(&(min_count, min_key));
+        self.entries.remove(&min_key);
+        let count = min_count + value;
+        self.entries.insert(*key, (count, min_count));
+        self.order.insert((count, *key));
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        match self.entries.get(key) {
+            Some(&(count, _)) => count,
+            None => self.min_count(),
+        }
+    }
+}
+
+impl<K: Key> MemoryFootprint for SpaceSaving<K> {
+    fn memory_bytes(&self) -> usize {
+        self.capacity * SLOT_BYTES
+    }
+}
+
+impl<K: Key> Algorithm for SpaceSaving<K> {
+    fn name(&self) -> String {
+        "SS".into()
+    }
+}
+
+impl<K: Key> Clear for SpaceSaving<K> {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+impl<K: Key + Ord> rsk_api::Merge for SpaceSaving<K> {
+    /// The classic mergeable-summaries construction (Agarwal et al.):
+    /// for every key monitored on either side, add the two sides'
+    /// counts/errors, charging a side that does not monitor the key its
+    /// `min_count` for both; keep the top-`capacity` combined entries.
+    ///
+    /// Invariants carry over: kept keys keep
+    /// `count − error ⩽ f ⩽ count`, and every discarded or never-seen key
+    /// stays bounded by the merged `min_count` (every combined count is
+    /// ⩾ `min₁ + min₂`).
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.capacity != other.capacity {
+            return Err(format!(
+                "SpaceSaving capacity mismatch: {} vs {}",
+                self.capacity, other.capacity
+            ));
+        }
+        let (min1, min2) = (self.min_count(), other.min_count());
+        let mut combined: HashMap<K, (u64, u64)> = HashMap::new();
+        for (&k, &(c, e)) in &self.entries {
+            let (c2, e2) = other.entries.get(&k).copied().unwrap_or((min2, min2));
+            combined.insert(k, (c + c2, e + e2));
+        }
+        for (&k, &(c, e)) in &other.entries {
+            combined.entry(k).or_insert((c + min1, e + min1));
+        }
+        let mut ranked: Vec<(K, (u64, u64))> = combined.into_iter().collect();
+        ranked.sort_by_key(|&(k, (c, _))| (core::cmp::Reverse(c), k));
+        ranked.truncate(self.capacity);
+
+        self.entries.clear();
+        self.order.clear();
+        for (k, (c, e)) in ranked {
+            self.entries.insert(k, (c, e));
+            self.order.insert((c, k));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn small_stream_is_exact() {
+        let mut ss = SpaceSaving::<u64>::new(1_200, 0); // 100 slots
+        for k in 0u64..50 {
+            ss.insert(&k, k + 1);
+        }
+        for k in 0u64..50 {
+            assert_eq!(ss.query(&k), k + 1);
+        }
+        assert_eq!(ss.min_count(), 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut ss = SpaceSaving::<u64>::new(2 * 12, 0); // 2 slots
+        ss.insert(&1, 10);
+        ss.insert(&2, 5);
+        ss.insert(&3, 1); // evicts 2: count 6, error 5
+        assert_eq!(ss.query(&3), 6);
+        assert_eq!(ss.query(&1), 10);
+        // key 2 now unmonitored: answer min_count
+        assert_eq!(ss.query(&2), ss.min_count());
+        let top = ss.top();
+        assert_eq!(top[0], (1, 10, 0));
+        assert_eq!(top[1], (3, 6, 5));
+    }
+
+    #[test]
+    fn heavy_hitters_survive() {
+        let mut ss = SpaceSaving::<u64>::new(100 * 12, 0);
+        for i in 0..100_000u64 {
+            ss.insert(&(i % 5_000), 1); // mice: 20 each
+        }
+        for _ in 0..5_000u64 {
+            ss.insert(&777_777, 1);
+        }
+        let est = ss.query(&777_777);
+        assert!(est >= 5_000, "heavy hitter lost: {est}");
+        assert!(ss.top()[0].0 == 777_777);
+    }
+
+    #[test]
+    fn min_count_bounds_stream_over_capacity() {
+        let mut ss = SpaceSaving::<u64>::new(10 * 12, 0);
+        let mut total = 0u64;
+        for i in 0..10_000u64 {
+            ss.insert(&(i % 100), 1);
+            total += 1;
+        }
+        assert!(ss.min_count() <= total / ss.capacity() as u64);
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        use rsk_api::Merge;
+        let mut a = SpaceSaving::<u64>::new(8 * 12, 0);
+        let b = SpaceSaving::<u64>::new(16 * 12, 0);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_of_underfull_summaries_is_exact() {
+        use rsk_api::Merge;
+        let mut a = SpaceSaving::<u64>::new(100 * 12, 0);
+        let mut b = SpaceSaving::<u64>::new(100 * 12, 0);
+        for k in 0u64..30 {
+            a.insert(&k, k + 1);
+            b.insert(&k, 2 * (k + 1));
+        }
+        a.merge(&b).unwrap();
+        for k in 0u64..30 {
+            assert_eq!(a.query(&k), 3 * (k + 1));
+        }
+    }
+
+    proptest! {
+        /// Merged summaries keep the Metwally invariants against the
+        /// combined truth, for any split of any stream.
+        #[test]
+        fn prop_spacesaving_merge_invariants(
+            ops in proptest::collection::vec((0u64..40, 1u64..6, proptest::bool::ANY), 1..400)
+        ) {
+            use rsk_api::Merge;
+            let mut s1 = SpaceSaving::<u64>::new(8 * 12, 0);
+            let mut s2 = SpaceSaving::<u64>::new(8 * 12, 0);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, v, first) in ops {
+                if first { s1.insert(&k, v); } else { s2.insert(&k, v); }
+                *truth.entry(k).or_insert(0) += v;
+            }
+            s1.merge(&s2).unwrap();
+            for (k, count, err) in s1.top() {
+                let f = truth[&k];
+                prop_assert!(count >= f, "count {} < truth {} at {}", count, f, k);
+                prop_assert!(count - err <= f,
+                    "count−err {} > truth {} at {}", count - err, f, k);
+            }
+            for (&k, &f) in &truth {
+                if !s1.top().iter().any(|&(kk, _, _)| kk == k) {
+                    prop_assert!(f <= s1.min_count(),
+                        "unmonitored {} has f {} > min_count {}", k, f, s1.min_count());
+                }
+            }
+        }
+
+        /// The Metwally invariants: counts never undershoot, count−error
+        /// never overshoots, min_count ≤ N/m.
+        #[test]
+        fn prop_spacesaving_invariants(
+            ops in proptest::collection::vec((0u64..40, 1u64..6), 1..400)
+        ) {
+            let mut ss = SpaceSaving::<u64>::new(8 * 12, 0); // 8 slots
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            let mut total = 0u64;
+            for (k, v) in ops {
+                ss.insert(&k, v);
+                *truth.entry(k).or_insert(0) += v;
+                total += v;
+            }
+            prop_assert!(ss.min_count() <= total / 8 + 5); // weighted slack
+            for (k, count, err) in ss.top() {
+                let f = truth[&k];
+                prop_assert!(count >= f, "count {} < truth {}", count, f);
+                prop_assert!(count - err <= f, "count−err {} > truth {}", count - err, f);
+            }
+            for (&k, &f) in &truth {
+                // unmonitored keys are bounded by min_count
+                if !ss.top().iter().any(|&(kk, _, _)| kk == k) {
+                    prop_assert!(f <= ss.min_count());
+                }
+            }
+        }
+    }
+}

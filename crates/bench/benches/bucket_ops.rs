@@ -1,0 +1,53 @@
+//! Error-Sensible Bucket micro-benchmarks: the inner loop of every
+//! ReliableSketch operation (paper §3.1), in its three regimes —
+//! candidate hit, negative vote, and replacement churn.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rsk_core::EsBucket;
+
+fn bench_bucket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bucket_ops");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("insert/candidate_hit", |b| {
+        let mut bk = EsBucket::new();
+        bk.insert(&1u64, 1_000_000); // entrenched candidate
+        b.iter(|| bk.insert(black_box(&1u64), black_box(1)))
+    });
+
+    g.bench_function("insert/negative_vote", |b| {
+        let mut bk = EsBucket::new();
+        bk.insert(&1u64, u64::MAX / 2); // candidate never displaced
+        b.iter(|| bk.insert(black_box(&2u64), black_box(1)))
+    });
+
+    g.bench_function("insert/replacement_churn", |b| {
+        // alternating keys force a replacement on every second insert
+        let mut bk = EsBucket::new();
+        let mut flip = 0u64;
+        b.iter(|| {
+            flip ^= 1;
+            bk.insert(black_box(&flip), black_box(1));
+        })
+    });
+
+    g.bench_function("query/hit", |b| {
+        let mut bk = EsBucket::new();
+        bk.insert(&1u64, 500);
+        b.iter(|| bk.query(black_box(&1u64)))
+    });
+
+    g.bench_function("query/miss", |b| {
+        let mut bk = EsBucket::new();
+        bk.insert(&1u64, 500);
+        b.iter(|| bk.query(black_box(&9u64)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bucket
+}
+criterion_main!(benches);

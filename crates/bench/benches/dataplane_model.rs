@@ -1,0 +1,69 @@
+//! Dataplane model benchmarks: the Tofino-constrained variant vs the CPU
+//! version on identical streams (behavioural cost of §5.2's encoding),
+//! plus byte-valued insertion for the Figure 20 workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rsk_bench::{BENCH_ITEMS, BENCH_MEMORY};
+use rsk_core::ReliableSketch;
+use rsk_dataplane::TofinoReliable;
+use rsk_stream::packets::PacketSizeModel;
+use rsk_stream::Dataset;
+
+fn bench_dataplane(c: &mut Criterion) {
+    let unit = Dataset::IpTrace.generate(BENCH_ITEMS, 23);
+    let bytes = PacketSizeModel::internet_mix().apply(&unit, 23);
+
+    let mut g = c.benchmark_group("dataplane_model");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    g.bench_function("cpu_raw/unit_values", |b| {
+        b.iter_batched(
+            || {
+                ReliableSketch::<u64>::builder()
+                    .memory_bytes(BENCH_MEMORY)
+                    .error_tolerance(25)
+                    .raw()
+                    .seed(23)
+                    .build::<u64>()
+            },
+            |mut sk| {
+                for it in &unit {
+                    rsk_api::StreamSummary::insert(&mut sk, &it.key, it.value);
+                }
+                sk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("tofino_model/unit_values", |b| {
+        b.iter_batched(
+            || TofinoReliable::<u64>::new(BENCH_MEMORY, 25, 23),
+            |mut sw| {
+                for it in &unit {
+                    rsk_api::StreamSummary::insert(&mut sw, &it.key, it.value);
+                }
+                sw
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("tofino_model/byte_values", |b| {
+        b.iter_batched(
+            || TofinoReliable::<u64>::new(BENCH_MEMORY, 17_000, 23),
+            |mut sw| {
+                for it in &bytes {
+                    rsk_api::StreamSummary::insert(&mut sw, &it.key, it.value);
+                }
+                sw
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Hashing micro-benchmarks: the per-call cost that Figure 16 counts.
+//!
+//! MurmurHash3-32 over 8-byte keys is the unit of "one hash call" in the
+//! paper's speed analysis; SplitMix64 is the workload generator's mixer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rsk_hash::{fnv1a64, murmur3_x64_128, murmur3_x86_32, splitmix64, HashFamily};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_functions");
+    g.throughput(Throughput::Elements(1));
+
+    let key8 = 0xdead_beef_cafe_f00du64.to_le_bytes();
+    g.bench_function("murmur3_x86_32/8B", |b| {
+        b.iter(|| murmur3_x86_32(black_box(&key8), black_box(7)))
+    });
+    g.bench_function("murmur3_x64_128/8B", |b| {
+        b.iter(|| murmur3_x64_128(black_box(&key8), black_box(7)))
+    });
+    g.bench_function("fnv1a64/8B", |b| {
+        b.iter(|| fnv1a64(black_box(&key8), black_box(7)))
+    });
+    g.bench_function("splitmix64", |b| {
+        b.iter(|| splitmix64(black_box(0x1234_5678_9abc_def0)))
+    });
+
+    let key13 = [7u8; 13];
+    g.bench_function("murmur3_x86_32/13B-5tuple", |b| {
+        b.iter(|| murmur3_x86_32(black_box(&key13), black_box(7)))
+    });
+
+    let fam = HashFamily::new(16, 3);
+    g.bench_function("family_index/u64", |b| {
+        b.iter(|| fam.index(black_box(3), black_box(&42u64), black_box(65_536)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_hashes
+}
+criterion_main!(benches);

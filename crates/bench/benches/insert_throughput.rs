@@ -1,0 +1,37 @@
+//! Figure 10 (insertion half): insertion throughput of every algorithm
+//! at the same memory budget on the same IP-trace-like stream.
+//!
+//! Criterion reports time per batch of `BENCH_ITEMS` items; Mpps =
+//! items / time. The paper's ordering to expect: Ours(Raw) ≈ CM_fast ≈
+//! Coco ≈ HashPipe > CU_fast ≈ Elastic ≈ PRECISION > Ours(filtered) >
+//! CM_acc / CU_acc / SS.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rsk_bench::{figure10_lineup, rebuild, BENCH_ITEMS};
+use rsk_stream::Dataset;
+
+fn bench_insert(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(BENCH_ITEMS, 11);
+    let mut g = c.benchmark_group("insert_throughput");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    for (label, _probe) in figure10_lineup(11) {
+        g.bench_function(&label, |b| {
+            b.iter_batched(
+                || rebuild(&label, 11),
+                |mut sk| {
+                    for it in &stream {
+                        sk.insert(&it.key, it.value);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Merge-cost benchmarks (beyond-paper extension).
+//!
+//! Measures (a) the fold cost of merging identically configured
+//! ReliableSketch shards as a function of memory size, (b) the same for
+//! the linear CM baseline — the fold is pure counter addition, giving an
+//! upper reference for merge speed — and (c) the end-to-end advantage of
+//! shard-then-fold over sequential single-sketch ingestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsk_api::{Merge, StreamSummary};
+use rsk_baselines::cm::CmSketch;
+use rsk_core::{EmergencyPolicy, ReliableSketch};
+use rsk_stream::Dataset;
+
+const SEED: u64 = 4242;
+
+fn loaded_shards(memory: usize, items: usize) -> (ReliableSketch<u64>, ReliableSketch<u64>) {
+    let build = || {
+        ReliableSketch::<u64>::builder()
+            .memory_bytes(memory)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(SEED)
+            .build::<u64>()
+    };
+    let stream = Dataset::IpTrace.generate(items, 3);
+    let mut a = build();
+    let mut b = build();
+    for (i, it) in stream.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(&it.key, it.value);
+        } else {
+            b.insert(&it.key, it.value);
+        }
+    }
+    (a, b)
+}
+
+fn bench_reliable_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge/reliable");
+    for memory_kb in [64usize, 256, 1024] {
+        let (a, b) = loaded_shards(memory_kb * 1024, 200_000);
+        group.throughput(Throughput::Bytes((memory_kb * 1024) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{memory_kb}KB")),
+            &memory_kb,
+            |bench, _| {
+                bench.iter_batched(
+                    || a.clone(),
+                    |mut acc| {
+                        acc.merge(&b).unwrap();
+                        acc
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cm_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge/cm_reference");
+    for memory_kb in [64usize, 256, 1024] {
+        let stream = Dataset::IpTrace.generate(200_000, 3);
+        let mut a = CmSketch::<u64>::fast(memory_kb * 1024, SEED);
+        let mut b = CmSketch::<u64>::fast(memory_kb * 1024, SEED);
+        for (i, it) in stream.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(&it.key, it.value);
+            } else {
+                b.insert(&it.key, it.value);
+            }
+        }
+        group.throughput(Throughput::Bytes((memory_kb * 1024) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{memory_kb}KB")),
+            &memory_kb,
+            |bench, _| {
+                bench.iter_batched(
+                    || a.clone(),
+                    |mut acc| {
+                        acc.merge(&b).unwrap();
+                        acc
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_after_merge(c: &mut Criterion) {
+    // merged sketches descend further on flagged buckets; quantify the
+    // query-side cost relative to an unmerged sketch of the same content
+    let stream = Dataset::IpTrace.generate(400_000, 5);
+    let mut single = ReliableSketch::<u64>::builder()
+        .memory_bytes(256 * 1024)
+        .error_tolerance(25)
+        .seed(SEED)
+        .build::<u64>();
+    for it in &stream {
+        single.insert(&it.key, it.value);
+    }
+    let (mut a, b) = loaded_shards(256 * 1024, 400_000);
+    a.merge(&b).unwrap();
+
+    let keys: Vec<u64> = stream.iter().take(10_000).map(|it| it.key).collect();
+    let mut group = c.benchmark_group("merge/query_cost");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("single_pass", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc = acc.wrapping_add(single.query(k));
+            }
+            acc
+        })
+    });
+    group.bench_function("merged", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc = acc.wrapping_add(a.query(k));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reliable_merge,
+    bench_cm_merge,
+    bench_query_after_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Mice-filter ablation (paper §3.3 and Figure 16): the filter trades
+//! two extra hash calls per operation for a ~10× cheaper first layer.
+//!
+//! Variants: no filter (Raw), the paper's 2-bit/2-array default, an
+//! 8-bit/2-array variant (the §3.3 "8-bit counters are adequate"
+//! setting), and heavier fractions of the memory budget.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rsk_bench::{BENCH_ITEMS, BENCH_MEMORY};
+use rsk_core::{MiceFilterConfig, ReliableConfig, ReliableSketch};
+use rsk_stream::Dataset;
+
+fn build(filter: Option<MiceFilterConfig>) -> ReliableSketch<u64> {
+    ReliableSketch::new(ReliableConfig {
+        memory_bytes: BENCH_MEMORY,
+        lambda: 25,
+        mice_filter: filter,
+        seed: 19,
+        ..Default::default()
+    })
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(BENCH_ITEMS, 19);
+    let mut g = c.benchmark_group("mice_filter_ablation");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    let cases: Vec<(&str, Option<MiceFilterConfig>)> = vec![
+        ("raw_no_filter", None),
+        (
+            "2bit_20pct_paper_default",
+            Some(MiceFilterConfig::default()),
+        ),
+        (
+            "8bit_20pct",
+            Some(MiceFilterConfig {
+                counter_bits: 8,
+                ..Default::default()
+            }),
+        ),
+        (
+            "2bit_40pct",
+            Some(MiceFilterConfig {
+                memory_fraction: 0.4,
+                ..Default::default()
+            }),
+        ),
+        (
+            "4bit_20pct_4arrays",
+            Some(MiceFilterConfig {
+                counter_bits: 4,
+                arrays: 4,
+                ..Default::default()
+            }),
+        ),
+    ];
+
+    for (name, filter) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || build(filter),
+                |mut sk| {
+                    for it in &stream {
+                        rsk_api::StreamSummary::insert(&mut sk, &it.key, it.value);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

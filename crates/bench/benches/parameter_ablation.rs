@@ -1,0 +1,65 @@
+//! Ablation of the Double Exponential Control (paper §3.2, Figures
+//! 11–13): how `(R_w, R_λ)` affect insertion cost, and what happens when
+//! the geometric width schedule is replaced by the arithmetic one the
+//! paper warns against ("would thoroughly undermine the complexity").
+//!
+//! The arithmetic variant is emulated by a near-flat decay rate
+//! (`R_w → 1⁺`), which levels the layer widths the way a linear schedule
+//! does — deep layers stay large, keys travel further, and the accuracy
+//! per byte collapses. The companion accuracy numbers are printed by
+//! `repro fig11`/`fig13`; here we measure the speed side.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rsk_bench::{BENCH_ITEMS, BENCH_MEMORY};
+use rsk_core::{MiceFilterConfig, ReliableConfig, ReliableSketch};
+use rsk_stream::Dataset;
+
+fn build(r_w: f64, r_lambda: f64) -> ReliableSketch<u64> {
+    ReliableSketch::new(ReliableConfig {
+        memory_bytes: BENCH_MEMORY,
+        lambda: 25,
+        r_w,
+        r_lambda,
+        mice_filter: Some(MiceFilterConfig::default()),
+        seed: 17,
+        ..Default::default()
+    })
+}
+
+fn bench_params(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(BENCH_ITEMS, 17);
+    let mut g = c.benchmark_group("parameter_ablation");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    // the paper's recommended range and the degenerate near-arithmetic end
+    let cases = [
+        ("Rw1.05_arithmetic-like", 1.05, 2.5),
+        ("Rw1.4", 1.4, 2.5),
+        ("Rw2_paper_default", 2.0, 2.5),
+        ("Rw4", 4.0, 2.5),
+        ("Rw9", 9.0, 2.5),
+        ("Rl1.2", 2.0, 1.2),
+        ("Rl2.5_paper_default", 2.0, 2.5),
+        ("Rl9", 2.0, 9.0),
+    ];
+
+    for (name, r_w, r_l) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || build(r_w, r_l),
+                |mut sk| {
+                    for it in &stream {
+                        rsk_api::StreamSummary::insert(&mut sk, &it.key, it.value);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 10 (query half): point-query throughput of every algorithm on
+//! a pre-populated sketch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rsk_bench::{figure10_lineup, BENCH_ITEMS};
+use rsk_stream::Dataset;
+
+fn bench_query(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(BENCH_ITEMS, 13);
+    let keys: Vec<u64> = stream.iter().map(|it| it.key).collect();
+
+    let mut g = c.benchmark_group("query_throughput");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.sample_size(10);
+
+    for (label, mut sk) in figure10_lineup(13) {
+        for it in &stream {
+            sk.insert(&it.key, it.value);
+        }
+        g.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut sink = 0u64;
+                for k in &keys {
+                    sink = sink.wrapping_add(sk.query(black_box(k)));
+                }
+                sink
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

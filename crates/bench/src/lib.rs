@@ -1,0 +1,93 @@
+//! # rsk-bench — Criterion benchmarks
+//!
+//! Seven bench targets cover the paper's speed claims and the ablations
+//! DESIGN.md calls out:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `hash_functions` | the cost of "one hash call" (Fig 16's unit) |
+//! | `bucket_ops` | ESB inner-loop regimes (§3.1) |
+//! | `insert_throughput` | Figure 10, insertion half |
+//! | `query_throughput` | Figure 10, query half |
+//! | `parameter_ablation` | Figures 11–13: geometric vs arithmetic decay, R_w/R_λ |
+//! | `mice_filter_ablation` | §3.3 / Fig 16: filter width/bits trade-offs |
+//! | `dataplane_model` | Tofino behavioural model overhead vs CPU version |
+//!
+//! Run with `cargo bench -p rsk-bench` (or `--bench <target>`).
+//!
+//! Shared helpers live here so the targets stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rsk_api::Sketch;
+use rsk_baselines::factory::Baseline;
+use rsk_core::ReliableSketch;
+
+/// Stream length every bench uses (10 % of a paper-scale step keeps a
+/// full `cargo bench --workspace` under a few minutes).
+pub const BENCH_ITEMS: usize = 100_000;
+
+/// Memory kept at the paper's ratio: 1 MB per 10 M items.
+pub const BENCH_MEMORY: usize = 100 * 1024;
+
+/// Build "Ours" at the bench budget.
+pub fn ours(seed: u64) -> Box<dyn Sketch<u64>> {
+    Box::new(
+        ReliableSketch::<u64>::builder()
+            .memory_bytes(BENCH_MEMORY)
+            .error_tolerance(25)
+            .seed(seed)
+            .build::<u64>(),
+    )
+}
+
+/// Build "Ours(Raw)" at the bench budget.
+pub fn ours_raw(seed: u64) -> Box<dyn Sketch<u64>> {
+    Box::new(
+        ReliableSketch::<u64>::builder()
+            .memory_bytes(BENCH_MEMORY)
+            .error_tolerance(25)
+            .raw()
+            .seed(seed)
+            .build::<u64>(),
+    )
+}
+
+/// `(label, fresh sketch)` for the full Figure 10 lineup.
+pub fn figure10_lineup(seed: u64) -> Vec<(String, Box<dyn Sketch<u64>>)> {
+    let mut v = vec![
+        ("Ours".to_string(), ours(seed)),
+        ("Ours_Raw".to_string(), ours_raw(seed)),
+    ];
+    for b in Baseline::THROUGHPUT_SET {
+        v.push((b.label().to_string(), b.build(BENCH_MEMORY, seed)));
+    }
+    v
+}
+
+/// Rebuild a lineup member by label (benches cannot clone boxed sketches).
+pub fn rebuild(label: &str, seed: u64) -> Box<dyn Sketch<u64>> {
+    match label {
+        "Ours" => ours(seed),
+        "Ours_Raw" => ours_raw(seed),
+        other => Baseline::THROUGHPUT_SET
+            .iter()
+            .find(|b| b.label() == other)
+            .unwrap_or_else(|| panic!("unknown sketch label {other}"))
+            .build(BENCH_MEMORY, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_rebuilds() {
+        for (label, sk) in figure10_lineup(3) {
+            let rebuilt = rebuild(&label, 3);
+            assert_eq!(sk.memory_bytes(), rebuilt.memory_bytes(), "{label}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-core ingestion — a beyond-the-paper extension.
+//!
+//! The paper demonstrates ReliableSketch on pipelined hardware (FPGA,
+//! Tofino); on CPU servers the natural analogue is *sharding*: partition
+//! the key space over `S` independent sketches and give each its own lock.
+//! Because every key maps to exactly one shard, each shard is a complete
+//! ReliableSketch over its sub-stream and the per-key `Λ` guarantee is
+//! preserved verbatim — the shards simply split the memory budget.
+//!
+//! [`ShardedReliable::ingest_parallel`] fans a stream out to worker
+//! threads over crossbeam channels (one bounded channel per shard, so
+//! there is no cross-shard synchronization on the hot path).
+
+use crate::config::ReliableConfig;
+use crate::sketch::ReliableSketch;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rsk_api::{Algorithm, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+
+/// Key-partitioned ReliableSketch for shared (`&self`) ingestion.
+pub struct ShardedReliable<K: Key> {
+    shards: Vec<Mutex<ReliableSketch<K>>>,
+    shard_seed: u32,
+}
+
+impl<K: Key> ShardedReliable<K> {
+    /// Split `config.memory_bytes` evenly over `n_shards` sketches.
+    ///
+    /// # Panics
+    /// Panics if `n_shards == 0` or the per-shard budget is invalid.
+    pub fn new(config: ReliableConfig, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        let per_shard = ReliableConfig {
+            memory_bytes: config.memory_bytes / n_shards,
+            ..config.clone()
+        };
+        let shards = (0..n_shards)
+            .map(|i| {
+                let mut c = per_shard.clone();
+                c.seed = config.seed.wrapping_add(i as u64 * 0x9e37_79b9);
+                Mutex::new(ReliableSketch::new(c))
+            })
+            .collect();
+        Self {
+            shards,
+            shard_seed: (config.seed >> 32) as u32 ^ SHARD_SALT,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        ((key.hash32(self.shard_seed) as u64 * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Insert through a shared reference (locks one shard).
+    pub fn insert_shared(&self, key: &K, value: u64) {
+        let s = self.shard_of(key);
+        self.shards[s].lock().insert(key, value);
+    }
+
+    /// Query with error through a shared reference.
+    pub fn query_shared(&self, key: &K) -> Estimate {
+        let s = self.shard_of(key);
+        self.shards[s].lock().query_with_error(key)
+    }
+
+    /// Total insertion failures across shards.
+    pub fn insertion_failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().insertion_failures())
+            .sum()
+    }
+
+    /// Ingest `items` with `n_workers` threads (one consumer per shard,
+    /// producers round-robin the input slice).
+    ///
+    /// Returns the number of items processed.
+    pub fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize
+    where
+        K: Send + Sync,
+    {
+        let n_workers = n_workers.max(1);
+        let n_shards = self.shards.len();
+        // one channel per shard; senders shared by the splitter threads
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_shards)
+            .map(|_| channel::bounded::<(K, u64)>(4096))
+            .unzip();
+
+        std::thread::scope(|scope| {
+            // consumers: each owns one shard for the whole run
+            for (shard, rx) in self.shards.iter().zip(rxs) {
+                scope.spawn(move || {
+                    let mut guard = shard.lock();
+                    for (k, v) in rx {
+                        guard.insert(&k, v);
+                    }
+                });
+            }
+            // producers: split the slice, route by shard hash
+            let chunk = items.len().div_ceil(n_workers);
+            for part in items.chunks(chunk.max(1)) {
+                let txs = txs.clone();
+                scope.spawn(move || {
+                    for (k, v) in part {
+                        let s = self.shard_of(k);
+                        // receiver lives for the whole scope: send succeeds
+                        let _ = txs[s].send((*k, *v));
+                    }
+                });
+            }
+            drop(txs); // close channels once producers finish
+        });
+        items.len()
+    }
+}
+
+impl<K: Key> MemoryFootprint for ShardedReliable<K> {
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().memory_bytes()).sum()
+    }
+}
+
+impl<K: Key> Algorithm for ShardedReliable<K> {
+    fn name(&self) -> String {
+        format!("Ours(x{})", self.shards.len())
+    }
+}
+
+/// Salt separating the shard-routing hash from the per-layer families.
+const SHARD_SALT: u32 = 0x05aa_bbcd;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn config(mem: usize) -> ReliableConfig {
+        ReliableConfig {
+            memory_bytes: mem,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_guarantee() {
+        let sh = ShardedReliable::<u64>::new(config(256 * 1024), 4);
+        assert_eq!(sh.shards(), 4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let k = i % 3000;
+            sh.insert_shared(&k, 1);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        assert_eq!(sh.insertion_failures(), 0);
+        for (&k, &f) in &truth {
+            let est = sh.query_shared(&k);
+            assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+            assert!(est.value - f <= 25);
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_equals_sequential() {
+        let items: Vec<(u64, u64)> = (0..40_000u64).map(|i| (i % 1777, 1)).collect();
+
+        let par = ShardedReliable::<u64>::new(config(256 * 1024), 4);
+        par.ingest_parallel(&items, 4);
+
+        let seq = ShardedReliable::<u64>::new(config(256 * 1024), 4);
+        for (k, v) in &items {
+            seq.insert_shared(k, *v);
+        }
+
+        // same shard layout and deterministic per-shard insertion order is
+        // NOT guaranteed under parallel ingest; the guarantee is semantic:
+        // both answer within Λ of the truth.
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in &items {
+            *truth.entry(*k).or_insert(0) += v;
+        }
+        for (&k, &f) in &truth {
+            for s in [&par, &seq] {
+                let est = s.query_shared(&k);
+                assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_splits_across_shards() {
+        let total = 1 << 20;
+        let sh = ShardedReliable::<u64>::new(config(total), 8);
+        let used = sh.memory_bytes();
+        assert!(used <= total);
+        assert!(used > total / 2, "shards should use most of the budget");
+        assert_eq!(sh.name(), "Ours(x8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedReliable::<u64>::new(config(1 << 20), 0);
+    }
+}

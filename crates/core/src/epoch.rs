@@ -1,0 +1,418 @@
+//! Epoch rotation — bounded-history summaries for long-running streams.
+//!
+//! A single ReliableSketch summarizes *everything it ever saw*; its
+//! counters only grow. Telemetry pipelines instead want a bounded,
+//! recent window ("flows of the last measurement interval"), which
+//! network devices implement with the classic **two-generation scheme**:
+//! an *active* structure absorbs traffic while a *frozen* one serves the
+//! previous interval, and on each epoch boundary the generations rotate.
+//! The paper's switch deployment (§6.5.3) reads the sketch out per
+//! interval in exactly this style.
+//!
+//! [`EpochedReliable`] packages the scheme:
+//!
+//! * [`insert`](rsk_api::StreamSummary::insert) feeds the active
+//!   generation;
+//! * [`query`](rsk_api::StreamSummary::query) answers over the **visible
+//!   window** — the frozen epoch plus the active partial epoch — by
+//!   summing both generations' answers and MPEs (both certified, so the
+//!   sum is);
+//! * [`rotate`](EpochedReliable::rotate) retires the frozen generation
+//!   (returning it for archival), freezes the active one, and starts a
+//!   fresh epoch.
+//!
+//! The guarantee carries per window: if neither visible generation had
+//! an insertion failure, every key's window estimate is within `2Λ`
+//! (each generation contributes at most `Λ`), and the reported MPE is
+//! always an honest per-key certificate.
+//!
+//! ```
+//! use rsk_core::epoch::EpochedReliable;
+//! use rsk_api::{ErrorSensing, StreamSummary};
+//!
+//! let mut window = EpochedReliable::<u64>::builder()
+//!     .memory_bytes(64 * 1024)
+//!     .error_tolerance(25)
+//!     .build_epoched();
+//!
+//! window.insert(&7u64, 100);
+//! window.rotate(); // epoch 0 frozen, epoch 1 active
+//! window.insert(&7u64, 50);
+//! assert!(window.query_with_error(&7u64).contains(150)); // both epochs visible
+//!
+//! let retired = window.rotate(); // epoch 0 drops out of the window
+//! assert!(retired.is_some());
+//! assert!(window.query_with_error(&7u64).contains(50));
+//! ```
+
+use crate::config::{ReliableConfig, ReliableConfigBuilder};
+use crate::sketch::ReliableSketch;
+use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+
+/// Two-generation rotating window over ReliableSketches.
+#[derive(Debug, Clone)]
+pub struct EpochedReliable<K: Key> {
+    active: ReliableSketch<K>,
+    frozen: Option<ReliableSketch<K>>,
+    config: ReliableConfig,
+    epoch: u64,
+}
+
+impl<K: Key> EpochedReliable<K> {
+    /// Start building with paper-default parameters (finish with
+    /// [`ReliableConfigBuilder::build_epoched`]).
+    pub fn builder() -> ReliableConfigBuilder {
+        ReliableConfig::builder()
+    }
+
+    /// Build from a validated configuration; both generations use it.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: ReliableConfig) -> Self {
+        Self {
+            active: ReliableSketch::new(config.clone()),
+            frozen: None,
+            config,
+            epoch: 0,
+        }
+    }
+
+    /// Index of the currently active epoch (starts at 0, +1 per rotation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configuration shared by both generations.
+    pub fn config(&self) -> &ReliableConfig {
+        &self.config
+    }
+
+    /// The generation currently absorbing inserts.
+    pub fn active(&self) -> &ReliableSketch<K> {
+        &self.active
+    }
+
+    /// The sealed previous epoch, if one exists.
+    pub fn frozen(&self) -> Option<&ReliableSketch<K>> {
+        self.frozen.as_ref()
+    }
+
+    /// Seal the active epoch and start a new one.
+    ///
+    /// The previously frozen generation — now outside the visible window —
+    /// is returned so callers can archive or further aggregate it (e.g.
+    /// [`rsk_api::Merge`] it into a long-horizon roll-up).
+    pub fn rotate(&mut self) -> Option<ReliableSketch<K>> {
+        let fresh = ReliableSketch::new(self.config.clone());
+        let sealed = core::mem::replace(&mut self.active, fresh);
+        self.epoch += 1;
+        self.frozen.replace(sealed)
+    }
+
+    /// Insertion failures across the visible window (active + frozen).
+    pub fn insertion_failures(&self) -> u64 {
+        self.active.insertion_failures()
+            + self
+                .frozen
+                .as_ref()
+                .map_or(0, ReliableSketch::insertion_failures)
+    }
+
+    /// Worst-case MPE over the window: one `Λ` ceiling per visible
+    /// generation (invalid if a generation was merged — see
+    /// [`ReliableSketch::mpe_ceiling`]).
+    pub fn mpe_ceiling(&self) -> u64 {
+        let per_gen = self.active.mpe_ceiling();
+        if self.frozen.is_some() {
+            2 * per_gen
+        } else {
+            per_gen
+        }
+    }
+
+    /// Heavy hitters of the visible window: candidates from either
+    /// generation whose *window* estimate reaches `threshold`, sorted by
+    /// estimate descending.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, Estimate)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let candidates = self
+            .active
+            .candidates()
+            .into_iter()
+            .chain(self.frozen.iter().flat_map(|f| f.candidates()));
+        for (k, _) in candidates {
+            if seen.insert(k) {
+                let est = self.query_with_error(&k);
+                if est.value >= threshold {
+                    out.push((k, est));
+                }
+            }
+        }
+        out.sort_by_key(|(_, est)| core::cmp::Reverse(est.value));
+        out
+    }
+}
+
+impl<K: Key> StreamSummary<K> for EpochedReliable<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        self.active.insert(key, value);
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+}
+
+impl<K: Key> ErrorSensing<K> for EpochedReliable<K> {
+    fn query_with_error(&self, key: &K) -> Estimate {
+        let mut est = self.active.query_with_error(key);
+        if let Some(frozen) = &self.frozen {
+            let old = frozen.query_with_error(key);
+            est.value += old.value;
+            est.max_possible_error += old.max_possible_error;
+        }
+        est
+    }
+}
+
+impl<K: Key> MemoryFootprint for EpochedReliable<K> {
+    fn memory_bytes(&self) -> usize {
+        self.active.memory_bytes()
+            + self
+                .frozen
+                .as_ref()
+                .map_or(0, MemoryFootprint::memory_bytes)
+    }
+}
+
+impl<K: Key> Algorithm for EpochedReliable<K> {
+    fn name(&self) -> String {
+        "Ours(Epoched)".into()
+    }
+}
+
+impl<K: Key> Clear for EpochedReliable<K> {
+    /// Drop both generations and restart at epoch 0.
+    fn clear(&mut self) {
+        self.active.clear();
+        self.frozen = None;
+        self.epoch = 0;
+    }
+}
+
+impl ReliableConfigBuilder {
+    /// Build an [`EpochedReliable`] window directly.
+    pub fn build_epoched<K: Key>(self) -> EpochedReliable<K> {
+        EpochedReliable::new(self.build_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmergencyPolicy;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn window() -> EpochedReliable<u64> {
+        EpochedReliable::<u64>::builder()
+            .memory_bytes(32 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(17)
+            .build_epoched()
+    }
+
+    #[test]
+    fn fresh_window_is_empty_epoch_zero() {
+        let w = window();
+        assert_eq!(w.epoch(), 0);
+        assert!(w.frozen().is_none());
+        assert_eq!(w.query(&1), 0);
+    }
+
+    #[test]
+    fn window_spans_two_epochs_exactly() {
+        let mut w = window();
+        w.insert(&1, 10); // epoch 0
+
+        assert!(w.rotate().is_none(), "nothing retired on first rotation");
+        w.insert(&1, 20); // epoch 1
+        assert_eq!(w.epoch(), 1);
+        assert!(w.query_with_error(&1).contains(30), "both epochs visible");
+
+        let retired = w.rotate().expect("epoch 0 retires");
+        assert!(retired.query_with_error(&1).contains(10));
+        w.insert(&1, 40); // epoch 2
+        assert!(
+            w.query_with_error(&1).contains(60),
+            "epoch 0 left the window"
+        );
+    }
+
+    #[test]
+    fn window_estimates_cover_window_truth_on_real_trace() {
+        use rsk_stream::Dataset;
+        let stream = Dataset::IpTrace.generate(120_000, 3);
+        let mut w = window();
+        let mut window_truth: [HashMap<u64, u64>; 2] = [HashMap::new(), HashMap::new()];
+
+        for (i, it) in stream.iter().enumerate() {
+            if i > 0 && i % 30_000 == 0 {
+                w.rotate();
+                window_truth.swap(0, 1);
+                window_truth[1] = HashMap::new();
+            }
+            w.insert(&it.key, it.value);
+            *window_truth[1].entry(it.key).or_insert(0) += it.value;
+        }
+
+        let mut combined: HashMap<u64, u64> = window_truth[1].clone();
+        if w.frozen().is_some() {
+            for (k, v) in &window_truth[0] {
+                *combined.entry(*k).or_insert(0) += v;
+            }
+        }
+        for (&k, &f) in &combined {
+            let est = w.query_with_error(&k);
+            assert!(est.contains(f), "key {k}: window truth {f} ∉ {est:?}");
+            assert!(est.max_possible_error <= w.mpe_ceiling());
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_report_window_totals() {
+        let mut w = window();
+        for _ in 0..500 {
+            w.insert(&42, 10);
+        }
+        w.rotate();
+        for _ in 0..100 {
+            w.insert(&42, 10);
+        }
+        let hh = w.heavy_hitters(5_000);
+        assert_eq!(hh.first().map(|(k, _)| *k), Some(42));
+        assert!(hh[0].1.contains(6_000));
+    }
+
+    #[test]
+    fn failures_aggregate_across_generations() {
+        // tiny window under heavy distinct-key pressure fails in both
+        // generations; the wrapper reports the sum of the visible two
+        let mut w: EpochedReliable<u64> = EpochedReliable::<u64>::builder()
+            .memory_bytes(1024)
+            .error_tolerance(5)
+            .raw()
+            .seed(3)
+            .build_epoched();
+        for i in 0..40_000u64 {
+            w.insert(&i, 1);
+        }
+        let first = w.active().insertion_failures();
+        assert!(first > 0);
+        w.rotate();
+        for i in 0..40_000u64 {
+            w.insert(&(i + 1_000_000), 1);
+        }
+        assert_eq!(
+            w.insertion_failures(),
+            first + w.active().insertion_failures()
+        );
+    }
+
+    #[test]
+    fn clear_restarts_the_window() {
+        let mut w = window();
+        w.insert(&1, 5);
+        w.rotate();
+        w.insert(&1, 5);
+        Clear::clear(&mut w);
+        assert_eq!(w.epoch(), 0);
+        assert!(w.frozen().is_none());
+        assert_eq!(w.query(&1), 0);
+    }
+
+    #[test]
+    fn memory_doubles_once_frozen_exists() {
+        let mut w = window();
+        let single = w.memory_bytes();
+        w.rotate();
+        assert_eq!(w.memory_bytes(), 2 * single);
+        assert_eq!(w.mpe_ceiling(), 2 * w.active().mpe_ceiling());
+    }
+
+    #[test]
+    fn retired_epochs_can_roll_up_via_merge() {
+        use rsk_api::Merge;
+        let mut w = window();
+        let mut rollup: Option<ReliableSketch<u64>> = None;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for round in 0..4u64 {
+            for i in 0..5_000u64 {
+                let k = i % 100;
+                w.insert(&k, 1 + round);
+                *truth.entry(k).or_insert(0) += 1 + round;
+            }
+            if let Some(retired) = w.rotate() {
+                match &mut rollup {
+                    None => rollup = Some(retired),
+                    Some(acc) => acc.merge(&retired).unwrap(),
+                }
+            }
+        }
+        // roll-up + visible window = the whole history
+        let rollup = rollup.unwrap();
+        for (&k, &f) in &truth {
+            let win = w.query_with_error(&k);
+            let old = rollup.query_with_error(&k);
+            let total = Estimate {
+                value: win.value + old.value,
+                max_possible_error: win.max_possible_error + old.max_possible_error,
+            };
+            assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Arbitrary interleavings of inserts and rotations: the window
+        /// estimate always covers the two-epoch window truth.
+        #[test]
+        fn prop_window_contract(
+            ops in proptest::collection::vec((0u64..60, 1u64..8, 0u8..12), 1..600),
+            seed in 0u64..8,
+        ) {
+            let mut w: EpochedReliable<u64> = EpochedReliable::<u64>::builder()
+                .memory_bytes(8 * 1024)
+                .error_tolerance(25)
+                .emergency(EmergencyPolicy::ExactTable)
+                .seed(seed)
+                .build_epoched();
+            let mut prev: HashMap<u64, u64> = HashMap::new();
+            let mut cur: HashMap<u64, u64> = HashMap::new();
+            for (k, v, roll) in ops {
+                if roll == 0 {
+                    w.rotate();
+                    prev = core::mem::take(&mut cur);
+                }
+                w.insert(&k, v);
+                *cur.entry(k).or_insert(0) += v;
+            }
+            for k in 0u64..60 {
+                let f = cur.get(&k).copied().unwrap_or(0)
+                    + if w.frozen().is_some() {
+                        prev.get(&k).copied().unwrap_or(0)
+                    } else { 0 };
+                let est = w.query_with_error(&k);
+                prop_assert!(est.contains(f),
+                    "key {}: window truth {} ∉ [{}, {}]",
+                    k, f, est.lower_bound(), est.value);
+            }
+        }
+    }
+}

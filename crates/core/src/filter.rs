@@ -1,0 +1,334 @@
+//! The mice filter (paper §3.3, "Accuracy Optimization").
+//!
+//! The first layer of ReliableSketch is its largest, and on mouse-heavy
+//! traffic most of its 80-bit buckets end up locked, burned on keys that
+//! only ever needed a few units of budget. The paper's remedy: replace the
+//! first layer with a CU sketch whose small counters saturate at the first
+//! layer's threshold. Each counter "records up to λ₁", behaving exactly
+//! like a bucket's `NO` field without the election machinery — roughly 10×
+//! cheaper per cell.
+//!
+//! Semantics implemented here:
+//!
+//! * **insert**: let `c` be the minimum mapped counter. The filter absorbs
+//!   `a = min(threshold − c, v)` via a conservative update (only counters
+//!   below `c + a` are raised) and passes the remaining `v − a` on to the
+//!   bucket layers.
+//! * **query**: the minimum mapped counter `c` joins the estimate *and* the
+//!   MPE (it plays the role of a `NO`); if `c < threshold` the key never
+//!   left the filter and the query stops here.
+//!
+//! Because the filter's contribution to any key's error is at most its
+//! saturation value, the sketch builds its bucket layers against
+//! `Λ − threshold` (see [`crate::config::ReliableConfig::layer_lambda`]),
+//! preserving the end-to-end `≤ Λ` guarantee.
+
+use rsk_api::Key;
+use rsk_hash::HashFamily;
+
+/// CU filter with saturating counters (the paper's mice filter).
+#[derive(Debug, Clone)]
+pub struct MiceFilter {
+    counters: Vec<Vec<u64>>,
+    width: usize,
+    threshold: u64,
+    counter_bits: u32,
+    hashes: HashFamily,
+}
+
+impl MiceFilter {
+    /// Build a filter over `memory_bytes` of `counter_bits`-wide counters in
+    /// `arrays` rows, saturating at `threshold`.
+    ///
+    /// Returns `None` when the budget is too small to host at least one
+    /// counter per row.
+    pub fn new(
+        memory_bytes: usize,
+        arrays: usize,
+        counter_bits: u32,
+        threshold: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        assert!(arrays > 0 && counter_bits > 0 && counter_bits <= 32);
+        assert!(threshold > 0, "a zero-threshold filter filters nothing");
+        debug_assert!(threshold < (1u64 << counter_bits));
+        let total_counters = memory_bytes * 8 / counter_bits as usize;
+        let width = total_counters / arrays;
+        if width == 0 {
+            return None;
+        }
+        Some(Self {
+            counters: vec![vec![0u64; width]; arrays],
+            width,
+            threshold,
+            counter_bits,
+            hashes: HashFamily::new(arrays, seed),
+        })
+    }
+
+    /// Saturation value.
+    #[inline]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Counters per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn arrays(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Modeled memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.arrays() * self.width * self.counter_bits as usize / 8
+    }
+
+    /// Number of hash evaluations per operation (for Figure 16 accounting).
+    #[inline]
+    pub fn hash_calls(&self) -> u64 {
+        self.arrays() as u64
+    }
+
+    /// Insert `⟨key, value⟩`; returns the value that passes through to the
+    /// bucket layers (0 if fully absorbed).
+    #[inline]
+    pub fn insert<K: Key>(&mut self, key: &K, value: u64) -> u64 {
+        let min = self.min_counter(key);
+        if min >= self.threshold {
+            return value;
+        }
+        let absorbed = (self.threshold - min).min(value);
+        let target = min + absorbed;
+        for (i, row) in self.counters.iter_mut().enumerate() {
+            let idx = self.hashes.index(i, key, self.width);
+            // conservative update: only raise counters below the target
+            if row[idx] < target {
+                row[idx] = target;
+            }
+        }
+        value - absorbed
+    }
+
+    /// Query the filter's contribution for `key`: `(contribution,
+    /// saturated)`. If not saturated, the key never reached the bucket
+    /// layers.
+    #[inline]
+    pub fn query<K: Key>(&self, key: &K) -> (u64, bool) {
+        let min = self.min_counter(key);
+        (min, min >= self.threshold)
+    }
+
+    /// Fold another filter (same shape, same seeds) into this one by
+    /// counter-wise addition — the filter half of [`crate::merge`].
+    ///
+    /// Sums are *not* re-capped at the threshold: per shard each counter
+    /// upper-bounds what that shard absorbed, so only the uncapped sum
+    /// keeps the merged contribution an upper bound (a key absorbing
+    /// `threshold` in both shards carries `2·threshold` of mass). The
+    /// saturation rule `min ⩾ threshold` still recognizes every key that
+    /// reached the bucket layers in either shard, because that shard's
+    /// counters were already at the threshold.
+    ///
+    /// # Errors
+    /// Rejects filters of a different shape. The caller is responsible for
+    /// seed equality (checked at the sketch level via the configuration).
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), String> {
+        if self.width != other.width
+            || self.arrays() != other.arrays()
+            || self.threshold != other.threshold
+            || self.counter_bits != other.counter_bits
+        {
+            return Err(format!(
+                "mice filter shape mismatch: {}x{}@{} vs {}x{}@{}",
+                self.arrays(),
+                self.width,
+                self.threshold,
+                other.arrays(),
+                other.width,
+                other.threshold,
+            ));
+        }
+        for (row, other_row) in self.counters.iter_mut().zip(&other.counters) {
+            for (c, o) in row.iter_mut().zip(other_row) {
+                *c = c.saturating_add(*o);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        for row in &mut self.counters {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+    }
+
+    /// Fraction of counters at saturation (diagnostics).
+    pub fn saturation_ratio(&self) -> f64 {
+        let total: usize = self.counters.iter().map(|r| r.len()).sum();
+        let sat: usize = self
+            .counters
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&c| c >= self.threshold)
+            .count();
+        sat as f64 / total as f64
+    }
+
+    /// Raw counter rows (the snapshot module).
+    #[cfg(feature = "serde")]
+    pub(crate) fn rows_raw(&self) -> &[Vec<u64>] {
+        &self.counters
+    }
+
+    /// Overwrite counter rows from persisted state (the snapshot module).
+    #[cfg(feature = "serde")]
+    pub(crate) fn restore_rows(&mut self, rows: Vec<Vec<u64>>) -> Result<(), String> {
+        if rows.len() != self.counters.len() || rows.iter().any(|r| r.len() != self.width) {
+            return Err("snapshot filter shape mismatch".into());
+        }
+        self.counters = rows;
+        Ok(())
+    }
+
+    #[inline]
+    fn min_counter<K: Key>(&self, key: &K) -> u64 {
+        let mut min = u64::MAX;
+        for (i, row) in self.counters.iter().enumerate() {
+            let idx = self.hashes.index(i, key, self.width);
+            min = min.min(row[idx]);
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn filter(threshold: u64) -> MiceFilter {
+        MiceFilter::new(4096, 2, 8, threshold, 42).unwrap()
+    }
+
+    #[test]
+    fn absorbs_until_threshold_then_passes() {
+        let mut f = filter(3);
+        let k = 7u64;
+        assert_eq!(f.insert(&k, 1), 0); // absorbed
+        assert_eq!(f.insert(&k, 1), 0);
+        assert_eq!(f.insert(&k, 1), 0);
+        assert_eq!(f.insert(&k, 1), 1); // saturated: passes through
+        assert_eq!(f.insert(&k, 5), 5);
+        let (c, sat) = f.query(&k);
+        assert_eq!(c, 3);
+        assert!(sat);
+    }
+
+    #[test]
+    fn splits_value_across_the_boundary() {
+        let mut f = filter(3);
+        let k = 9u64;
+        // 5 arrives at an empty filter: absorb 3, pass 2
+        assert_eq!(f.insert(&k, 5), 2);
+        let (c, sat) = f.query(&k);
+        assert_eq!(c, 3);
+        assert!(sat);
+    }
+
+    #[test]
+    fn unsaturated_key_reports_not_saturated() {
+        let mut f = filter(3);
+        f.insert(&1u64, 2);
+        let (c, sat) = f.query(&1u64);
+        assert!(c >= 2 && !sat, "c={c} sat={sat}");
+        // an unseen key is also unsaturated (assuming no full collision)
+        let (_, sat2) = f.query(&0xdead_beefu64);
+        assert!(!sat2 || f.saturation_ratio() > 0.0);
+    }
+
+    #[test]
+    fn contribution_bounds_absorbed_amount() {
+        // min-counter ≥ amount the filter absorbed for the key, and the
+        // filter never passes through more than was inserted
+        let mut f = filter(3);
+        let mut absorbed: HashMap<u64, u64> = HashMap::new();
+        let keys: Vec<u64> = (0..500).collect();
+        for round in 0..4u64 {
+            for &k in &keys {
+                let v = 1 + (k + round) % 3;
+                let passed = f.insert(&k, v);
+                assert!(passed <= v);
+                *absorbed.entry(k).or_insert(0) += v - passed;
+            }
+        }
+        for (&k, &a) in &absorbed {
+            let (c, sat) = f.query(&k);
+            assert!(c >= a.min(f.threshold()), "key {k}: c={c} < absorbed {a}");
+            assert!(a <= f.threshold(), "absorbed more than threshold");
+            if !sat {
+                // key never left the filter: everything it inserted is here
+                assert!(c >= a);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_2bit() {
+        // 1000 bytes of 2-bit counters in 2 rows = 4000 counters, 2000/row
+        let f = MiceFilter::new(1000, 2, 2, 3, 1).unwrap();
+        assert_eq!(f.width(), 2000);
+        assert_eq!(f.memory_bytes(), 1000);
+        assert_eq!(f.hash_calls(), 2);
+    }
+
+    #[test]
+    fn too_small_budget_is_none() {
+        assert!(MiceFilter::new(0, 2, 8, 3, 1).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = filter(3);
+        f.insert(&1u64, 3);
+        assert!(f.saturation_ratio() > 0.0);
+        f.clear();
+        assert_eq!(f.saturation_ratio(), 0.0);
+        let (c, _) = f.query(&1u64);
+        assert_eq!(c, 0);
+    }
+
+    proptest! {
+        /// Conservation: passed-through value never exceeds inserted value,
+        /// and the filter's per-key contribution is an overestimate of what
+        /// it absorbed, capped at the threshold.
+        #[test]
+        fn prop_filter_conservation(
+            ops in proptest::collection::vec((0u64..64, 1u64..6), 1..400),
+            threshold in 1u64..16,
+        ) {
+            let mut f = MiceFilter::new(256, 2, 8, threshold.min(255), 7).unwrap();
+            let mut absorbed: HashMap<u64, u64> = HashMap::new();
+            for (k, v) in ops {
+                let passed = f.insert(&k, v);
+                prop_assert!(passed <= v);
+                *absorbed.entry(k).or_insert(0) += v - passed;
+            }
+            for (&k, &a) in &absorbed {
+                prop_assert!(a <= f.threshold());
+                let (c, sat) = f.query(&k);
+                prop_assert!(c >= a, "contribution {c} < absorbed {a}");
+                if a == f.threshold() {
+                    prop_assert!(sat);
+                }
+            }
+        }
+    }
+}

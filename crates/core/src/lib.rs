@@ -1,0 +1,73 @@
+//! # rsk-core — ReliableSketch
+//!
+//! A from-scratch Rust implementation of **ReliableSketch** (Wu et al.,
+//! *Approaching 100% Confidence in Stream Summary through ReliableSketch*,
+//! arXiv 2406.00376 / IMC 2025): a stream summary whose estimation error is
+//! controlled below a user tolerance `Λ` **for all keys simultaneously**
+//! with failure probability `Δ` that can practically be driven below
+//! 10⁻¹⁰.
+//!
+//! ## Structure
+//!
+//! * [`bucket::EsBucket`] — the Error-Sensible Bucket (Key Technique I):
+//!   an election cell whose `NO` counter certifies its own worst-case
+//!   error;
+//! * [`geometry::LayerGeometry`] — the Double Exponential Control schedule
+//!   (Key Technique II): widths and lock thresholds both decay
+//!   geometrically;
+//! * [`ReliableSketch`] — the full layered structure with the lock
+//!   mechanism, mice filter (§3.3) and emergency store (§3.3);
+//! * [`theory`] — the paper's closed-form results (Theorems 4–5, Table 1);
+//! * [`concurrent::ShardedReliable`] — a multi-core ingestion extension.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rsk_core::ReliableSketch;
+//! use rsk_api::{StreamSummary, ErrorSensing};
+//!
+//! let mut sk = ReliableSketch::<u64>::builder()
+//!     .memory_bytes(256 * 1024) // 256 KB
+//!     .error_tolerance(25)      // Λ
+//!     .build();
+//!
+//! for i in 0..100_000u64 {
+//!     sk.insert(&(i % 1000), 1);
+//! }
+//!
+//! let est = sk.query_with_error(&42);
+//! assert!(est.contains(100));                  // truth ∈ [f̂−MPE, f̂]
+//! assert!(est.max_possible_error <= 25);       // MPE ≤ Λ
+//! assert_eq!(sk.insertion_failures(), 0);      // guarantee intact
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod bucket;
+pub mod concurrent;
+pub mod config;
+pub mod emergency;
+pub mod epoch;
+pub mod filter;
+pub mod geometry;
+pub mod merge;
+pub mod sketch;
+#[cfg(feature = "serde")]
+pub mod snapshot;
+pub mod stats;
+pub mod theory;
+
+pub use bucket::EsBucket;
+pub use config::{
+    Depth, EmergencyPolicy, MiceFilterConfig, ReliableConfig, ReliableConfigBuilder, BUCKET_BYTES,
+    DEFAULT_SEED,
+};
+pub use epoch::EpochedReliable;
+pub use geometry::LayerGeometry;
+pub use merge::merge_all;
+pub use sketch::ReliableSketch;
+#[cfg(feature = "serde")]
+pub use snapshot::SketchSnapshot;
+pub use stats::{InsertTrace, QueryTrace, SketchStats, StopLayer};

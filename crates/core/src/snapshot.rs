@@ -1,0 +1,405 @@
+//! Checkpoint / restore (`serde` feature) — persist a ReliableSketch and
+//! resume it elsewhere.
+//!
+//! Operational pattern: a measurement process snapshots its sketch at
+//! interval boundaries (for crash recovery, or to ship the interval's
+//! summary to a collector) and restores it on restart. The snapshot is a
+//! plain-data mirror of the sketch — configuration, layer schedule,
+//! bucket fields, mice-filter counters, emergency remainders and merge
+//! hints — independent of the in-memory representation, so it is stable
+//! across versions of this crate that keep the same logical structure.
+//!
+//! Operation statistics ([`crate::SketchStats`]) are *not* persisted;
+//! a restored sketch starts with fresh counters, mirroring how a
+//! restarted process would.
+//!
+//! ```
+//! use rsk_core::ReliableSketch;
+//! use rsk_api::{ErrorSensing, StreamSummary};
+//!
+//! let mut sk = ReliableSketch::<u64>::builder()
+//!     .memory_bytes(16 * 1024)
+//!     .error_tolerance(25)
+//!     .build::<u64>();
+//! for i in 0..10_000u64 {
+//!     sk.insert(&(i % 100), 1);
+//! }
+//!
+//! let json = serde_json::to_string(&sk.snapshot()).unwrap();
+//! let restored = ReliableSketch::<u64>::restore(
+//!     serde_json::from_str(&json).unwrap(),
+//! ).unwrap();
+//! assert_eq!(restored.query_with_error(&7u64), sk.query_with_error(&7u64));
+//! ```
+
+use crate::bucket::EsBucket;
+use crate::config::ReliableConfig;
+use crate::emergency::EmergencyStore;
+use crate::geometry::LayerGeometry;
+use crate::sketch::ReliableSketch;
+use rsk_api::Key;
+use serde::{Deserialize, Serialize};
+
+/// Persisted bucket: `(ID, YES, NO)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketState<K> {
+    /// Candidate key, if the bucket is occupied.
+    pub id: Option<K>,
+    /// Positive votes.
+    pub yes: u64,
+    /// Negative votes (certified collision volume).
+    pub no: u64,
+}
+
+/// Persisted emergency-store contents (policy-shaped).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EmergencyState<K> {
+    /// Counters of the `Disabled` policy.
+    Disabled {
+        /// Failed insert operations.
+        failures: u64,
+        /// Total value dropped.
+        dropped_value: u64,
+    },
+    /// Contents of the `ExactTable` policy.
+    Exact {
+        /// `(key, remainder)` pairs.
+        entries: Vec<(K, u64)>,
+        /// Failed insert operations.
+        failures: u64,
+    },
+    /// Contents of the `SpaceSaving` policy.
+    SpaceSaving {
+        /// `(key, count, overestimate)` slots.
+        slots: Vec<(K, u64, u64)>,
+        /// Failed insert operations.
+        failures: u64,
+    },
+}
+
+/// A complete, self-describing checkpoint of a [`ReliableSketch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchSnapshot<K> {
+    /// The configuration the sketch was built from.
+    pub config: ReliableConfig,
+    /// Materialized layer widths (persisted explicitly so snapshots of
+    /// custom-geometry sketches restore faithfully).
+    pub widths: Vec<usize>,
+    /// Materialized lock thresholds.
+    pub lambdas: Vec<u64>,
+    /// Bucket fields, layer by layer.
+    pub layers: Vec<Vec<BucketState<K>>>,
+    /// Mice-filter counter rows, if the filter exists.
+    pub filter_rows: Option<Vec<Vec<u64>>>,
+    /// Emergency-store contents.
+    pub emergency: EmergencyState<K>,
+    /// Per-bucket merge hints (empty unless the sketch was merged).
+    pub divert_hints: Vec<Vec<bool>>,
+}
+
+impl<K: Key> ReliableSketch<K> {
+    /// Capture a plain-data checkpoint of the sketch's full logical state.
+    pub fn snapshot(&self) -> SketchSnapshot<K> {
+        let (filter, layers, emergency, _stats, hints) = self.peer_parts();
+        SketchSnapshot {
+            config: self.config().clone(),
+            widths: self.geometry().widths().to_vec(),
+            lambdas: self.geometry().lambdas().to_vec(),
+            layers: layers
+                .iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|b| BucketState {
+                            id: b.id().copied(),
+                            yes: b.yes(),
+                            no: b.no(),
+                        })
+                        .collect()
+                })
+                .collect(),
+            filter_rows: filter.as_ref().map(|f| f.rows_raw().to_vec()),
+            emergency: match emergency {
+                EmergencyStore::Disabled {
+                    failures,
+                    dropped_value,
+                } => EmergencyState::Disabled {
+                    failures: *failures,
+                    dropped_value: *dropped_value,
+                },
+                EmergencyStore::Exact { table, failures } => EmergencyState::Exact {
+                    entries: table.iter().map(|(k, v)| (*k, *v)).collect(),
+                    failures: *failures,
+                },
+                EmergencyStore::SpaceSaving {
+                    slots, failures, ..
+                } => EmergencyState::SpaceSaving {
+                    slots: slots.clone(),
+                    failures: *failures,
+                },
+            },
+            divert_hints: hints.clone(),
+        }
+    }
+
+    /// Rebuild a sketch from a checkpoint.
+    ///
+    /// # Errors
+    /// Rejects snapshots whose configuration fails validation, whose
+    /// schedule is malformed, or whose contents do not match the schedule
+    /// (wrong layer count or width, filter shape mismatch, emergency
+    /// policy mismatch).
+    pub fn restore(snapshot: SketchSnapshot<K>) -> Result<Self, String> {
+        snapshot.config.validate()?;
+        let geometry = LayerGeometry::custom(snapshot.widths, snapshot.lambdas)?;
+        if snapshot.layers.len() != geometry.depth() {
+            return Err(format!(
+                "snapshot has {} layers, schedule {}",
+                snapshot.layers.len(),
+                geometry.depth()
+            ));
+        }
+        for (i, layer) in snapshot.layers.iter().enumerate() {
+            if layer.len() != geometry.width(i) {
+                return Err(format!(
+                    "layer {i} has {} buckets, schedule {}",
+                    layer.len(),
+                    geometry.width(i)
+                ));
+            }
+        }
+        if !snapshot.divert_hints.is_empty()
+            && (snapshot.divert_hints.len() != geometry.depth()
+                || snapshot
+                    .divert_hints
+                    .iter()
+                    .zip(geometry.widths())
+                    .any(|(h, &w)| h.len() != w))
+        {
+            return Err("divert hint shape mismatch".into());
+        }
+
+        let mut sketch = ReliableSketch::with_geometry(snapshot.config, geometry);
+        let (filter, layers, emergency, _stats, hints) = sketch.merge_parts();
+
+        match (filter.as_mut(), snapshot.filter_rows) {
+            (Some(f), Some(rows)) => f.restore_rows(rows)?,
+            (None, None) => {}
+            _ => return Err("snapshot filter presence mismatch".into()),
+        }
+
+        *layers = snapshot
+            .layers
+            .into_iter()
+            .map(|layer| {
+                layer
+                    .into_iter()
+                    .map(|b| EsBucket::from_parts(b.id, b.yes, b.no))
+                    .collect()
+            })
+            .collect();
+
+        match (emergency, snapshot.emergency) {
+            (
+                EmergencyStore::Disabled {
+                    failures,
+                    dropped_value,
+                },
+                EmergencyState::Disabled {
+                    failures: f,
+                    dropped_value: d,
+                },
+            ) => {
+                *failures = f;
+                *dropped_value = d;
+            }
+            (
+                EmergencyStore::Exact { table, failures },
+                EmergencyState::Exact {
+                    entries,
+                    failures: f,
+                },
+            ) => {
+                *table = entries.into_iter().collect();
+                *failures = f;
+            }
+            (
+                EmergencyStore::SpaceSaving {
+                    slots,
+                    capacity,
+                    failures,
+                },
+                EmergencyState::SpaceSaving {
+                    slots: s,
+                    failures: f,
+                },
+            ) => {
+                if s.len() > *capacity {
+                    return Err(format!(
+                        "snapshot carries {} SpaceSaving slots, capacity {}",
+                        s.len(),
+                        capacity
+                    ));
+                }
+                *slots = s;
+                *failures = f;
+            }
+            _ => return Err("snapshot emergency policy mismatch".into()),
+        }
+
+        *hints = snapshot.divert_hints;
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmergencyPolicy;
+    use rsk_api::{ErrorSensing, Merge, StreamSummary};
+
+    fn loaded(seed: u64) -> ReliableSketch<u64> {
+        let mut sk = ReliableSketch::<u64>::builder()
+            .memory_bytes(16 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(seed)
+            .build::<u64>();
+        for i in 0..20_000u64 {
+            sk.insert(&(i % 400), 1 + i % 5);
+        }
+        sk
+    }
+
+    fn answers_match(a: &ReliableSketch<u64>, b: &ReliableSketch<u64>, keys: u64) {
+        for k in 0..keys {
+            assert_eq!(a.query_with_error(&k), b.query_with_error(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_answer() {
+        let sk = loaded(1);
+        let json = serde_json::to_string(&sk.snapshot()).unwrap();
+        let restored = ReliableSketch::restore(serde_json::from_str(&json).unwrap()).unwrap();
+        answers_match(&sk, &restored, 500);
+        assert_eq!(restored.insertion_failures(), sk.insertion_failures());
+    }
+
+    #[test]
+    fn restored_sketch_keeps_streaming_soundly() {
+        let sk = loaded(2);
+        let mut restored = ReliableSketch::restore(sk.snapshot()).unwrap();
+        let mut resumed = sk.clone();
+        for i in 0..5_000u64 {
+            restored.insert(&(i % 400), 2);
+            resumed.insert(&(i % 400), 2);
+        }
+        answers_match(&resumed, &restored, 500);
+    }
+
+    #[test]
+    fn raw_variant_roundtrips() {
+        let mut sk = ReliableSketch::<u64>::builder()
+            .memory_bytes(16 * 1024)
+            .error_tolerance(25)
+            .raw()
+            .seed(3)
+            .build::<u64>();
+        for i in 0..5_000u64 {
+            sk.insert(&(i % 100), 1);
+        }
+        let restored = ReliableSketch::restore(sk.snapshot()).unwrap();
+        answers_match(&sk, &restored, 150);
+    }
+
+    #[test]
+    fn merged_sketch_roundtrips_with_hints() {
+        let mut a = loaded(4);
+        let b = loaded(4);
+        a.merge(&b).unwrap();
+        assert!(a.is_merged());
+        let restored = ReliableSketch::restore(a.snapshot()).unwrap();
+        assert!(restored.is_merged());
+        answers_match(&a, &restored, 500);
+    }
+
+    #[test]
+    fn spacesaving_emergency_roundtrips() {
+        use crate::config::{Depth, ReliableConfig, BUCKET_BYTES};
+        let config = ReliableConfig {
+            memory_bytes: 4 * BUCKET_BYTES,
+            lambda: 2,
+            depth: Depth::Fixed(2),
+            mice_filter: None,
+            emergency: EmergencyPolicy::SpaceSaving(8),
+            lambda_floor_one: true,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut sk = ReliableSketch::<u64>::new(config);
+        for i in 0..2_000u64 {
+            sk.insert(&(i % 7), 1);
+        }
+        assert!(sk.insertion_failures() > 0, "must exercise the store");
+        let restored = ReliableSketch::restore(sk.snapshot()).unwrap();
+        answers_match(&sk, &restored, 10);
+        assert_eq!(restored.insertion_failures(), sk.insertion_failures());
+    }
+
+    #[test]
+    fn five_tuple_keys_roundtrip() {
+        let mut sk = ReliableSketch::<[u8; 13]>::builder()
+            .memory_bytes(8 * 1024)
+            .error_tolerance(25)
+            .seed(6)
+            .build::<[u8; 13]>();
+        let mut tuple = [0u8; 13];
+        for i in 0..2_000u64 {
+            tuple[0] = (i % 50) as u8;
+            sk.insert(&tuple, 1);
+        }
+        let json = serde_json::to_string(&sk.snapshot()).unwrap();
+        let restored =
+            ReliableSketch::<[u8; 13]>::restore(serde_json::from_str(&json).unwrap()).unwrap();
+        for b in 0..50u8 {
+            tuple[0] = b;
+            assert_eq!(
+                restored.query_with_error(&tuple),
+                sk.query_with_error(&tuple)
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let sk = loaded(7);
+
+        let mut s = sk.snapshot();
+        s.layers.pop();
+        assert!(ReliableSketch::restore(s).is_err(), "missing layer");
+
+        let mut s = sk.snapshot();
+        s.layers[0].pop();
+        assert!(ReliableSketch::restore(s).is_err(), "short layer");
+
+        let mut s = sk.snapshot();
+        s.filter_rows = None;
+        assert!(ReliableSketch::restore(s).is_err(), "filter mismatch");
+
+        let mut s = sk.snapshot();
+        s.emergency = EmergencyState::Disabled {
+            failures: 0,
+            dropped_value: 0,
+        };
+        assert!(ReliableSketch::restore(s).is_err(), "policy mismatch");
+
+        let mut s = sk.snapshot();
+        s.config.lambda = 0;
+        assert!(ReliableSketch::restore(s).is_err(), "invalid config");
+
+        let mut s = sk.snapshot();
+        s.divert_hints = vec![vec![true; 3]];
+        assert!(ReliableSketch::restore(s).is_err(), "bad hint shape");
+    }
+}

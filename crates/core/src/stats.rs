@@ -1,0 +1,217 @@
+//! Operation statistics for the speed and depth experiments.
+//!
+//! Figure 16 plots the *average number of hash-function calls* per insert
+//! and per query — the paper's proxy for speed trends — and Figure 19a the
+//! distribution of keys over stopping layers. Both need per-operation
+//! traces, which [`crate::ReliableSketch::insert_traced`] and
+//! [`crate::ReliableSketch::query_traced`] expose; this module aggregates
+//! them.
+//!
+//! Query-side counters use [`core::cell::Cell`] so the trait method
+//! `query(&self)` can record without requiring `&mut self`.
+
+use core::cell::Cell;
+
+/// Where an insert operation terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopLayer {
+    /// Fully absorbed by the mice filter.
+    Filter,
+    /// Finished in bucket layer `i` (0-based).
+    Layer(usize),
+    /// Survived every layer — an insertion failure (remainder went to the
+    /// emergency store or was dropped).
+    Failed,
+}
+
+/// Trace of a single insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertTrace {
+    /// Where the value (or its last portion) came to rest.
+    pub stop: StopLayer,
+    /// Hash evaluations performed.
+    pub hash_calls: u64,
+    /// Value that could not be placed in the layers (0 unless `Failed`).
+    pub failed_remainder: u64,
+}
+
+/// Trace of a single query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The answer.
+    pub estimate: rsk_api::Estimate,
+    /// Bucket layers visited (0 if the filter answered).
+    pub layers_visited: usize,
+    /// Hash evaluations performed.
+    pub hash_calls: u64,
+}
+
+/// Aggregated operation counters.
+#[derive(Debug, Default, Clone)]
+pub struct SketchStats {
+    inserts: u64,
+    insert_hash_calls: u64,
+    /// index 0 = filter; index `i ≥ 1` = bucket layer `i−1`; failures are
+    /// counted separately.
+    stop_histogram: Vec<u64>,
+    failures: u64,
+    queries: Cell<u64>,
+    query_hash_calls: Cell<u64>,
+}
+
+impl SketchStats {
+    pub(crate) fn new(depth: usize) -> Self {
+        Self {
+            stop_histogram: vec![0; depth + 1],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_insert(&mut self, trace: &InsertTrace) {
+        self.inserts += 1;
+        self.insert_hash_calls += trace.hash_calls;
+        match trace.stop {
+            StopLayer::Filter => self.stop_histogram[0] += 1,
+            StopLayer::Layer(i) => self.stop_histogram[i + 1] += 1,
+            StopLayer::Failed => self.failures += 1,
+        }
+    }
+
+    pub(crate) fn record_query(&self, trace: &QueryTrace) {
+        self.queries.set(self.queries.get() + 1);
+        self.query_hash_calls
+            .set(self.query_hash_calls.get() + trace.hash_calls);
+    }
+
+    /// Number of insert operations.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Number of query operations.
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Insert operations that ended in failure.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Mean hash calls per insert (Figure 16a).
+    pub fn avg_insert_hash_calls(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.insert_hash_calls as f64 / self.inserts as f64
+        }
+    }
+
+    /// Mean hash calls per query (Figure 16b).
+    pub fn avg_query_hash_calls(&self) -> f64 {
+        let q = self.queries.get();
+        if q == 0 {
+            0.0
+        } else {
+            self.query_hash_calls.get() as f64 / q as f64
+        }
+    }
+
+    /// Insert stop counts: `[filter, layer 1, layer 2, …]`.
+    pub fn stop_histogram(&self) -> &[u64] {
+        &self.stop_histogram
+    }
+
+    /// Fold another sketch's operation counters into this one (used by
+    /// [`crate::merge`]: a merged sketch reports the combined operation
+    /// history of its shards).
+    pub(crate) fn absorb(&mut self, other: &Self) {
+        self.inserts += other.inserts;
+        self.insert_hash_calls += other.insert_hash_calls;
+        self.failures += other.failures;
+        for (mine, theirs) in self
+            .stop_histogram
+            .iter_mut()
+            .zip(other.stop_histogram.iter())
+        {
+            *mine += theirs;
+        }
+        self.queries.set(self.queries.get() + other.queries.get());
+        self.query_hash_calls
+            .set(self.query_hash_calls.get() + other.query_hash_calls.get());
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        let d = self.stop_histogram.len();
+        *self = Self {
+            stop_histogram: vec![0; d],
+            ..Default::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsk_api::Estimate;
+
+    #[test]
+    fn insert_accounting() {
+        let mut s = SketchStats::new(3);
+        s.record_insert(&InsertTrace {
+            stop: StopLayer::Filter,
+            hash_calls: 2,
+            failed_remainder: 0,
+        });
+        s.record_insert(&InsertTrace {
+            stop: StopLayer::Layer(1),
+            hash_calls: 4,
+            failed_remainder: 0,
+        });
+        s.record_insert(&InsertTrace {
+            stop: StopLayer::Failed,
+            hash_calls: 5,
+            failed_remainder: 9,
+        });
+        assert_eq!(s.inserts(), 3);
+        assert_eq!(s.failures(), 1);
+        assert_eq!(s.stop_histogram(), &[1, 0, 1, 0]);
+        assert!((s.avg_insert_hash_calls() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_accounting_through_shared_ref() {
+        let s = SketchStats::new(2);
+        let t = QueryTrace {
+            estimate: Estimate::exact(0),
+            layers_visited: 1,
+            hash_calls: 3,
+        };
+        s.record_query(&t);
+        s.record_query(&t);
+        assert_eq!(s.queries(), 2);
+        assert!((s.avg_query_hash_calls() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = SketchStats::new(2);
+        s.record_insert(&InsertTrace {
+            stop: StopLayer::Layer(0),
+            hash_calls: 1,
+            failed_remainder: 0,
+        });
+        s.reset();
+        assert_eq!(s.inserts(), 0);
+        assert_eq!(s.stop_histogram(), &[0, 0, 0]);
+        assert_eq!(s.avg_insert_hash_calls(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_avoid_division_by_zero() {
+        let s = SketchStats::new(1);
+        assert_eq!(s.avg_insert_hash_calls(), 0.0);
+        assert_eq!(s.avg_query_hash_calls(), 0.0);
+    }
+}

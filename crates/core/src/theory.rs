@@ -1,0 +1,278 @@
+//! Closed-form results of the paper's mathematical analysis (§4, Appendix
+//! A) — parameter solvers and the complexity comparison of Table 1.
+//!
+//! Nothing here touches the data structure; these are the formulas the
+//! paper derives, exposed so that experiments, documentation and the
+//! `repro table1` target can compute them for concrete `(N, Λ, Δ)`
+//! settings.
+
+/// The paper's recommended practical bucket count (§3.2):
+/// `W = (R_w R_λ)² / ((R_w−1)(R_λ−1)) · N/Λ`.
+pub fn recommended_buckets(n: u64, lambda: u64, r_w: f64, r_lambda: f64) -> usize {
+    assert!(lambda > 0 && r_w > 1.0 && r_lambda > 1.0);
+    let factor = (r_w * r_lambda).powi(2) / ((r_w - 1.0) * (r_lambda - 1.0));
+    (factor * n as f64 / lambda as f64).ceil() as usize
+}
+
+/// The proof-grade bucket count of Theorems 2–4 (large constants):
+/// `W = 4 (R_w R_λ)⁶ / ((R_w−1)(R_λ−1)) · N/Λ`.
+pub fn proof_buckets(n: u64, lambda: u64, r_w: f64, r_lambda: f64) -> usize {
+    assert!(lambda > 0 && r_w > 1.0 && r_lambda > 1.0);
+    let factor = 4.0 * (r_w * r_lambda).powi(6) / ((r_w - 1.0) * (r_lambda - 1.0));
+    (factor * n as f64 / lambda as f64).ceil() as usize
+}
+
+/// The paper's rule for choosing `Λ` when only the memory is given (§3.2):
+/// `Λ = (R_w R_λ)² / ((R_w−1)(R_λ−1)) · N/W`.
+pub fn auto_lambda(n: u64, total_buckets: usize, r_w: f64, r_lambda: f64) -> u64 {
+    assert!(total_buckets > 0 && r_w > 1.0 && r_lambda > 1.0);
+    let factor = (r_w * r_lambda).powi(2) / ((r_w - 1.0) * (r_lambda - 1.0));
+    (factor * n as f64 / total_buckets as f64).ceil().max(1.0) as u64
+}
+
+/// Constant `Δ₁ = 2 R_w² R_λ² (R_λ − 1)` of Theorem 4.
+pub fn delta1(r_w: f64, r_lambda: f64) -> f64 {
+    2.0 * r_w.powi(2) * r_lambda.powi(2) * (r_lambda - 1.0)
+}
+
+/// Constant `Δ₂ = 6 R_w³ R_λ⁴` of Theorem 4 (the SpaceSaving sizing
+/// factor).
+pub fn delta2(r_w: f64, r_lambda: f64) -> f64 {
+    6.0 * r_w.powi(3) * r_lambda.powi(4)
+}
+
+/// Solve Theorem 4's depth equation for `d`:
+/// `R_λ^d / (R_w R_λ)^(2^d + d) = Δ₁ · (Λ/N) · ln(1/Δ)`  — the number of
+/// layers after which the surviving population is small enough for the
+/// `Δ₂ ln(1/Δ)`-slot emergency SpaceSaving.
+///
+/// The left side *decays* doubly exponentially in `d` (the denominator's
+/// `2^d` exponent), so the root is tiny (`O(ln ln(N/Λ))`); we return the
+/// smallest integer `d` at which the LHS has dropped to the target, by a
+/// log-domain scan.
+pub fn solve_depth(n: u64, lambda: u64, delta: f64, r_w: f64, r_lambda: f64) -> usize {
+    assert!(delta > 0.0 && delta < 0.25, "Theorem 4 needs Δ < 1/4");
+    assert!(n > 0 && lambda > 0);
+    let target = delta1(r_w, r_lambda) * (lambda as f64 / n as f64) * (1.0 / delta).ln();
+    // ln LHS = d·ln R_λ − (2^d + d)·ln(R_w R_λ), strictly decreasing
+    let ln_target = target.ln();
+    for d in 1usize..=40 {
+        let lhs =
+            d as f64 * r_lambda.ln() - ((2f64).powi(d as i32) + d as f64) * (r_w * r_lambda).ln();
+        if lhs <= ln_target {
+            return d;
+        }
+    }
+    40
+}
+
+/// Emergency SpaceSaving size from Theorem 4: `⌈Δ₂ ln(1/Δ)⌉` slots.
+pub fn emergency_slots(delta: f64, r_w: f64, r_lambda: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0);
+    (delta2(r_w, r_lambda) * (1.0 / delta).ln()).ceil() as usize
+}
+
+/// Space complexity term `N/Λ + ln(1/Δ)` (Theorem 5), in "units"
+/// (buckets + slots), for comparisons.
+pub fn space_units(n: u64, lambda: u64, delta: f64) -> f64 {
+    n as f64 / lambda as f64 + (1.0 / delta).ln()
+}
+
+/// Amortized time term `1 + Δ ln ln(N/Λ)` (Theorem 5).
+pub fn amortized_time(n: u64, lambda: u64, delta: f64) -> f64 {
+    1.0 + delta * (n as f64 / lambda as f64).ln().max(1.0).ln().max(0.0)
+}
+
+/// The tail bound of Lemma 1 (Appendix A.1): for variables
+/// `X_i ∈ {0, s_i}` with conditional success probability ≤ `p` and
+/// `s_i ≤ 1`, `Pr[X > (1+Δ)·μ] ≤ exp(−(Δ−(e−2))·n·m·p)` where
+/// `μ = n·m·p` and `m` is the mean of the `s_i`.
+///
+/// This is the concentration inequality behind Theorems 2–3 (it differs
+/// from Hoeffding in conditioning only on a probability *bound*). The
+/// module tests validate it against Monte-Carlo simulation.
+pub fn lemma1_bound(n: usize, mean_s: f64, p: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&mean_s));
+    let exponent = -(delta - (core::f64::consts::E - 2.0)) * n as f64 * mean_s * p;
+    exponent.exp().min(1.0)
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityRow {
+    /// Family name as printed in Table 1.
+    pub family: &'static str,
+    /// Overall confidence over `N` keys.
+    pub overall_confidence: String,
+    /// Insert time complexity.
+    pub speed: String,
+    /// Space complexity.
+    pub space: String,
+    /// Hardware compatibility.
+    pub compatibility: &'static str,
+}
+
+/// Regenerate Table 1 symbolically plus, where closed-form, numerically
+/// for the supplied `(n, lambda, delta_individual, delta_all)` setting.
+pub fn table1(n: u64, lambda: u64, delta_individual: f64, delta_all: f64) -> Vec<ComplexityRow> {
+    let n_keys = n as f64; // the paper reuses N for the key universe here
+    let ln_inv_d = (1.0 / delta_individual).ln();
+    vec![
+        ComplexityRow {
+            family: "Counter-based (L1)",
+            overall_confidence: format!("(1−δ)^N ≈ {:.3e}", (1.0 - delta_individual).powf(n_keys)),
+            speed: format!("O(ln(1/δ)) = O({:.1})", ln_inv_d),
+            space: format!(
+                "O(N/Λ · ln(1/δ)) = O({:.3e})",
+                n as f64 / lambda as f64 * ln_inv_d
+            ),
+            compatibility: "High",
+        },
+        ComplexityRow {
+            family: "Counter-based (L2)",
+            overall_confidence: format!("(1−δ)^N ≈ {:.3e}", (1.0 - delta_individual).powf(n_keys)),
+            speed: format!("O(ln(1/δ)) = O({:.1})", ln_inv_d),
+            space: "O(N₂²/Λ² · ln(1/δ)) (dataset-dependent)".into(),
+            compatibility: "High",
+        },
+        ComplexityRow {
+            family: "Heap-based",
+            overall_confidence: "100%".into(),
+            speed: format!("O(ln(N/Λ)) = O({:.1})", (n as f64 / lambda as f64).ln()),
+            space: format!("O(N/Λ) = O({:.3e})", n as f64 / lambda as f64),
+            compatibility: "Low",
+        },
+        ComplexityRow {
+            family: "ReliableSketch (Ours)",
+            overall_confidence: format!("1−Δ = {}", 1.0 - delta_all),
+            speed: format!(
+                "O(1 + Δ ln ln(N/Λ)) = O({:.4})",
+                amortized_time(n, lambda, delta_all)
+            ),
+            space: format!(
+                "O(N/Λ + ln(1/Δ)) = O({:.3e})",
+                space_units(n, lambda, delta_all)
+            ),
+            compatibility: "High",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_buckets_default_params() {
+        // R_w=2, R_λ=2.5: factor = 25/1.5 ≈ 16.67
+        let w = recommended_buckets(10_000_000, 25, 2.0, 2.5);
+        assert_eq!(w, ((25.0_f64 / 1.5) * 400_000.0).ceil() as usize);
+    }
+
+    #[test]
+    fn proof_buckets_dwarf_recommended() {
+        let rec = recommended_buckets(1_000_000, 25, 2.0, 2.5);
+        let prf = proof_buckets(1_000_000, 25, 2.0, 2.5);
+        assert!(prf > rec * 100, "proof constant should be much larger");
+    }
+
+    #[test]
+    fn auto_lambda_inverts_recommended_buckets() {
+        let n = 10_000_000u64;
+        let lambda = 25u64;
+        let w = recommended_buckets(n, lambda, 2.0, 2.5);
+        let back = auto_lambda(n, w, 2.0, 2.5);
+        assert!(back.abs_diff(lambda) <= 1, "round trip {lambda} → {back}");
+    }
+
+    #[test]
+    fn theorem4_constants() {
+        // Δ₁ = 2·4·6.25·1.5 = 75, Δ₂ = 6·8·39.0625 = 1875
+        assert!((delta1(2.0, 2.5) - 75.0).abs() < 1e-9);
+        assert!((delta2(2.0, 2.5) - 1875.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_grows_like_lnln() {
+        let d_small = solve_depth(1_000_000, 25, 1e-10, 2.0, 2.5);
+        let d_large = solve_depth(1_000_000_000_000, 25, 1e-10, 2.0, 2.5);
+        assert!((1..=12).contains(&d_small), "d_small = {d_small}");
+        // doubling exponent growth: a 10^6× larger N adds only O(1) layers
+        assert!(d_large <= d_small + 3, "{d_small} vs {d_large}");
+    }
+
+    #[test]
+    fn depth_trades_against_emergency_size() {
+        // Theorem 4 balances bucket layers against the Δ₂·ln(1/Δ)-slot
+        // emergency store: tightening Δ grows the store and can only
+        // shrink (weakly) the number of layers needed in front of it.
+        let loose = solve_depth(10_000_000, 25, 0.2, 2.0, 2.5);
+        let tight = solve_depth(10_000_000, 25, 1e-12, 2.0, 2.5);
+        assert!(tight <= loose, "layers: tight {tight} vs loose {loose}");
+        assert!(emergency_slots(1e-12, 2.0, 2.5) > emergency_slots(0.2, 2.0, 2.5));
+    }
+
+    #[test]
+    fn emergency_slots_scale_with_confidence() {
+        let few = emergency_slots(0.1, 2.0, 2.5);
+        let many = emergency_slots(1e-10, 2.0, 2.5);
+        assert!(many > few);
+        // Δ₂ ln(1/Δ): 1875 · ln(10^10) ≈ 43 173
+        assert!((many as f64 - 1875.0 * (1e10f64).ln()).abs() < 2.0);
+    }
+
+    #[test]
+    fn amortized_time_is_near_constant() {
+        let t = amortized_time(10_000_000, 25, 1e-10);
+        assert!(t < 1.0001, "amortized time ≈ 1, got {t}");
+    }
+
+    #[test]
+    fn lemma1_bound_validated_by_monte_carlo() {
+        // simulate X_i ∈ {0, s} with adversarially maximal conditional
+        // probability p; the empirical tail must sit below the bound
+        use rsk_hash::SplitMix64;
+        let (n, s, p) = (400usize, 0.8f64, 0.05f64);
+        let mu = n as f64 * s * p;
+        let trials = 20_000;
+        for delta in [1.0f64, 1.5, 2.0, 3.0] {
+            let bound = lemma1_bound(n, s, p, delta);
+            let mut exceed = 0usize;
+            let mut rng = SplitMix64::new(42 + (delta * 10.0) as u64);
+            for _ in 0..trials {
+                let mut x = 0.0;
+                for _ in 0..n {
+                    if rng.next_f64() < p {
+                        x += s;
+                    }
+                }
+                if x > (1.0 + delta) * mu {
+                    exceed += 1;
+                }
+            }
+            let empirical = exceed as f64 / trials as f64;
+            assert!(
+                empirical <= bound + 3.0 * (bound / trials as f64).sqrt() + 1e-3,
+                "Δ={delta}: empirical {empirical} above bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_shrinks_with_delta_and_n() {
+        assert!(lemma1_bound(100, 0.5, 0.1, 2.0) < lemma1_bound(100, 0.5, 0.1, 1.0));
+        assert!(lemma1_bound(1000, 0.5, 0.1, 2.0) < lemma1_bound(100, 0.5, 0.1, 2.0));
+        // degenerate deltas below e−2 give a vacuous bound (capped at 1)
+        assert_eq!(lemma1_bound(100, 0.5, 0.1, 0.1), 1.0);
+    }
+
+    #[test]
+    fn table1_has_four_families() {
+        let t = table1(10_000_000, 25, 0.05, 1e-10);
+        assert_eq!(t.len(), 4);
+        assert!(t[3].family.contains("Ours"));
+        assert_eq!(t[2].overall_confidence, "100%");
+        assert_eq!(t[0].compatibility, "High");
+        assert_eq!(t[2].compatibility, "Low");
+    }
+}

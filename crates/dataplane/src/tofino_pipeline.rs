@@ -1,0 +1,369 @@
+//! Slot-level model of the Tofino deployment's *recirculation asynchrony*
+//! (paper §5.2, Challenge II).
+//!
+//! [`super::tofino::TofinoReliable`] applies lock flags synchronously —
+//! the right behavioural abstraction, but a real switch cannot do it: a
+//! packet discovers `NO = λ` in a *later* stage than the flag lives in,
+//! so it must be **recirculated** to write the flag on a second pass.
+//! Until that pass completes, packets keep entering the pipeline and
+//! taking the unlocked path through the same bucket.
+//!
+//! This module models exactly that window:
+//!
+//! * every ingress packet occupies one pipeline **slot**; a recirculated
+//!   packet re-enters `recirc_latency` slots later and occupies another
+//!   slot (the throughput cost the paper accepts);
+//! * a packet that pushes `NO` to the threshold clamps `NO = λ`,
+//!   schedules the flag write for `now + recirc_latency`, and carries its
+//!   overflow onward *on the second pass* — so its descent into deeper
+//!   layers is delayed;
+//! * packets arriving in the window see `NO = λ` but `LOCKED` still
+//!   unset, recirculate *again* (duplicate recirculations are real — no
+//!   packet can know another flag-write is in flight), and their values
+//!   descend late as well.
+//!
+//! With `recirc_latency = 0` the model collapses to the behavioural one
+//! (verified by a differential test). Accuracy semantics under the
+//! switch encoding are *two-sided*: overshoot remains covered by the
+//! reported MPE (answers are sums of `NO`-style registers), but the
+//! threshold-crossing path — saturated subtraction of the full arriving
+//! value from `DIFF` while only part of it stays in `NO` — can
+//! *under-count the displaced candidate* by up to the diverted overflow.
+//! This is a property of the §5.2 encoding itself (the synchronous model
+//! shares it), which is why Fig 20 evaluates the two-sided outlier
+//! criterion `|err| ≤ Λ` rather than the CPU version's one-sided
+//! interval, and one mechanistic reason the testbed needs somewhat more
+//! SRAM for zero outliers than the CPU experiments (Fig 4). The
+//! recirculation window widens that effect slightly and costs duplicate
+//! recirculation passes, which this model quantifies.
+
+use rsk_api::{Estimate, Key};
+use rsk_core::{Depth, LayerGeometry, ReliableConfig};
+use rsk_hash::HashFamily;
+use std::collections::VecDeque;
+
+use crate::tofino::SWITCH_LAYERS;
+
+/// One bucket as laid out on the switch (see `tofino`): `(ID, DIFF)` in
+/// stage A, `NO` + lock flag in stage B.
+#[derive(Debug, Clone)]
+struct Bucket<K> {
+    id: Option<K>,
+    diff: u64,
+    no: u64,
+    locked: bool,
+}
+
+impl<K> Default for Bucket<K> {
+    fn default() -> Self {
+        Self {
+            id: None,
+            diff: 0,
+            no: 0,
+            locked: false,
+        }
+    }
+}
+
+/// A packet on its recirculation pass: apply the flag, then resume the
+/// insertion from `layer` with the remaining `value`.
+#[derive(Debug, Clone)]
+struct Recirculated<K> {
+    due_slot: u64,
+    flag: (usize, usize),
+    resume_layer: usize,
+    key: K,
+    value: u64,
+}
+
+/// Slot-accurate Tofino variant with asynchronous lock flags.
+#[derive(Debug, Clone)]
+pub struct TofinoPipeline<K: Key> {
+    geometry: LayerGeometry,
+    layers: Vec<Vec<Bucket<K>>>,
+    hashes: HashFamily,
+    recirc_latency: u64,
+    in_flight: VecDeque<Recirculated<K>>,
+    slot: u64,
+    ingress_packets: u64,
+    recirculations: u64,
+    failures: u64,
+    dropped: u64,
+}
+
+impl<K: Key> TofinoPipeline<K> {
+    /// Build like [`super::tofino::TofinoReliable::new`], with the given
+    /// recirculation latency in pipeline slots (switch reality: roughly
+    /// one pipeline length; 0 collapses to the synchronous model).
+    pub fn new(sram_bytes: usize, lambda: u64, seed: u64, recirc_latency: u64) -> Self {
+        let config = ReliableConfig {
+            memory_bytes: sram_bytes,
+            lambda,
+            mice_filter: None,
+            depth: Depth::Fixed(SWITCH_LAYERS),
+            seed,
+            ..Default::default()
+        };
+        let geometry = config.geometry();
+        let layers = geometry
+            .widths()
+            .iter()
+            .map(|&w| vec![Bucket::default(); w])
+            .collect();
+        let hashes = HashFamily::new(geometry.depth(), seed);
+        Self {
+            geometry,
+            layers,
+            hashes,
+            recirc_latency,
+            in_flight: VecDeque::new(),
+            slot: 0,
+            ingress_packets: 0,
+            recirculations: 0,
+            failures: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Total recirculation passes (each consumed a pipeline slot).
+    pub fn recirculations(&self) -> u64 {
+        self.recirculations
+    }
+
+    /// Pipeline slots consumed: ingress packets + recirculation passes —
+    /// the denominator of the effective line rate.
+    pub fn slots_consumed(&self) -> u64 {
+        self.ingress_packets + self.recirculations
+    }
+
+    /// Fraction of pipeline capacity lost to recirculation.
+    pub fn recirculation_overhead(&self) -> f64 {
+        if self.ingress_packets == 0 {
+            0.0
+        } else {
+            self.recirculations as f64 / self.slots_consumed() as f64
+        }
+    }
+
+    /// Values that fell past the last layer (control-plane territory).
+    pub fn insertion_failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Ingest one packet (one ingress slot), first letting any due
+    /// recirculated packets complete their second pass.
+    pub fn insert(&mut self, key: &K, value: u64) {
+        self.slot += 1;
+        self.ingress_packets += 1;
+        self.drain_due();
+        if value > 0 {
+            self.pass(*key, value, 0);
+        }
+    }
+
+    /// Let every in-flight recirculated packet land (end of stream).
+    pub fn flush(&mut self) {
+        self.slot = u64::MAX;
+        self.drain_due();
+        self.slot = self.ingress_packets; // keep monotone for reuse
+    }
+
+    fn drain_due(&mut self) {
+        while let Some(front) = self.in_flight.front() {
+            if front.due_slot > self.slot {
+                break;
+            }
+            let p = self.in_flight.pop_front().expect("front exists");
+            let (layer, index) = p.flag;
+            self.layers[layer][index].locked = true;
+            if p.value > 0 {
+                self.pass(p.key, p.value, p.resume_layer);
+            }
+        }
+    }
+
+    /// One pipeline pass from `start_layer` (ingress uses 0; a
+    /// recirculated packet resumes below its lock layer).
+    fn pass(&mut self, key: K, mut v: u64, start_layer: usize) {
+        for i in start_layer..self.geometry.depth() {
+            let lambda = self.geometry.lambda(i);
+            let j = self.hashes.index(i, &key, self.geometry.width(i));
+            let b = &mut self.layers[i][j];
+
+            // stage A: (ID, DIFF)
+            if b.id.as_ref() == Some(&key) {
+                b.diff += v;
+                return;
+            }
+            if b.id.is_none() || (b.diff == 0 && !b.locked) {
+                b.id = Some(key);
+                b.diff = v;
+                return;
+            }
+            if b.locked {
+                v = v.max(1);
+                continue;
+            }
+
+            // stage B: NO with saturated subtraction on DIFF
+            b.diff = b.diff.saturating_sub(v);
+            let new_no = b.no + v;
+            if new_no >= lambda {
+                // Challenge II, asynchronously: clamp NO, schedule the
+                // flag write one recirculation away, and carry the
+                // overflow on the second pass
+                let overflow = new_no - lambda;
+                b.no = lambda;
+                self.recirculations += 1;
+                self.in_flight.push_back(Recirculated {
+                    due_slot: self.slot.saturating_add(self.recirc_latency),
+                    flag: (i, j),
+                    resume_layer: i + 1,
+                    key,
+                    value: overflow,
+                });
+                return; // this pass ends; the overflow re-enters later
+            }
+            b.no = new_no;
+            return;
+        }
+        self.failures += 1;
+        self.dropped += v;
+    }
+
+    /// Query with the certified interval (identical readout to the
+    /// behavioural model).
+    pub fn query_with_error(&self, key: &K) -> Estimate {
+        let mut est = 0u64;
+        let mut mpe = 0u64;
+        for i in 0..self.geometry.depth() {
+            let j = self.hashes.index(i, key, self.geometry.width(i));
+            let b = &self.layers[i][j];
+            let matches = b.id.as_ref() == Some(key);
+            est += if matches { b.diff + b.no } else { b.no };
+            mpe += b.no;
+            if !b.locked || b.diff == 0 || matches {
+                break;
+            }
+        }
+        Estimate {
+            value: est,
+            max_possible_error: mpe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tofino::TofinoReliable;
+    use proptest::prelude::*;
+    use rsk_api::StreamSummary;
+    use rsk_stream::Dataset;
+
+    /// Zero-latency recirculation collapses to the synchronous
+    /// behavioural model, answer for answer.
+    #[test]
+    fn zero_latency_equals_behavioural_model() {
+        let stream = Dataset::IpTrace.generate(120_000, 5);
+        let mut sync = TofinoReliable::<u64>::new(16 * 1024, 25, 9);
+        let mut pipe = TofinoPipeline::<u64>::new(16 * 1024, 25, 9, 0);
+        for it in &stream {
+            sync.insert(&it.key, it.value);
+            pipe.insert(&it.key, it.value);
+        }
+        pipe.flush();
+        for it in stream.iter().take(20_000) {
+            let a = sync.query_with_error(&it.key);
+            let b = pipe.query_with_error(&it.key);
+            assert_eq!(
+                (a.value, a.max_possible_error),
+                (b.value, b.max_possible_error),
+                "divergence at {}",
+                it.key
+            );
+        }
+        assert_eq!(sync.recirculations(), pipe.recirculations());
+    }
+
+    #[test]
+    fn latency_window_costs_extra_recirculations() {
+        let stream = Dataset::IpTrace.generate(200_000, 6);
+        let run = |latency: u64| {
+            let mut pipe = TofinoPipeline::<u64>::new(8 * 1024, 25, 3, latency);
+            for it in &stream {
+                pipe.insert(&it.key, it.value);
+            }
+            pipe.flush();
+            pipe.recirculations()
+        };
+        let instant = run(0);
+        let realistic = run(64);
+        let slow = run(1024);
+        assert!(
+            realistic >= instant,
+            "async flags cannot reduce recirculations: {realistic} < {instant}"
+        );
+        assert!(
+            slow >= realistic,
+            "longer windows admit more duplicates: {slow} < {realistic}"
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_is_small_at_paper_scale_ratio() {
+        // the paper's deployment tolerates recirculation because it is
+        // rare; at a sane SRAM/traffic ratio the overhead stays < 5 %
+        let stream = Dataset::IpTrace.generate(400_000, 7);
+        let mut pipe = TofinoPipeline::<u64>::new(64 * 1024, 25, 11, 64);
+        for it in &stream {
+            pipe.insert(&it.key, it.value);
+        }
+        pipe.flush();
+        let overhead = pipe.recirculation_overhead();
+        assert!(
+            overhead < 0.05,
+            "recirculation overhead {overhead:.3} too high"
+        );
+        assert_eq!(
+            pipe.slots_consumed(),
+            400_000 + pipe.recirculations(),
+            "every recirculation must consume a slot"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The switch encoding's two-sided accuracy contract survives the
+        /// asynchronous window: at adequate memory, every key's error
+        /// stays within Λ (Fig 20's outlier criterion) and overshoot is
+        /// covered by the reported MPE. A strict one-sided bound does
+        /// NOT hold for this variant — see the module docs.
+        #[test]
+        fn prop_async_flags_keep_two_sided_contract(
+            ops in proptest::collection::vec((0u64..60, 1u64..5), 1..800),
+            latency in 0u64..200,
+            seed in 0u64..16,
+        ) {
+            let lambda = 25u64;
+            let mut pipe = TofinoPipeline::<u64>::new(64 * 1024, lambda, seed, latency);
+            let mut truth = std::collections::HashMap::new();
+            for (k, v) in ops {
+                pipe.insert(&k, v);
+                *truth.entry(k).or_insert(0u64) += v;
+            }
+            pipe.flush();
+            prop_assume!(pipe.insertion_failures() == 0);
+            for (&k, &f) in &truth {
+                let est = pipe.query_with_error(&k);
+                prop_assert!(est.value.abs_diff(f) <= lambda,
+                    "outlier at {}: est {} truth {}", k, est.value, f);
+                if est.value > f {
+                    prop_assert!(est.value - f <= est.max_possible_error,
+                        "overshoot beyond MPE at {}", k);
+                }
+            }
+        }
+    }
+}

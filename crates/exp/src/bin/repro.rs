@@ -1,0 +1,163 @@
+//! `repro` — regenerate every table and figure of the ReliableSketch
+//! evaluation.
+//!
+//! ```text
+//! repro <target> [--items N] [--seed S] [--quick] [--out DIR]
+//!
+//! targets:
+//!   table1 table3 table4
+//!   fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!   fig15 fig16 fig17 fig18 fig19 fig20 ablation intro delta
+//!   all        every target above
+//!   accuracy   fig4 fig5 fig6 fig7 fig8 fig9
+//!   speed      fig10 fig16
+//!   params     fig11 fig12 fig13 fig14 fig15
+//!   hardware   table3 table4 fig20
+//!   beyond     ablation intro delta
+//! ```
+//!
+//! Tables print to stdout and are saved as CSV under `--out`
+//! (default `results/`). Defaults run at 1 M items with memory scaled
+//! accordingly; use `--items 10000000` for paper scale.
+
+use rsk_exp::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("{}", USAGE);
+        return ExitCode::from(2);
+    }
+    let target = args[0].clone();
+    let mut ctx = ExpContext::default();
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--items" => {
+                i += 1;
+                ctx.items = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--items needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--quick" => {
+                ctx.quick = true;
+                if ctx.items > 100_000 {
+                    ctx.items = 100_000;
+                }
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir = args
+                    .get(i)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let targets = expand(&target);
+    if targets.is_empty() {
+        eprintln!("unknown target '{target}'\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "# repro: {} | items={} seed={} quick={} out={}",
+        targets.join(","),
+        ctx.items,
+        ctx.seed,
+        ctx.quick,
+        ctx.out_dir.display()
+    );
+
+    let mut report = format!(
+        "# ReliableSketch reproduction report\n\nitems = {}, seed = {}, quick = {}\n\n",
+        ctx.items, ctx.seed, ctx.quick
+    );
+    for name in targets {
+        let started = std::time::Instant::now();
+        let tables = run_target(name, &ctx);
+        for (idx, t) in tables.iter().enumerate() {
+            println!("{t}");
+            report.push_str(&format!("{t}\n"));
+            let file = ctx.out_dir.join(format!("{name}_{idx}.csv"));
+            if let Err(e) = t.save_csv(&file) {
+                eprintln!("warning: could not write {}: {e}", file.display());
+            }
+        }
+        eprintln!("# {name} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    let report_path = ctx.out_dir.join("REPORT.md");
+    match std::fs::create_dir_all(&ctx.out_dir).and_then(|_| std::fs::write(&report_path, report)) {
+        Ok(()) => eprintln!("# combined report: {}", report_path.display()),
+        Err(e) => eprintln!("warning: could not write report: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
+    match name {
+        "table1" => tables::table1(ctx),
+        "table3" => tables::table3(ctx),
+        "table4" => tables::table4(ctx),
+        "fig4" => fig_outliers::fig4(ctx),
+        "fig5" => fig_zero_mem::fig5(ctx),
+        "fig6" => fig_outliers::fig6(ctx),
+        "fig7" => fig_elephant::fig7(ctx),
+        "fig8" => fig_error::fig8(ctx),
+        "fig9" => fig_error::fig9(ctx),
+        "fig10" => fig_throughput::fig10(ctx),
+        "fig11" => fig_params::fig11(ctx),
+        "fig12" => fig_params::fig12(ctx),
+        "fig13" => fig_params::fig13(ctx),
+        "fig14" => fig_params::fig14(ctx),
+        "fig15" => fig_params::fig15(ctx),
+        "fig16" => fig_hash_calls::fig16(ctx),
+        "fig17" => fig_sensing::fig17(ctx),
+        "fig18" => fig_sensing::fig18(ctx),
+        "fig19" => fig_layers::fig19(ctx),
+        "fig20" => fig_testbed::fig20(ctx),
+        "ablation" => fig_ablation::ablation(ctx),
+        "intro" => fig_intro::intro(ctx),
+        "delta" => fig_delta::delta(ctx),
+        _ => unreachable!("expand() filtered targets"),
+    }
+}
+
+fn expand(target: &str) -> Vec<&'static str> {
+    const ALL: [&str; 23] = [
+        "table1", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        "ablation", "intro", "delta",
+    ];
+    match target {
+        "all" => ALL.to_vec(),
+        "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
+        "speed" => vec!["fig10", "fig16"],
+        "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
+        "hardware" => vec!["table3", "table4", "fig20"],
+        "beyond" => vec!["ablation", "intro", "delta"],
+        t => ALL.iter().copied().filter(|&x| x == t).collect(),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2)
+}
+
+const USAGE: &str = "usage: repro <target> [--items N] [--seed S] [--quick] [--out DIR]
+targets: table1 table3 table4 fig4..fig20 ablation intro delta
+groups : all accuracy speed params hardware beyond";

@@ -1,0 +1,131 @@
+//! Figures 8 and 9: average absolute error (AAE) and average relative
+//! error (ARE) versus memory, on the IP trace and the skew-3.0 synthetic
+//! stream.
+//!
+//! Expected shape (§6.2.3): at 4 MB ReliableSketch is comparable to
+//! Elastic and CU, ≈1.6–2× better than CM, ≈1.3–1.7× better than Coco and
+//! ≈9–11× better than SS on AAE (18–37× on ARE) — SS pays for answering
+//! `min_count` on the mass of unmonitored mice keys.
+
+use crate::{ingest, lineup, ExpContext};
+use rsk_baselines::factory::Baseline;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::{evaluate, Table};
+use rsk_stream::Dataset;
+
+/// The Figure 8/9 competitor set: single CM/CU variants (accurate).
+const ERROR_SET: [Baseline; 5] = [
+    Baseline::CmAcc,
+    Baseline::CuAcc,
+    Baseline::Elastic,
+    Baseline::SpaceSaving,
+    Baseline::Coco,
+];
+
+/// Figure 8: AAE vs memory.
+pub fn fig8(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        error_table(
+            ctx,
+            Dataset::IpTrace,
+            Metric::Aae,
+            "Figure 8a: AAE, IP trace",
+        ),
+        error_table(
+            ctx,
+            Dataset::Zipf { skew: 3.0 },
+            Metric::Aae,
+            "Figure 8b: AAE, synthetic skew 3.0",
+        ),
+    ]
+}
+
+/// Figure 9: ARE vs memory.
+pub fn fig9(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        error_table(
+            ctx,
+            Dataset::IpTrace,
+            Metric::Are,
+            "Figure 9a: ARE, IP trace",
+        ),
+        error_table(
+            ctx,
+            Dataset::Zipf { skew: 3.0 },
+            Metric::Are,
+            "Figure 9b: ARE, synthetic skew 3.0",
+        ),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum Metric {
+    Aae,
+    Are,
+}
+
+fn error_table(ctx: &ExpContext, ds: Dataset, metric: Metric, title: &str) -> Table {
+    let (stream, truth) = ctx.load(ds);
+    let sweep = ctx.memory_sweep();
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(title, &headers_ref);
+
+    for (label, factory) in lineup(&ERROR_SET, 25) {
+        let mut row = vec![label.clone()];
+        for &mem in &sweep {
+            let mut sk = factory(mem, ctx.seed);
+            ingest(&mut sk, &stream);
+            let rep = evaluate(sk.as_ref(), &truth, 25);
+            row.push(match metric {
+                Metric::Aae => format!("{:.3}", rep.aae),
+                Metric::Are => format!("{:.4}", rep.are),
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_and_9_shapes() {
+        let ctx = ExpContext {
+            items: 30_000,
+            quick: true,
+            ..Default::default()
+        };
+        let t8 = fig8(&ctx);
+        let t9 = fig9(&ctx);
+        assert_eq!(t8.len(), 2);
+        assert_eq!(t9.len(), 2);
+        assert_eq!(t8[0].len(), 6); // Ours + 5
+    }
+
+    #[test]
+    fn aae_decreases_with_memory_for_ours() {
+        let ctx = ExpContext {
+            items: 60_000,
+            quick: true,
+            ..Default::default()
+        };
+        let t = &fig8(&ctx)[0];
+        let csv = t.to_csv();
+        let ours: Vec<f64> = csv
+            .lines()
+            .find(|l| l.starts_with("Ours"))
+            .unwrap()
+            .split(',')
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            ours.first().unwrap() >= ours.last().unwrap(),
+            "AAE should shrink with memory: {ours:?}"
+        );
+    }
+}

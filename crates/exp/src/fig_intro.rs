@@ -1,0 +1,273 @@
+//! The paper's §1 motivating scenario: screening a large key population
+//! for frequent keys with a sketch that only has *per-query* confidence.
+//!
+//! The introduction's arithmetic: with individual confidence `1 − δ`, the
+//! probability that **all** of `N` answers are accurate is `(1 − δ)^N` —
+//! 95 % for one key collapses to 1 % by 90 keys. Concretely, screening
+//! 1 M infrequent + 1 K frequent keys at a 99 % individual CL mislabels
+//! ≈10 K mice as frequent: a 90.9 % false-positive rate.
+//!
+//! Two tables:
+//!
+//! * **intro-arithmetic** — the closed-form collapse of the overall
+//!   confidence level, straight from the formulas;
+//! * **intro-scenario** — the measured screening experiment: a mice/
+//!   elephant population in the intro's 1000:1 ratio, each algorithm
+//!   classifies every key against the frequency threshold, and we count
+//!   false verdicts. Expected shape: CM/CU-style sketches report
+//!   thousands of false positives (high FPR); ReliableSketch stays at
+//!   zero beyond the certified band.
+
+use crate::{ingest, lineup, ExpContext};
+use rsk_api::Sketch;
+use rsk_baselines::factory::Baseline;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::Table;
+use rsk_stream::{GroundTruth, Item};
+
+/// Keys whose value reaches the threshold are "frequent" (ground truth).
+struct Scenario {
+    stream: Vec<Item<u64>>,
+    truth: GroundTruth<u64>,
+    threshold: u64,
+    mice_keys: u64,
+    heavy_keys: u64,
+}
+
+/// Build the intro's screening population, scaled to the run's item
+/// budget: `items/10` mice keys with ≈5 units each and 1 000 elephants
+/// carrying the other half of the mass (the intro's 1000:1 population
+/// ratio at paper scale).
+fn scenario(ctx: &ExpContext) -> Scenario {
+    let mice_keys = (ctx.items as u64 / 10).max(1_000);
+    let heavy_keys = 1_000u64.min(mice_keys / 100).max(10);
+    let mice_mass = ctx.items as u64 / 2;
+    let heavy_each = (ctx.items as u64 - mice_mass) / heavy_keys;
+    let threshold = heavy_each / 2;
+
+    // keys are salted through SplitMix so both classes spread uniformly
+    // over the hash space
+    let salt = ctx.seed;
+    let mut stream = Vec::with_capacity(ctx.items);
+    for h in 0..heavy_keys {
+        let key = rsk_hash::splitmix64((0xe1e0_0000 + h) ^ salt);
+        stream.extend(std::iter::repeat_n(Item::unit(key), heavy_each as usize));
+    }
+    let mut m = 0u64;
+    while stream.len() < ctx.items {
+        let key = rsk_hash::splitmix64((0x3a1c_0000_0000 + (m % mice_keys)) ^ salt);
+        stream.push(Item::unit(key));
+        m += 1;
+    }
+    // deterministic Fisher–Yates interleave (ordering matters to the
+    // election-based competitors)
+    let mut rng = rsk_hash::SplitMix64::new(salt ^ 0xdead_beef);
+    for i in (1..stream.len()).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        stream.swap(i, j);
+    }
+
+    let truth = GroundTruth::from_items(&stream);
+    Scenario {
+        stream,
+        truth,
+        threshold,
+        mice_keys,
+        heavy_keys,
+    }
+}
+
+/// The closed-form confidence collapse of §1.
+fn arithmetic_table() -> Table {
+    let mut t = Table::new(
+        "Intro: overall CL (1-δ)^N collapses with the number of queries",
+        &["δ (individual)", "N=1", "N=2", "N=90", "N=1000", "N=1e6"],
+    );
+    for delta in [0.05f64, 0.01, 0.001] {
+        let cl = |n: f64| 100.0 * (1.0 - delta).powf(n);
+        t.row(vec![
+            format!("{:.1}%", delta * 100.0),
+            format!("{:.2}%", cl(1.0)),
+            format!("{:.2}%", cl(2.0)),
+            format!("{:.2}%", cl(90.0)),
+            format!("{:.2}%", cl(1_000.0)),
+            format!("{:.2e}%", cl(1_000_000.0)),
+        ]);
+    }
+    // the intro's concrete false-positive arithmetic: 1 M mice at δ=1%
+    // yields ≈10 K false positives against 1 K true elephants
+    let fp = 1_000_000.0 * 0.01;
+    t.row(vec![
+        "FP example".into(),
+        "1M mice, δ=1%".into(),
+        format!("{fp:.0} FPs"),
+        "1000 TPs".into(),
+        format!("FPR {:.1}%", 100.0 * fp / (fp + 1_000.0)),
+        "(§1 text: 90.9%)".into(),
+    ]);
+    t
+}
+
+/// The measured screening experiment.
+fn screening_table(ctx: &ExpContext) -> Table {
+    let sc = scenario(ctx);
+    let memory = ctx.scale_mem(1 << 20);
+    let lambda = 25u64;
+
+    let mut t = Table::new(
+        format!(
+            "Intro scenario (measured): {} mice + {} elephants, threshold {}, {} memory",
+            sc.mice_keys,
+            sc.heavy_keys,
+            sc.threshold,
+            fmt_bytes(memory)
+        ),
+        &[
+            "algorithm",
+            "false_pos",
+            "false_neg",
+            "FPR%",
+            "precision%",
+            "outliers(Λ=25)",
+        ],
+    );
+
+    let mut lu = lineup(
+        &[
+            Baseline::CmFast,
+            Baseline::CmAcc,
+            Baseline::CuFast,
+            Baseline::CuAcc,
+            Baseline::Elastic,
+        ],
+        lambda,
+    );
+    lu.push((
+        "Ours(Raw)".into(),
+        Box::new(move |mem, seed| crate::build_ours_raw(mem, lambda, seed)),
+    ));
+
+    for (label, factory) in lu {
+        let mut sk = factory(memory, ctx.seed);
+        ingest(&mut sk, &sc.stream);
+        let (fp, fneg, outliers) = classify(sk.as_ref(), &sc);
+        let tp = sc.heavy_keys - fneg;
+        let reported = fp + tp;
+        let fpr = if reported == 0 {
+            0.0
+        } else {
+            100.0 * fp as f64 / reported as f64
+        };
+        let precision = if reported == 0 {
+            100.0
+        } else {
+            100.0 * tp as f64 / reported as f64
+        };
+        t.row(vec![
+            label,
+            fp.to_string(),
+            fneg.to_string(),
+            format!("{fpr:.1}"),
+            format!("{precision:.1}"),
+            outliers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Classify every key against the scenario threshold; count false
+/// verdicts and Λ-outliers.
+fn classify(sk: &dyn Sketch<u64>, sc: &Scenario) -> (u64, u64, u64) {
+    let mut false_pos = 0u64;
+    let mut false_neg = 0u64;
+    let mut outliers = 0u64;
+    for (k, f) in sc.truth.iter() {
+        let q = sk.query(k);
+        let is_heavy = f >= sc.threshold;
+        let reported_heavy = q >= sc.threshold;
+        match (is_heavy, reported_heavy) {
+            (false, true) => false_pos += 1,
+            (true, false) => false_neg += 1,
+            _ => {}
+        }
+        if q.abs_diff(f) > 25 {
+            outliers += 1;
+        }
+    }
+    (false_pos, false_neg, outliers)
+}
+
+/// Both intro tables.
+pub fn intro(ctx: &ExpContext) -> Vec<Table> {
+    vec![arithmetic_table(), screening_table(ctx)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExpContext {
+        ExpContext {
+            items: 60_000,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scenario_population_matches_spec() {
+        let ctx = tiny_ctx();
+        let sc = scenario(&ctx);
+        assert_eq!(sc.stream.len(), ctx.items);
+        // both classes exist and elephants dominate individually
+        let heavy = sc.truth.keys_above(sc.threshold);
+        assert!(!heavy.is_empty(), "no elephants generated");
+        assert!(
+            sc.truth.distinct() > heavy.len() * 20,
+            "mice population too small: {} vs {} heavy",
+            sc.truth.distinct(),
+            heavy.len()
+        );
+    }
+
+    #[test]
+    fn arithmetic_matches_intro_text() {
+        let t = arithmetic_table();
+        let csv = t.to_csv();
+        // δ=5%: two keys → 90.25%, the intro's number
+        assert!(csv.contains("90.25%"), "{csv}");
+        // the FP example reproduces the 90.9% FPR
+        assert!(csv.contains("90.9"), "{csv}");
+    }
+
+    #[test]
+    fn intro_tables_run_end_to_end() {
+        let tables = intro(&tiny_ctx());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[1].len() >= 6, "one row per screened algorithm");
+    }
+
+    #[test]
+    fn ours_beats_cm_on_false_positives() {
+        let ctx = ExpContext {
+            items: 200_000,
+            ..Default::default()
+        };
+        let t = screening_table(&ctx);
+        let csv = t.to_csv();
+        let fp_of = |label: &str| -> u64 {
+            csv.lines()
+                .find(|l| l.starts_with(label))
+                .and_then(|l| l.split(',').nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("row {label} missing in:\n{csv}"))
+        };
+        let ours = fp_of("Ours");
+        let cm = fp_of("CM_fast");
+        assert!(
+            ours <= cm,
+            "expected Ours ({ours} FPs) ≤ CM_fast ({cm} FPs)"
+        );
+        assert_eq!(ours, 0, "ReliableSketch should make zero false verdicts");
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 4 and 6: number of outliers among **all keys** versus memory.
+//!
+//! * Figure 4 varies the tolerance (`Λ = 5` and `Λ = 25`) on the IP trace;
+//! * Figure 6 fixes `Λ = 25` and varies the dataset (Web Stream,
+//!   University Data Center, synthetic Zipf 0.3 / 3.0).
+//!
+//! Expected shape (paper §6.2.1): ReliableSketch reaches zero outliers at
+//! the smallest memory (≈1 MB at Λ=25 paper scale), while CM/CU-fast stay
+//! in the thousands across the sweep and even CM/CU-acc need multiples of
+//! the memory.
+
+use crate::{ingest, lineup, ExpContext};
+use rsk_baselines::factory::Baseline;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::{evaluate, Table};
+use rsk_stream::Dataset;
+
+/// Figure 4: outliers vs memory on the IP trace, Λ ∈ {5, 25}.
+pub fn fig4(ctx: &ExpContext) -> Vec<Table> {
+    [5u64, 25]
+        .iter()
+        .map(|&lambda| {
+            sweep_table(
+                ctx,
+                Dataset::IpTrace,
+                lambda,
+                &format!("Figure 4 (Λ={lambda}): # outliers vs memory, IP trace"),
+            )
+        })
+        .collect()
+}
+
+/// Figure 6: outliers vs memory across datasets, Λ = 25.
+pub fn fig6(ctx: &ExpContext) -> Vec<Table> {
+    let cases = [
+        (Dataset::WebStream, "Figure 6a: Web Stream"),
+        (Dataset::DataCenter, "Figure 6b: University Data Center"),
+        (Dataset::Zipf { skew: 0.3 }, "Figure 6c: Synthetic skew 0.3"),
+        (Dataset::Zipf { skew: 3.0 }, "Figure 6d: Synthetic skew 3.0"),
+    ];
+    cases
+        .iter()
+        .map(|(ds, title)| {
+            sweep_table(
+                ctx,
+                *ds,
+                25,
+                &format!("{title} (# outliers vs memory, Λ=25)"),
+            )
+        })
+        .collect()
+}
+
+fn sweep_table(ctx: &ExpContext, ds: Dataset, lambda: u64, title: &str) -> Table {
+    let (stream, truth) = ctx.load(ds);
+    let sweep = ctx.memory_sweep();
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(title, &headers_ref);
+
+    for (label, factory) in lineup(&Baseline::ACCURACY_SET, lambda) {
+        let mut row = vec![label.clone()];
+        for &mem in &sweep {
+            let mut sk = factory(mem, ctx.seed);
+            ingest(&mut sk, &stream);
+            let rep = evaluate(sk.as_ref(), &truth, lambda);
+            row.push(rep.outliers.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExpContext {
+        ExpContext {
+            items: 40_000,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig4_produces_two_tables_with_all_algorithms() {
+        let ts = fig4(&tiny_ctx());
+        assert_eq!(ts.len(), 2);
+        for t in &ts {
+            assert_eq!(t.len(), 9); // Ours + 8 baselines
+        }
+    }
+
+    #[test]
+    fn ours_beats_cm_fast_at_matched_memory() {
+        // the paper's qualitative claim on any dataset: at the largest
+        // sweep point ReliableSketch has (near-)zero outliers, CM_fast many
+        let ctx = tiny_ctx();
+        let t = &fig4(&ctx)[1]; // Λ=25
+        let csv = t.to_csv();
+        let ours_line: Vec<&str> = csv
+            .lines()
+            .find(|l| l.starts_with("Ours"))
+            .unwrap()
+            .split(',')
+            .collect();
+        let cm_line: Vec<&str> = csv
+            .lines()
+            .find(|l| l.starts_with("CM_fast"))
+            .unwrap()
+            .split(',')
+            .collect();
+        let ours_last: u64 = ours_line.last().unwrap().parse().unwrap();
+        let cm_last: u64 = cm_line.last().unwrap().parse().unwrap();
+        assert!(
+            ours_last <= cm_last,
+            "Ours {ours_last} should not exceed CM_fast {cm_last}"
+        );
+    }
+}

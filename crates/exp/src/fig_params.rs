@@ -1,0 +1,265 @@
+//! Figures 11–15: the parameter studies.
+//!
+//! * **Fig 11** — zero-outlier memory vs `R_w` (curves per `R_λ`);
+//!   expected minimum around `R_w ≈ 2–2.5`, steep growth below 1.6 and
+//!   above 3 (§6.4.1).
+//! * **Fig 12** — memory for target AAE=5 vs `R_w`; flat-ish for
+//!   `R_w ∈ [2, 6]`.
+//! * **Fig 13** — zero-outlier memory vs `R_λ`; drops until ≈2, flat
+//!   after 2.5 (§6.4.2).
+//! * **Fig 14** — memory for target AAE=5 vs `R_λ`.
+//! * **Fig 15** — memory vs the tolerance `Λ` (zero-outlier: inverse
+//!   proportionality; same-AAE: optimum at `Λ ≈ 2–3× target AAE`,
+//!   §6.4.3).
+
+use crate::{build_ours_params, ExpContext};
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::{min_memory_for_target_aae, min_memory_for_zero_outliers, SearchOptions, Table};
+use rsk_stream::Dataset;
+
+/// Sweep values for the decay-rate axes (the paper plots 1.2 – 13).
+fn rate_axis(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![1.4, 2.0, 4.0, 9.0]
+    } else {
+        vec![1.2, 1.4, 1.6, 2.0, 2.5, 3.0, 4.0, 6.0, 9.0, 13.0]
+    }
+}
+
+/// Fixed curve parameters (the paper's legend values).
+const CURVE_RATES: [f64; 4] = [1.4, 2.0, 4.0, 9.0];
+
+fn search_opts(ctx: &ExpContext) -> SearchOptions {
+    let cap = ctx.scale_mem(12 << 20);
+    SearchOptions {
+        min_bytes: ctx.scale_mem(64 * 1024),
+        max_bytes: cap,
+        resolution: (cap / 96).max(1024),
+        seeds: 1,
+    }
+}
+
+enum Goal {
+    ZeroOutliers { lambda: u64 },
+    TargetAae { lambda: u64, aae: f64 },
+}
+
+/// One parameter-study table: memory to reach `goal` as `axis` varies,
+/// one column per curve value.
+fn param_table(ctx: &ExpContext, ds: Dataset, title: &str, vary_rw: bool, goal: Goal) -> Table {
+    let (stream, truth) = ctx.load(ds);
+    let opts = search_opts(ctx);
+    let axis = rate_axis(ctx.quick);
+    let lam = lambda_of(&goal);
+
+    let curve_name = if vary_rw { "R_lambda" } else { "R_w" };
+    let mut headers: Vec<String> = vec![if vary_rw { "R_w" } else { "R_lambda" }.to_string()];
+    headers.extend(CURVE_RATES.iter().map(|r| format!("{curve_name}={r}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(title, &headers_ref);
+
+    for &a in &axis {
+        let mut row = vec![format!("{a}")];
+        for &c in &CURVE_RATES {
+            let (r_w, r_l) = if vary_rw { (a, c) } else { (c, a) };
+            let build = move |mem: usize, seed: u64| build_ours_params(mem, lam, r_w, r_l, seed);
+            let found = match goal {
+                Goal::ZeroOutliers { lambda } => {
+                    min_memory_for_zero_outliers(&build, &stream, &truth, lambda, opts)
+                }
+                Goal::TargetAae { aae, .. } => {
+                    min_memory_for_target_aae(&build, &stream, &truth, aae, opts)
+                }
+            };
+            row.push(match found {
+                Some(m) => fmt_bytes(m),
+                None => ">cap".into(),
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn lambda_of(goal: &Goal) -> u64 {
+    match goal {
+        Goal::ZeroOutliers { lambda } => *lambda,
+        Goal::TargetAae { lambda, .. } => *lambda,
+    }
+}
+
+/// Figure 11: zero-outlier memory vs `R_w` (IP trace and Web stream).
+pub fn fig11(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        param_table(
+            ctx,
+            Dataset::IpTrace,
+            "Figure 11a: zero-outlier memory vs R_w, IP trace (Λ=25)",
+            true,
+            Goal::ZeroOutliers { lambda: 25 },
+        ),
+        param_table(
+            ctx,
+            Dataset::WebStream,
+            "Figure 11b: zero-outlier memory vs R_w, Web stream (Λ=25)",
+            true,
+            Goal::ZeroOutliers { lambda: 25 },
+        ),
+    ]
+}
+
+/// Figure 12: same-AAE memory vs `R_w`.
+pub fn fig12(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        param_table(
+            ctx,
+            Dataset::IpTrace,
+            "Figure 12a: memory for AAE=5 vs R_w, IP trace",
+            true,
+            Goal::TargetAae {
+                lambda: 25,
+                aae: 5.0,
+            },
+        ),
+        param_table(
+            ctx,
+            Dataset::WebStream,
+            "Figure 12b: memory for AAE=5 vs R_w, Web stream",
+            true,
+            Goal::TargetAae {
+                lambda: 25,
+                aae: 5.0,
+            },
+        ),
+    ]
+}
+
+/// Figure 13: zero-outlier memory vs `R_λ`.
+pub fn fig13(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        param_table(
+            ctx,
+            Dataset::IpTrace,
+            "Figure 13a: zero-outlier memory vs R_lambda, IP trace (Λ=25)",
+            false,
+            Goal::ZeroOutliers { lambda: 25 },
+        ),
+        param_table(
+            ctx,
+            Dataset::WebStream,
+            "Figure 13b: zero-outlier memory vs R_lambda, Web stream (Λ=25)",
+            false,
+            Goal::ZeroOutliers { lambda: 25 },
+        ),
+    ]
+}
+
+/// Figure 14: same-AAE memory vs `R_λ`.
+pub fn fig14(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        param_table(
+            ctx,
+            Dataset::IpTrace,
+            "Figure 14a: memory for AAE=5 vs R_lambda, IP trace",
+            false,
+            Goal::TargetAae {
+                lambda: 25,
+                aae: 5.0,
+            },
+        ),
+        param_table(
+            ctx,
+            Dataset::WebStream,
+            "Figure 14b: memory for AAE=5 vs R_lambda, Web stream",
+            false,
+            Goal::TargetAae {
+                lambda: 25,
+                aae: 5.0,
+            },
+        ),
+    ]
+}
+
+/// Figure 15: memory vs the error threshold Λ.
+pub fn fig15(ctx: &ExpContext) -> Vec<Table> {
+    let lambdas: &[u64] = if ctx.quick {
+        &[15, 25, 50, 100]
+    } else {
+        &[10, 15, 25, 35, 50, 75, 100]
+    };
+    let opts = search_opts(ctx);
+
+    // 15a: zero-outlier memory vs Λ on two datasets
+    let mut a = Table::new(
+        "Figure 15a: zero-outlier memory vs Λ",
+        &["Lambda", "IP Trace", "Web Stream"],
+    );
+    for &lambda in lambdas {
+        let mut row = vec![lambda.to_string()];
+        for ds in [Dataset::IpTrace, Dataset::WebStream] {
+            let (stream, truth) = ctx.load(ds);
+            let build = move |mem: usize, seed: u64| build_ours_params(mem, lambda, 2.0, 2.5, seed);
+            row.push(
+                match min_memory_for_zero_outliers(&build, &stream, &truth, lambda, opts) {
+                    Some(m) => fmt_bytes(m),
+                    None => ">cap".into(),
+                },
+            );
+        }
+        a.row(row);
+    }
+
+    // 15b: memory to reach target AAE ∈ {5,10,15,20} as Λ varies (IP trace)
+    let targets = [5.0f64, 10.0, 15.0, 20.0];
+    let mut headers: Vec<String> = vec!["Lambda".into()];
+    headers.extend(targets.iter().map(|t| format!("AAE={t}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut b = Table::new(
+        "Figure 15b: memory for target AAE vs Λ, IP trace",
+        &headers_ref,
+    );
+    let (stream, truth) = ctx.load(Dataset::IpTrace);
+    for &lambda in lambdas {
+        let mut row = vec![lambda.to_string()];
+        for &aae in &targets {
+            let build = move |mem: usize, seed: u64| build_ours_params(mem, lambda, 2.0, 2.5, seed);
+            row.push(
+                match min_memory_for_target_aae(&build, &stream, &truth, aae, opts) {
+                    Some(m) => fmt_bytes(m),
+                    None => ">cap".into(),
+                },
+            );
+        }
+        b.row(row);
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpContext {
+        ExpContext {
+            items: 20_000,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig11_axis_and_curves() {
+        let ts = fig11(&tiny());
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].len(), 4); // quick axis
+        assert!(ts[0].to_csv().starts_with("R_w,R_lambda=1.4,"));
+    }
+
+    #[test]
+    fn fig15_tables() {
+        let ts = fig15(&tiny());
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].len(), 4);
+        assert_eq!(ts[1].len(), 4);
+    }
+}

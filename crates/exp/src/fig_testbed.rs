@@ -1,0 +1,121 @@
+//! Figure 20: testbed deployment accuracy — the Tofino behavioural model
+//! fed byte-valued packets, sweeping SRAM.
+//!
+//! The paper replays 40 M packets at 40 Gbps through an Edgecore
+//! Wedge 100BF-32X and reports AAE (in Kbps over the replay window) and
+//! the number of outliers for SRAM sizes 92–736 KB (IP trace) and
+//! 23–184 KB (Hadoop). We reproduce the experiment against
+//! `rsk_dataplane::TofinoReliable` with the trimodal packet-size model;
+//! the expected shape is monotone decay of both curves with zero outliers
+//! from 368 KB (IP) / 92 KB (Hadoop) upward at paper scale.
+//!
+//! The byte-domain tolerance is `Λ_bytes = 25 × mean packet size`,
+//! mirroring the packet-domain Λ = 25 of the CPU experiments.
+
+use crate::ExpContext;
+use rsk_api::StreamSummary;
+use rsk_dataplane::TofinoReliable;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::Table;
+use rsk_stream::packets::{bytes_error_to_kbps, PacketSizeModel};
+use rsk_stream::{Dataset, GroundTruth};
+
+/// Figure 20: AAE (Kbps) and outliers vs SRAM on the Tofino model.
+pub fn fig20(ctx: &ExpContext) -> Vec<Table> {
+    let cases = [
+        (
+            Dataset::IpTrace,
+            PacketSizeModel::internet_mix(),
+            vec![92usize, 184, 368, 736],
+            "Figure 20a: IP trace on Tofino model",
+        ),
+        (
+            Dataset::Hadoop,
+            PacketSizeModel::datacenter_mix(),
+            vec![23usize, 46, 92, 184],
+            "Figure 20b: Hadoop on Tofino model",
+        ),
+    ];
+
+    cases
+        .iter()
+        .map(|(ds, sizes, srams, title)| testbed_table(ctx, *ds, sizes, srams, title))
+        .collect()
+}
+
+fn testbed_table(
+    ctx: &ExpContext,
+    ds: Dataset,
+    sizes: &PacketSizeModel,
+    paper_srams_kb: &[usize],
+    title: &str,
+) -> Table {
+    // unit stream → byte-valued stream
+    let unit = ds.generate(ctx.items, ctx.seed);
+    let stream = sizes.apply(&unit, ctx.seed ^ 0xbeef);
+    let truth = GroundTruth::from_items(&stream);
+    let total_bytes = truth.total();
+    let lambda_bytes = (25.0 * sizes.mean()) as u64;
+
+    let mut t = Table::new(
+        format!("{title} (Λ_bytes = {lambda_bytes}, 40 Gbps window)"),
+        &["SRAM", "AAE (Kbps)", "# outliers", "recirculations"],
+    );
+    for &kb in paper_srams_kb {
+        let sram = ctx.scale_mem(kb * 1024);
+        let mut sw = TofinoReliable::<u64>::new(sram, lambda_bytes, ctx.seed);
+        for it in &stream {
+            sw.insert(&it.key, it.value);
+        }
+        let mut abs_sum = 0.0f64;
+        let mut outliers = 0u64;
+        let mut n = 0u64;
+        for (k, f) in truth.iter() {
+            let err = sw.query(k).abs_diff(f);
+            abs_sum += err as f64;
+            if err > lambda_bytes {
+                outliers += 1;
+            }
+            n += 1;
+        }
+        let aae_bytes = abs_sum / n as f64;
+        t.row(vec![
+            fmt_bytes(sram),
+            format!("{:.2}", bytes_error_to_kbps(aae_bytes, total_bytes, 40.0)),
+            outliers.to_string(),
+            sw.recirculations().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig20_shapes_and_decay() {
+        // large enough that the scaled SRAM points stay distinguishable
+        let ctx = ExpContext {
+            items: 400_000,
+            quick: true,
+            ..Default::default()
+        };
+        let ts = fig20(&ctx);
+        assert_eq!(ts.len(), 2);
+        for t in &ts {
+            assert_eq!(t.len(), 4);
+            // outliers shrink (weakly) with SRAM
+            let outliers: Vec<u64> = t
+                .to_csv()
+                .lines()
+                .skip(1)
+                .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+                .collect();
+            assert!(
+                outliers.first().unwrap() >= outliers.last().unwrap(),
+                "outliers should decay with SRAM: {outliers:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 10: insertion and query throughput (Mpps) of every algorithm at
+//! the default 1 MB (paper scale) budget.
+//!
+//! Expected shape (§6.3): Ours(Raw) ≈ 51 Mpps insertion — comparable to
+//! CM_fast/Coco/HashPipe, ≈1.4× over CU_fast and Elastic, several times
+//! over CM_acc/CU_acc/SS; the mice filter halves Ours' raw speed (2 extra
+//! hash calls per op) while buying the Figure 4 accuracy. Absolute Mpps
+//! differ per host; ratios are the result.
+
+use crate::{build_ours, build_ours_raw, ExpContext};
+use rsk_baselines::factory::Baseline;
+use rsk_metrics::{measure_insert_mpps, measure_query_mpps, Table};
+use rsk_stream::Dataset;
+
+/// Figure 10: throughput of all algorithms.
+pub fn fig10(ctx: &ExpContext) -> Vec<Table> {
+    let (stream, _) = ctx.load(Dataset::IpTrace);
+    let mem = ctx.scale_mem(1 << 20);
+    let mut t = Table::new(
+        "Figure 10: throughput (Mpps), IP trace, 1 MB (paper scale)",
+        &["algorithm", "insert Mpps", "query Mpps"],
+    );
+
+    let mut cases: Vec<(String, Box<dyn rsk_api::Sketch<u64>>)> = vec![
+        ("Ours".into(), build_ours(mem, 25, ctx.seed)),
+        ("Ours(Raw)".into(), build_ours_raw(mem, 25, ctx.seed)),
+    ];
+    for b in Baseline::THROUGHPUT_SET {
+        cases.push((b.label().into(), b.build(mem, ctx.seed)));
+    }
+
+    for (label, mut sk) in cases {
+        let ins = measure_insert_mpps(sk.as_mut(), &stream);
+        let qry = measure_query_mpps(sk.as_ref(), &stream);
+        t.row(vec![label, format!("{ins:.2}"), format!("{qry:.2}")]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_measures_everyone() {
+        let ctx = ExpContext {
+            items: 20_000,
+            quick: true,
+            ..Default::default()
+        };
+        let t = &fig10(&ctx)[0];
+        assert_eq!(t.len(), 11); // Ours, Ours(Raw), 9 baselines
+        for line in t.to_csv().lines().skip(1) {
+            let mpps: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert!(mpps > 0.0, "non-positive throughput in {line}");
+        }
+    }
+}

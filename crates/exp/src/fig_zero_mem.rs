@@ -1,0 +1,88 @@
+//! Figure 5: the precise minimum memory each algorithm needs for **zero
+//! outliers** (Λ = 25), on the IP trace and the Web stream.
+//!
+//! Expected shape (paper §6.2.1): on the IP trace ReliableSketch needs
+//! 0.91 MB — about 6.07× / 2.69× / 2.01× / 9.32× less than CM_acc /
+//! CU_acc / SS / Elastic; CM_fast, CU_fast and Coco cannot reach zero
+//! outliers within 10 MB at all.
+
+use crate::{lineup, ExpContext};
+use rsk_baselines::factory::Baseline;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::{min_memory_for_zero_outliers, SearchOptions, Table};
+use rsk_stream::Dataset;
+
+/// The algorithms Figure 5 bars (subset of the accuracy set).
+const FIG5_SET: [Baseline; 7] = [
+    Baseline::CmAcc,
+    Baseline::CuAcc,
+    Baseline::SpaceSaving,
+    Baseline::Elastic,
+    Baseline::CmFast,
+    Baseline::CuFast,
+    Baseline::Coco,
+];
+
+/// Figure 5: zero-outlier memory per algorithm and dataset.
+pub fn fig5(ctx: &ExpContext) -> Vec<Table> {
+    let datasets = [Dataset::IpTrace, Dataset::WebStream];
+    let mut t = Table::new(
+        "Figure 5: minimum memory for zero outliers (Λ=25)",
+        &["algorithm", "IP Trace", "Web Stream", "IP/Ours ratio"],
+    );
+    let cap = ctx.scale_mem(10 << 20); // the paper's 10 MB search ceiling
+    let opts = SearchOptions {
+        min_bytes: ctx.scale_mem(128 * 1024),
+        max_bytes: cap,
+        resolution: (cap / 128).max(1024),
+        seeds: 1,
+    };
+
+    let mut results: Vec<(String, Vec<Option<usize>>)> = Vec::new();
+    for (label, factory) in lineup(&FIG5_SET, 25) {
+        let mut per_ds = Vec::new();
+        for ds in datasets {
+            let (stream, truth) = ctx.load(ds);
+            per_ds.push(min_memory_for_zero_outliers(
+                factory.as_ref(),
+                &stream,
+                &truth,
+                25,
+                opts,
+            ));
+        }
+        results.push((label, per_ds));
+    }
+
+    let ours_ip = results[0].1[0];
+    for (label, per_ds) in &results {
+        let fmt = |m: &Option<usize>| match m {
+            Some(bytes) => fmt_bytes(*bytes),
+            None => format!(">{}", fmt_bytes(cap)),
+        };
+        let ratio = match (per_ds[0], ours_ip) {
+            (Some(m), Some(o)) if o > 0 => format!("{:.2}x", m as f64 / o as f64),
+            _ => "n/a".into(),
+        };
+        t.row(vec![label.clone(), fmt(&per_ds[0]), fmt(&per_ds[1]), ratio]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_ranks_ours_first_or_close() {
+        let ctx = ExpContext {
+            items: 30_000,
+            quick: true,
+            ..Default::default()
+        };
+        let t = &fig5(&ctx)[0];
+        assert_eq!(t.len(), 8); // Ours + 7 baselines
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).unwrap().starts_with("Ours,"));
+    }
+}

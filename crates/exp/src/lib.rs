@@ -1,0 +1,227 @@
+//! # rsk-exp — reproduction harness
+//!
+//! One module per table/figure family of the paper's evaluation (§6).
+//! Every module exposes `run(&ExpContext) -> Vec<Table>`; the `repro`
+//! binary dispatches on target names (`fig4`, `table3`, `all`, …), prints
+//! the tables and writes CSVs under `results/`.
+//!
+//! ## Scaling
+//!
+//! The paper's experiments process 10 M items against 0.25–4 MB sketches.
+//! Laptop-scale runs default to 1 M items, and **memory axes are scaled by
+//! the same factor**, which preserves the collision pressure (items per
+//! bucket) and therefore the *shape* of every curve: who wins, by what
+//! factor, and where crossovers fall. `--items 10000000` restores paper
+//! scale; `--quick` drops to 100 K items for CI smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rsk_api::Sketch;
+use rsk_baselines::factory::Baseline;
+use rsk_core::{MiceFilterConfig, ReliableConfig, ReliableSketch};
+use rsk_stream::{Dataset, GroundTruth, Item};
+use std::path::PathBuf;
+
+pub mod fig_ablation;
+pub mod fig_delta;
+pub mod fig_elephant;
+pub mod fig_error;
+pub mod fig_hash_calls;
+pub mod fig_intro;
+pub mod fig_layers;
+pub mod fig_outliers;
+pub mod fig_params;
+pub mod fig_sensing;
+pub mod fig_testbed;
+pub mod fig_throughput;
+pub mod fig_zero_mem;
+pub mod tables;
+
+pub use rsk_metrics::Table;
+
+/// Item count of every evaluation in the paper (§6.1.2).
+pub const PAPER_ITEMS: usize = 10_000_000;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Items per generated stream.
+    pub items: usize,
+    /// Base seed; repetitions offset from it.
+    pub seed: u64,
+    /// Shrink sweeps for CI smoke runs.
+    pub quick: bool,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        Self {
+            items: 1_000_000,
+            seed: 1,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpContext {
+    /// Scale a paper-scale byte count to this run's stream length.
+    pub fn scale_mem(&self, paper_bytes: usize) -> usize {
+        let f = self.items as f64 / PAPER_ITEMS as f64;
+        ((paper_bytes as f64 * f) as usize).max(1024)
+    }
+
+    /// The paper's standard memory sweep (0.25–4 MB at paper scale),
+    /// scaled to this run.
+    pub fn memory_sweep(&self) -> Vec<usize> {
+        let points: &[usize] = if self.quick {
+            &[1 << 19, 1 << 20, 1 << 21, 1 << 22]
+        } else {
+            &[
+                1 << 18, // 0.25 MB
+                1 << 19, // 0.5 MB
+                1 << 20, // 1 MB
+                3 << 19, // 1.5 MB
+                1 << 21, // 2 MB
+                3 << 20, // 3 MB
+                1 << 22, // 4 MB
+            ]
+        };
+        points.iter().map(|&p| self.scale_mem(p)).collect()
+    }
+
+    /// Generate a dataset stream plus its ground truth.
+    pub fn load(&self, ds: Dataset) -> (Vec<Item<u64>>, GroundTruth<u64>) {
+        let stream = ds.generate(self.items, self.seed);
+        let truth = GroundTruth::from_items(&stream);
+        (stream, truth)
+    }
+
+    /// Number of repetitions for worst-case experiments (paper: 100).
+    pub fn repetitions(&self) -> u64 {
+        if self.quick {
+            5
+        } else {
+            20
+        }
+    }
+}
+
+/// Build the paper-default ReliableSketch ("Ours") at a byte budget.
+pub fn build_ours(memory_bytes: usize, lambda: u64, seed: u64) -> Box<dyn Sketch<u64>> {
+    Box::new(
+        ReliableSketch::<u64>::builder()
+            .memory_bytes(memory_bytes)
+            .error_tolerance(lambda)
+            .seed(seed)
+            .build::<u64>(),
+    )
+}
+
+/// Build the no-mice-filter variant ("Ours(Raw)").
+pub fn build_ours_raw(memory_bytes: usize, lambda: u64, seed: u64) -> Box<dyn Sketch<u64>> {
+    Box::new(
+        ReliableSketch::<u64>::builder()
+            .memory_bytes(memory_bytes)
+            .error_tolerance(lambda)
+            .raw()
+            .seed(seed)
+            .build::<u64>(),
+    )
+}
+
+/// Build "Ours" with an explicit `(R_w, R_λ)` (parameter studies).
+pub fn build_ours_params(
+    memory_bytes: usize,
+    lambda: u64,
+    r_w: f64,
+    r_lambda: f64,
+    seed: u64,
+) -> Box<dyn Sketch<u64>> {
+    Box::new(ReliableSketch::<u64>::new(ReliableConfig {
+        memory_bytes,
+        lambda,
+        r_w,
+        r_lambda,
+        mice_filter: Some(MiceFilterConfig::default()),
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// Feed a stream into a boxed sketch.
+pub fn ingest(sketch: &mut Box<dyn Sketch<u64>>, stream: &[Item<u64>]) {
+    for it in stream {
+        sketch.insert(&it.key, it.value);
+    }
+}
+
+/// A named sketch factory, as produced by [`lineup`].
+pub type NamedFactory = (String, Box<dyn Fn(usize, u64) -> Box<dyn Sketch<u64>>>);
+
+/// `(label, factory)` pairs: "Ours" plus the given baseline set, all at
+/// tolerance `lambda`.
+pub fn lineup(baselines: &[Baseline], lambda: u64) -> Vec<NamedFactory> {
+    let mut v: Vec<NamedFactory> = vec![(
+        "Ours".to_string(),
+        Box::new(move |mem, seed| build_ours(mem, lambda, seed)),
+    )];
+    for b in baselines {
+        let b = *b;
+        v.push((
+            b.label().to_string(),
+            Box::new(move |mem, seed| b.build(mem, seed)),
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_scaling_follows_items() {
+        let ctx = ExpContext {
+            items: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(ctx.scale_mem(10 << 20), 1 << 20);
+        let full = ExpContext {
+            items: PAPER_ITEMS,
+            ..Default::default()
+        };
+        assert_eq!(full.scale_mem(1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn sweep_is_increasing() {
+        let ctx = ExpContext::default();
+        let sweep = ctx.memory_sweep();
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sweep.len(), 7);
+    }
+
+    #[test]
+    fn lineup_contains_ours_first() {
+        let l = lineup(&Baseline::ACCURACY_SET, 25);
+        assert_eq!(l[0].0, "Ours");
+        assert_eq!(l.len(), 9);
+        let sk = (l[0].1)(64 * 1024, 1);
+        assert_eq!(sk.name(), "Ours");
+    }
+
+    #[test]
+    fn context_loads_streams() {
+        let ctx = ExpContext {
+            items: 10_000,
+            ..Default::default()
+        };
+        let (stream, truth) = ctx.load(Dataset::Hadoop);
+        assert_eq!(stream.len(), 10_000);
+        assert_eq!(truth.total(), 10_000);
+    }
+}

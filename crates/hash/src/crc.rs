@@ -1,0 +1,89 @@
+//! CRC-32 (IEEE 802.3, reflected) — the hash family programmable-switch
+//! pipelines compute natively; the Tofino implementation of ReliableSketch
+//! derives its per-layer indexes from seeded CRCs (§5.2, Table 4's "Hash
+//! Bits" row). Table-driven, one 256-entry table built at first use.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC (the Ethernet CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed once.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE 802.3: init `0xFFFF_FFFF`, final xor
+/// `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_seeded(data, 0)
+}
+
+/// Seeded CRC-32: `seed` is xor-folded into the initial state, giving the
+/// independent per-layer functions a switch derives by seeding its CRC
+/// units differently.
+#[inline]
+pub fn crc32_seeded(data: &[u8], seed: u32) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32 ^ seed;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // the standard CRC-32 check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let digests: std::collections::HashSet<u32> =
+            (0..64).map(|s| crc32_seeded(b"flowkey", s)).collect();
+        assert_eq!(digests.len(), 64, "seeded CRCs must differ");
+        // seed 0 reduces to the plain CRC
+        assert_eq!(crc32_seeded(b"xyz", 0), crc32(b"xyz"));
+    }
+
+    #[test]
+    fn incremental_bytes_change_digest() {
+        let mut last = crc32(b"");
+        let data = b"stream-summary";
+        for len in 1..=data.len() {
+            let h = crc32(&data[..len]);
+            assert_ne!(h, last);
+            last = h;
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! FNV-1a 64-bit — kept as a structurally unrelated second hash family for
+//! tests that must distinguish "two different hash functions" from "the same
+//! function with two seeds".
+
+/// FNV-1a over `data`, folding `seed` into the offset basis.
+#[inline]
+pub fn fnv1a64(data: &[u8], seed: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ seed.wrapping_mul(PRIME);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors_seed_zero() {
+        // Canonical FNV-1a test vectors (seed 0 keeps the standard basis).
+        assert_eq!(fnv1a64(b"", 0), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a", 0), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar", 0), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        assert_ne!(fnv1a64(b"key", 1), fnv1a64(b"key", 2));
+    }
+
+    #[test]
+    fn differs_from_murmur() {
+        let h1 = fnv1a64(b"independence", 0) as u32;
+        let h2 = crate::murmur3_x86_32(b"independence", 0);
+        assert_ne!(h1, h2);
+    }
+}

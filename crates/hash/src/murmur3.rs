@@ -1,0 +1,275 @@
+//! MurmurHash3 (Austin Appleby, public domain), reimplemented in safe Rust.
+//!
+//! Two variants are provided:
+//! * `murmur3_x86_32` — the 32-bit digest used by all sketch cell lookups
+//!   (the paper's §6.1.1 implementation choice);
+//! * `murmur3_x64_128` — the 128-bit digest used where wider digests are
+//!   required.
+//!
+//! Both are verified against the reference test vectors from the original
+//! `smhasher` distribution.
+
+/// 32-bit MurmurHash3 (the `MurmurHash3_x86_32` reference function).
+#[inline]
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+
+    let mut h1 = seed;
+    let mut chunks = data.chunks_exact(4);
+
+    for chunk in &mut chunks {
+        let mut k1 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1: u32 = 0;
+    if tail.len() >= 3 {
+        k1 ^= (tail[2] as u32) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= (tail[1] as u32) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= tail[0] as u32;
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    fmix32(h1)
+}
+
+/// Final avalanche mix of MurmurHash3 (32-bit).
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// 128-bit MurmurHash3 (the `MurmurHash3_x64_128` reference function).
+///
+/// Returns the digest as a `u128` packed so that its hexadecimal rendering
+/// matches the canonical textual digest: the reference implementation's `h1`
+/// occupies the high 64 bits and `h2` the low 64 bits.
+pub fn murmur3_x64_128(data: &[u8], seed: u32) -> u128 {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    let mut h1 = seed as u64;
+    let mut h2 = seed as u64;
+
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    // the reference implementation reads the tail with a fallthrough switch
+    let t = |i: usize| tail[i] as u64;
+    if tail.len() >= 15 {
+        k2 ^= t(14) << 48;
+    }
+    if tail.len() >= 14 {
+        k2 ^= t(13) << 40;
+    }
+    if tail.len() >= 13 {
+        k2 ^= t(12) << 32;
+    }
+    if tail.len() >= 12 {
+        k2 ^= t(11) << 24;
+    }
+    if tail.len() >= 11 {
+        k2 ^= t(10) << 16;
+    }
+    if tail.len() >= 10 {
+        k2 ^= t(9) << 8;
+    }
+    if tail.len() >= 9 {
+        k2 ^= t(8);
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if tail.len() >= 8 {
+        k1 ^= t(7) << 56;
+    }
+    if tail.len() >= 7 {
+        k1 ^= t(6) << 48;
+    }
+    if tail.len() >= 6 {
+        k1 ^= t(5) << 40;
+    }
+    if tail.len() >= 5 {
+        k1 ^= t(4) << 32;
+    }
+    if tail.len() >= 4 {
+        k1 ^= t(3) << 24;
+    }
+    if tail.len() >= 3 {
+        k1 ^= t(2) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= t(1) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= t(0);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// Final avalanche mix of MurmurHash3 (64-bit).
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors for MurmurHash3_x86_32 (Wikipedia / smhasher).
+    #[test]
+    fn x86_32_reference_vectors() {
+        let cases: &[(&[u8], u32, u32)] = &[
+            (b"", 0, 0),
+            (b"", 1, 0x514e_28b7),
+            (b"", 0xffff_ffff, 0x81f1_6f39),
+            (b"\x00\x00\x00\x00", 0, 0x2362_f9de),
+            (b"aaaa", 0x9747_b28c, 0x5a97_808a),
+            (b"aaa", 0x9747_b28c, 0x283e_0130),
+            (b"aa", 0x9747_b28c, 0x5d21_1726),
+            (b"a", 0x9747_b28c, 0x7fa0_9ea6),
+            (b"abcd", 0x9747_b28c, 0xf047_8627),
+            (b"abc", 0x9747_b28c, 0xc84a_62dd),
+            (b"ab", 0x9747_b28c, 0x7487_5592),
+            (b"Hello, world!", 0x9747_b28c, 0x2488_4cba),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                0x9747_b28c,
+                0x2fa8_26cd,
+            ),
+        ];
+        for &(data, seed, expect) in cases {
+            assert_eq!(
+                murmur3_x86_32(data, seed),
+                expect,
+                "x86_32({:?}, {seed:#x})",
+                core::str::from_utf8(data).unwrap_or("<bytes>")
+            );
+        }
+    }
+
+    #[test]
+    fn x64_128_reference_vectors() {
+        // h1||h2 digests from the smhasher reference implementation.
+        let cases: &[(&[u8], u32, u128)] = &[
+            (b"", 0, 0),
+            (b"hello", 0, 0xcbd8a7b341bd9b025b1e906a48ae1d19),
+            (b"hello, world", 0, 0x342fac623a5ebc8e4cdcbc079642414d),
+            // smhasher prints this digest as the little-endian byte dump
+            // "6c1b07bc7bbc4be347939ac4a93c437a"; packed h1||h2 it reads:
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                0,
+                0xe34bbc7bbc071b6c7a433ca9c49a9347,
+            ),
+        ];
+        for &(data, seed, expect) in cases {
+            assert_eq!(
+                murmur3_x64_128(data, seed),
+                expect,
+                "x64_128({:?}, {seed})",
+                core::str::from_utf8(data).unwrap_or("<bytes>")
+            );
+        }
+    }
+
+    #[test]
+    fn x86_32_all_tail_lengths() {
+        // exercise every remainder length 0..=3 with a fixed prefix
+        let data = b"0123456789abcdef";
+        let mut last = None;
+        for len in 0..=data.len() {
+            let h = murmur3_x86_32(&data[..len], 7);
+            assert_ne!(Some(h), last, "adjacent lengths should differ");
+            last = Some(h);
+        }
+    }
+
+    #[test]
+    fn x64_128_all_tail_lengths() {
+        let data = b"0123456789abcdef0123456789abcdef";
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            assert!(seen.insert(murmur3_x64_128(&data[..len], 7)));
+        }
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        for seed in 1u32..64 {
+            assert_ne!(
+                murmur3_x86_32(b"key", seed),
+                murmur3_x86_32(b"key", seed - 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Binomial confidence intervals for seed-replicated experiments.
+//!
+//! Experiments like the empirical-Δ study (`repro delta`) estimate a
+//! failure *probability* from a handful of seed replications; reporting
+//! the raw fraction alone overstates certainty ("0/20 runs failed" does
+//! not mean `Δ = 0`). The Wilson score interval is the standard small-`n`
+//! interval for such proportions — unlike the normal approximation it
+//! behaves sanely at 0 and 1 — and its upper bound at zero successes,
+//! `≈ z²/(n + z²)`, is the right number to quote as "the Δ we can rule
+//! out at this confidence".
+
+/// Two-sided Wilson score interval for a binomial proportion.
+///
+/// `successes` out of `trials`, at the given `z` (1.96 ≈ 95 %,
+/// 2.576 ≈ 99 %). Returns `(low, high)` with `0 ≤ low ≤ p̂ ≤ high ≤ 1`.
+///
+/// ```
+/// use rsk_metrics::confidence::wilson_interval;
+///
+/// // 0 outlier runs out of 20 seeds does NOT mean Δ = 0:
+/// let (low, high) = wilson_interval(0, 20, 1.96);
+/// assert_eq!(low, 0.0);
+/// assert!(high > 0.1 && high < 0.2); // ≈ 0.16 — all we can claim
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "no trials, no interval");
+    assert!(successes <= trials);
+    assert!(z > 0.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The "rule-three"-style upper bound on a probability after observing
+/// zero events in `trials` runs, at `z` standard scores (Wilson upper
+/// bound at 0 successes).
+pub fn zero_event_upper_bound(trials: u64, z: f64) -> f64 {
+    wilson_interval(0, trials, z).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_the_point_estimate() {
+        for (s, n) in [(0u64, 10u64), (1, 10), (5, 10), (10, 10), (3, 100)] {
+            let (low, high) = wilson_interval(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(
+                low <= p + 1e-12 && p - 1e-12 <= high,
+                "{s}/{n}: {low}..{high}"
+            );
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+        }
+    }
+
+    #[test]
+    fn shrinks_with_more_trials() {
+        let (_, h20) = wilson_interval(0, 20, 1.96);
+        let (_, h100) = wilson_interval(0, 100, 1.96);
+        let (_, h1000) = wilson_interval(0, 1000, 1.96);
+        assert!(h20 > h100 && h100 > h1000);
+    }
+
+    #[test]
+    fn widens_with_confidence() {
+        let (_, h95) = wilson_interval(0, 20, 1.96);
+        let (_, h99) = wilson_interval(0, 20, 2.576);
+        assert!(h99 > h95);
+    }
+
+    #[test]
+    fn symmetric_cases() {
+        // p̂ = 0.5 centers the interval
+        let (low, high) = wilson_interval(10, 20, 1.96);
+        assert!((low + high - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_value_spot_check() {
+        // classic: 0/20 at 95 % → upper ≈ 0.1611
+        let high = zero_event_upper_bound(20, 1.96);
+        assert!((high - 0.1611).abs() < 2e-3, "got {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn rejects_zero_trials() {
+        wilson_interval(0, 0, 1.96);
+    }
+}

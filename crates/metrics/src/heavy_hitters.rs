@@ -1,0 +1,159 @@
+//! Heavy-hitter report quality: precision / recall / F1 against the
+//! oracle, with the Λ-aware "hard error" notion the paper's introduction
+//! uses (a flow below `T − Λ` flagged heavy, or above `T + Λ` missed, is
+//! inexcusable for a sketch with the all-keys guarantee; flows inside the
+//! `±Λ` band are legitimately ambiguous).
+
+use rsk_stream::GroundTruth;
+
+/// Quality of one heavy-hitter report at threshold `T` and tolerance `Λ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HhReport {
+    /// Reported keys that are truly above `T`.
+    pub true_positives: usize,
+    /// Reported keys below `T` (any miss).
+    pub false_positives: usize,
+    /// Keys above `T` that were not reported.
+    pub false_negatives: usize,
+    /// Reported keys below `T − Λ` — impossible under the guarantee.
+    pub hard_false_positives: usize,
+    /// Keys above `T + Λ` that were not reported — impossible under the
+    /// guarantee.
+    pub hard_false_negatives: usize,
+}
+
+impl HhReport {
+    /// Score `reported` against the oracle.
+    pub fn score(
+        reported: impl IntoIterator<Item = u64>,
+        truth: &GroundTruth<u64>,
+        threshold: u64,
+        lambda: u64,
+    ) -> Self {
+        let reported: std::collections::HashSet<u64> = reported.into_iter().collect();
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut hard_fp = 0;
+        for &k in &reported {
+            let f = truth.freq(&k);
+            if f >= threshold {
+                tp += 1;
+            } else {
+                fp += 1;
+                if f < threshold.saturating_sub(lambda) {
+                    hard_fp += 1;
+                }
+            }
+        }
+        let mut fnn = 0;
+        let mut hard_fn = 0;
+        for (k, f) in truth.iter() {
+            if f >= threshold && !reported.contains(k) {
+                fnn += 1;
+                if f > threshold + lambda {
+                    hard_fn += 1;
+                }
+            }
+        }
+        Self {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fnn,
+            hard_false_positives: hard_fp,
+            hard_false_negatives: hard_fn,
+        }
+    }
+
+    /// `tp / (tp + fp)`, 1 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`, 1 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// No hard errors: what the all-keys guarantee promises.
+    pub fn guarantee_clean(&self) -> bool {
+        self.hard_false_positives == 0 && self.hard_false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsk_api::StreamSummary;
+
+    fn oracle() -> GroundTruth<u64> {
+        let mut gt = GroundTruth::new();
+        // keys 0..100 with f = 10·k: heavy at T=500 ⇔ k ≥ 50
+        for k in 0u64..100 {
+            gt.insert(&k, 10 * k);
+        }
+        gt
+    }
+
+    #[test]
+    fn perfect_report() {
+        let truth = oracle();
+        let r = HhReport::score(50..100u64, &truth, 500, 25);
+        assert_eq!(r.true_positives, 50);
+        assert_eq!(r.false_positives, 0);
+        assert_eq!(r.false_negatives, 0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.f1(), 1.0);
+        assert!(r.guarantee_clean());
+    }
+
+    #[test]
+    fn soft_vs_hard_false_positives() {
+        let truth = oracle();
+        // key 48 (f=480, inside the 500−25 band) is a soft FP;
+        // key 10 (f=100) is a hard FP
+        let r = HhReport::score(vec![48u64, 10], &truth, 500, 25);
+        assert_eq!(r.false_positives, 2);
+        assert_eq!(r.hard_false_positives, 1);
+        assert!(!r.guarantee_clean());
+    }
+
+    #[test]
+    fn soft_vs_hard_false_negatives() {
+        let truth = oracle();
+        // report everything heavy except keys 50 (f=500, soft miss) and
+        // 99 (f=990, hard miss: 990 > 525)
+        let reported: Vec<u64> = (51..99).collect();
+        let r = HhReport::score(reported, &truth, 500, 25);
+        assert_eq!(r.false_negatives, 2);
+        assert_eq!(r.hard_false_negatives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let truth = GroundTruth::new();
+        let r = HhReport::score(std::iter::empty(), &truth, 100, 25);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rsk-metrics — evaluation metrics and measurement harness
+//!
+//! Implements the paper's four metrics (§6.1.3) and the measurement
+//! machinery its figures need:
+//!
+//! * [`error`] — `# Outliers`, AAE, ARE, max error, error distributions;
+//! * [`throughput`] — wall-clock insert/query throughput in Mpps;
+//! * [`search`] — bisection for "minimum memory achieving zero outliers"
+//!   (Figures 5, 11–15) and "memory achieving a target AAE";
+//! * [`report`] — plain-text/CSV table emission shared by the `repro`
+//!   binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confidence;
+pub mod error;
+pub mod heavy_hitters;
+pub mod percentile;
+pub mod report;
+pub mod search;
+pub mod throughput;
+
+pub use confidence::{wilson_interval, zero_event_upper_bound};
+pub use error::{evaluate, evaluate_subset, ErrorReport};
+pub use heavy_hitters::HhReport;
+pub use percentile::TailSummary;
+pub use report::Table;
+pub use search::{min_memory_for_target_aae, min_memory_for_zero_outliers, SearchOptions};
+pub use throughput::{measure_insert_mpps, measure_query_mpps};
+
+/// A function that builds a sketch at a given memory budget and seed —
+/// the shape every sweep in the harness works with.
+pub type SketchFactory = Box<dyn Fn(usize, u64) -> Box<dyn rsk_api::Sketch<u64>>>;

@@ -1,0 +1,90 @@
+//! Percentile helpers over error distributions — used to read Figure
+//! 19b-style "error at the top 10⁻ᵏ fraction of keys" points out of a
+//! sorted error vector, and generally handy for tail analysis.
+
+/// Value at the `q`-quantile (0 = smallest, 1 = largest) of an ascending
+/// or descending sorted slice, by nearest-rank.
+///
+/// # Panics
+/// Panics on an empty slice or `q ∉ [0, 1]`.
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "quantile of empty distribution");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    // nearest-rank: the ⌈q·N⌉-th smallest value
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+/// Error at the top-`ratio` rank of a *descending* error distribution —
+/// Figure 19b's x-axis ("logarithmic ratio" of keys).
+pub fn at_top_ratio(desc: &[u64], ratio: f64) -> u64 {
+    assert!(!desc.is_empty());
+    assert!((0.0..=1.0).contains(&ratio));
+    let idx = (((desc.len() as f64) * ratio) as usize).min(desc.len() - 1);
+    desc[idx]
+}
+
+/// Summary of a distribution's tail: max, p99, p95, p50.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailSummary {
+    /// Largest value.
+    pub max: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Median.
+    pub p50: u64,
+}
+
+impl TailSummary {
+    /// Summarize an unsorted error vector.
+    pub fn of(values: &[u64]) -> Self {
+        assert!(!values.is_empty());
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        Self {
+            max: *sorted.last().unwrap(),
+            p99: quantile_sorted(&sorted, 0.99),
+            p95: quantile_sorted(&sorted, 0.95),
+            p50: quantile_sorted(&sorted, 0.50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let asc: Vec<u64> = (0..=100).collect();
+        assert_eq!(quantile_sorted(&asc, 0.0), 0);
+        assert_eq!(quantile_sorted(&asc, 0.5), 50);
+        assert_eq!(quantile_sorted(&asc, 1.0), 100);
+    }
+
+    #[test]
+    fn top_ratio_reads_descending_head() {
+        let desc: Vec<u64> = (0..1000).rev().collect(); // 999, 998, …
+        assert_eq!(at_top_ratio(&desc, 0.0), 999);
+        assert_eq!(at_top_ratio(&desc, 0.001), 998);
+        assert_eq!(at_top_ratio(&desc, 1.0), 0);
+    }
+
+    #[test]
+    fn tail_summary() {
+        let values: Vec<u64> = (1..=100).collect();
+        let t = TailSummary::of(&values);
+        assert_eq!(t.max, 100);
+        assert_eq!(t.p99, 99);
+        assert_eq!(t.p95, 95);
+        assert_eq!(t.p50, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        quantile_sorted(&[], 0.5);
+    }
+}

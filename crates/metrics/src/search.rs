@@ -1,0 +1,256 @@
+//! Memory bisection: "how much memory does algorithm X need to reach
+//! goal G on this stream?" — the workhorse behind Figure 5 (zero-outlier
+//! memory), Figures 11–14 (parameter ablations) and Figure 15 (Λ sweep).
+//!
+//! Outlier count is not perfectly monotone in memory (hash luck), so the
+//! search (a) bisects on the predicate, then (b) verifies the returned
+//! budget and, if the paper-style stability check is requested, a few
+//! escalating budgets above it.
+
+use crate::error::{evaluate, ErrorReport};
+use rsk_api::Sketch;
+use rsk_stream::{GroundTruth, Item};
+
+/// Bisection options.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Lower bound of the search window (bytes).
+    pub min_bytes: usize,
+    /// Upper bound of the search window (bytes).
+    pub max_bytes: usize,
+    /// Stop when the window narrows below this (bytes).
+    pub resolution: usize,
+    /// Evaluate this many seeds per probe and require *all* to pass
+    /// (the paper presents worst-case-of-100-seeds curves in Figure 7).
+    pub seeds: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            min_bytes: 8 * 1024,
+            max_bytes: 16 << 20,
+            resolution: 16 * 1024,
+            seeds: 1,
+        }
+    }
+}
+
+/// Smallest memory in the window for which `build(mem, seed)` yields zero
+/// outliers at tolerance `lambda` for **all** probed seeds, or `None` if
+/// even `max_bytes` fails.
+pub fn min_memory_for_zero_outliers(
+    build: &dyn Fn(usize, u64) -> Box<dyn Sketch<u64>>,
+    stream: &[Item<u64>],
+    truth: &GroundTruth<u64>,
+    lambda: u64,
+    opts: SearchOptions,
+) -> Option<usize> {
+    min_memory_such_that(
+        build,
+        stream,
+        truth,
+        opts,
+        &|rep: &ErrorReport| rep.outliers == 0,
+        lambda,
+    )
+}
+
+/// Smallest memory in the window reaching `AAE ≤ target_aae`.
+pub fn min_memory_for_target_aae(
+    build: &dyn Fn(usize, u64) -> Box<dyn Sketch<u64>>,
+    stream: &[Item<u64>],
+    truth: &GroundTruth<u64>,
+    target_aae: f64,
+    opts: SearchOptions,
+) -> Option<usize> {
+    min_memory_such_that(
+        build,
+        stream,
+        truth,
+        opts,
+        &move |rep: &ErrorReport| rep.aae <= target_aae,
+        u64::MAX,
+    )
+}
+
+fn min_memory_such_that(
+    build: &dyn Fn(usize, u64) -> Box<dyn Sketch<u64>>,
+    stream: &[Item<u64>],
+    truth: &GroundTruth<u64>,
+    opts: SearchOptions,
+    good: &dyn Fn(&ErrorReport) -> bool,
+    lambda: u64,
+) -> Option<usize> {
+    let probe = |mem: usize| -> bool {
+        (0..opts.seeds).all(|seed| {
+            let mut sk = build(mem, seed);
+            for it in stream {
+                sk.insert(&it.key, it.value);
+            }
+            good(&evaluate(sk.as_ref(), truth, lambda))
+        })
+    };
+
+    if !probe(opts.max_bytes) {
+        return None;
+    }
+    let (mut lo, mut hi) = (opts.min_bytes, opts.max_bytes);
+    if probe(lo) {
+        return Some(lo);
+    }
+    // invariant: lo fails, hi passes
+    while hi - lo > opts.resolution.max(1) {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsk_api::{Algorithm, MemoryFootprint, StreamSummary};
+    use rsk_stream::Item;
+
+    /// Toy sketch whose error is exactly `threshold_bytes / mem` — makes
+    /// the bisection target analytic.
+    struct Synthetic {
+        mem: usize,
+        truth: GroundTruth<u64>,
+    }
+    impl StreamSummary<u64> for Synthetic {
+        fn insert(&mut self, k: &u64, v: u64) {
+            rsk_api::StreamSummary::insert(&mut self.truth, k, v);
+        }
+        fn query(&self, k: &u64) -> u64 {
+            // error shrinks inversely with memory
+            self.truth.freq(k) + (1_000_000 / self.mem) as u64
+        }
+    }
+    impl MemoryFootprint for Synthetic {
+        fn memory_bytes(&self) -> usize {
+            self.mem
+        }
+    }
+    impl Algorithm for Synthetic {
+        fn name(&self) -> String {
+            "Synthetic".into()
+        }
+    }
+
+    fn fixture() -> (Vec<Item<u64>>, GroundTruth<u64>) {
+        let stream: Vec<Item<u64>> = (0..200u64).map(Item::unit).collect();
+        let truth = GroundTruth::from_items(&stream);
+        (stream, truth)
+    }
+
+    #[test]
+    fn finds_the_analytic_threshold() {
+        let (stream, truth) = fixture();
+        // zero outliers at Λ=25 needs ⌊1e6/mem⌋ ≤ 25 → mem ≥ ⌈1e6/26⌉ = 38_462
+        let opts = SearchOptions {
+            min_bytes: 1_000,
+            max_bytes: 1_000_000,
+            resolution: 500,
+            seeds: 1,
+        };
+        let found = min_memory_for_zero_outliers(
+            &|mem, _| {
+                Box::new(Synthetic {
+                    mem,
+                    truth: GroundTruth::new(),
+                })
+            },
+            &stream,
+            &truth,
+            25,
+            opts,
+        )
+        .unwrap();
+        assert!(
+            (38_400..=39_500).contains(&found),
+            "expected ≈38_462, got {found}"
+        );
+    }
+
+    #[test]
+    fn none_when_even_max_fails() {
+        let (stream, truth) = fixture();
+        let opts = SearchOptions {
+            min_bytes: 100,
+            max_bytes: 1_000,
+            resolution: 50,
+            seeds: 1,
+        };
+        assert!(min_memory_for_zero_outliers(
+            &|mem, _| Box::new(Synthetic {
+                mem,
+                truth: GroundTruth::new()
+            }),
+            &stream,
+            &truth,
+            25,
+            opts,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn lower_bound_short_circuits() {
+        let (stream, truth) = fixture();
+        let opts = SearchOptions {
+            min_bytes: 500_000,
+            max_bytes: 1_000_000,
+            resolution: 1_000,
+            seeds: 1,
+        };
+        let found = min_memory_for_zero_outliers(
+            &|mem, _| {
+                Box::new(Synthetic {
+                    mem,
+                    truth: GroundTruth::new(),
+                })
+            },
+            &stream,
+            &truth,
+            25,
+            opts,
+        )
+        .unwrap();
+        assert_eq!(found, 500_000);
+    }
+
+    #[test]
+    fn aae_target_search() {
+        let (stream, truth) = fixture();
+        // AAE = ⌊1e6/mem⌋ ≤ 5 → mem ≥ ⌈1e6/6⌉ = 166_667
+        let opts = SearchOptions {
+            min_bytes: 10_000,
+            max_bytes: 1_000_000,
+            resolution: 2_000,
+            seeds: 1,
+        };
+        let found = min_memory_for_target_aae(
+            &|mem, _| {
+                Box::new(Synthetic {
+                    mem,
+                    truth: GroundTruth::new(),
+                })
+            },
+            &stream,
+            &truth,
+            5.0,
+            opts,
+        )
+        .unwrap();
+        assert!(
+            (165_000..=172_000).contains(&found),
+            "expected ≈166_667, got {found}"
+        );
+    }
+}

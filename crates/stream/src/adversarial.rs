@@ -1,0 +1,125 @@
+//! Stress workloads for failure injection.
+//!
+//! The core guarantee of ReliableSketch ("no outliers unless an insertion
+//! fails, and insertion failures are vanishingly rare at recommended
+//! parameters") must be tested *outside* its comfort zone. These generators
+//! produce streams engineered to maximize lock cascades and force insertion
+//! failures in deliberately undersized sketches.
+
+use crate::{Item, Stream};
+use rsk_hash::{splitmix64, SplitMix64};
+
+/// Every item carries a distinct key — the worst case for election-based
+/// buckets (nobody ever wins a majority).
+pub fn all_distinct(n_items: usize, seed: u64) -> Stream {
+    (0..n_items as u64)
+        .map(|i| Item::unit(splitmix64(i ^ seed.rotate_left(17))))
+        .collect()
+}
+
+/// `n_keys` keys with perfectly equal frequencies, interleaved round-robin —
+/// maximizes sustained vote ties.
+pub fn round_robin(n_items: usize, n_keys: u64, seed: u64) -> Stream {
+    assert!(n_keys > 0);
+    (0..n_items as u64)
+        .map(|i| Item::unit(splitmix64((i % n_keys) ^ seed)))
+        .collect()
+}
+
+/// One elephant key carrying `heavy_share` of the stream, the rest uniform
+/// mice — exercises the mice-filter/elephant split.
+pub fn single_heavy(n_items: usize, heavy_share: f64, n_mice: u64, seed: u64) -> Stream {
+    assert!((0.0..=1.0).contains(&heavy_share));
+    let mut rng = SplitMix64::new(seed);
+    let heavy_key = splitmix64(seed ^ 0xe1ef);
+    (0..n_items)
+        .map(|_| {
+            if rng.next_f64() < heavy_share {
+                Item::unit(heavy_key)
+            } else {
+                Item::unit(splitmix64(rng.next_bounded(n_mice.max(1)) ^ seed ^ 0x3a7))
+            }
+        })
+        .collect()
+}
+
+/// Items with large, highly variable values — exercises the weighted-insert
+/// path (splitting a value across layers on lock).
+pub fn heavy_values(n_items: usize, n_keys: u64, max_value: u64, seed: u64) -> Stream {
+    let mut rng = SplitMix64::new(seed);
+    (0..n_items)
+        .map(|_| {
+            let key = splitmix64(rng.next_bounded(n_keys.max(1)) ^ seed);
+            Item::new(key, 1 + rng.next_bounded(max_value))
+        })
+        .collect()
+}
+
+/// A burst of `n_keys` distinct keys, each appearing exactly `reps` times in
+/// key-major order (all copies of key 1, then key 2, …) — the order that
+/// lets one key capture a bucket before the next arrives.
+pub fn key_major(n_keys: u64, reps: usize, seed: u64) -> Stream {
+    let mut out = Vec::with_capacity(n_keys as usize * reps);
+    for k in 0..n_keys {
+        let key = splitmix64(k ^ seed.rotate_left(31));
+        for _ in 0..reps {
+            out.push(Item::unit(key));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroundTruth;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_distinct_has_unique_keys() {
+        let s = all_distinct(10_000, 5);
+        let keys: HashSet<u64> = s.iter().map(|i| i.key).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn round_robin_equalizes_frequencies() {
+        let s = round_robin(9_000, 30, 1);
+        let gt = GroundTruth::from_items(&s);
+        assert_eq!(gt.distinct(), 30);
+        for (_, f) in gt.iter() {
+            assert_eq!(f, 300);
+        }
+    }
+
+    #[test]
+    fn single_heavy_share_is_respected() {
+        let s = single_heavy(100_000, 0.3, 1000, 2);
+        let gt = GroundTruth::from_items(&s);
+        let max = gt.max_freq() as f64;
+        assert!(
+            (max / 100_000.0 - 0.3).abs() < 0.02,
+            "heavy share ≈ {}",
+            max / 100_000.0
+        );
+    }
+
+    #[test]
+    fn heavy_values_bounded() {
+        let s = heavy_values(10_000, 100, 500, 3);
+        assert!(s.iter().all(|i| i.value >= 1 && i.value <= 500));
+    }
+
+    #[test]
+    fn key_major_order_and_counts() {
+        let s = key_major(10, 7, 4);
+        assert_eq!(s.len(), 70);
+        let gt = GroundTruth::from_items(&s);
+        assert_eq!(gt.distinct(), 10);
+        for (_, f) in gt.iter() {
+            assert_eq!(f, 7);
+        }
+        // key-major: the first 7 items share a key
+        assert!(s[..7].iter().all(|i| i.key == s[0].key));
+    }
+}

@@ -1,0 +1,242 @@
+//! Key-churn workloads — streams whose active key population rotates
+//! over time, the dynamics long-running telemetry actually sees (flows
+//! start and finish; yesterday's elephants are gone today).
+//!
+//! A single ever-growing sketch slowly fills with dead keys' residue;
+//! the epoch machinery (`rsk_core::epoch` in the core crate) exists
+//! precisely for this regime. These generators make the regime testable
+//! and benchmarkable:
+//!
+//! * [`ChurnModel`] — a population of `active_keys` flows where, every
+//!   `rotation_period` items, a `churn_fraction` of the active set
+//!   retires and is replaced by fresh keys (generation-tagged, so keys
+//!   never resurrect);
+//! * [`bursty`] — an on/off source: bursts of one hot key rotating over
+//!   a Zipf background, the shape that stresses election stability.
+
+use crate::zipf::ZipfSampler;
+use crate::{Item, Stream};
+use rsk_hash::{splitmix64, SplitMix64};
+
+/// Rotating-population workload generator.
+///
+/// ```
+/// use rsk_stream::churn::ChurnModel;
+///
+/// let stream = ChurnModel {
+///     active_keys: 1_000,
+///     rotation_period: 10_000,
+///     churn_fraction: 0.2,
+///     skew: 1.0,
+/// }
+/// .generate(50_000, 7);
+/// assert_eq!(stream.len(), 50_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    /// Size of the live key population at any instant.
+    pub active_keys: u64,
+    /// Items between churn events.
+    pub rotation_period: usize,
+    /// Fraction of the live population replaced per churn event (0–1).
+    pub churn_fraction: f64,
+    /// Zipf skew of the traffic over the live population.
+    pub skew: f64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        Self {
+            active_keys: 10_000,
+            rotation_period: 100_000,
+            churn_fraction: 0.25,
+            skew: 1.0,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// Generate `n_items` items under this churn regime.
+    ///
+    /// Keys are generation-tagged (`generation * active_keys + slot`,
+    /// bijected through SplitMix), so a retired key never reappears —
+    /// matching how real flow identifiers behave.
+    pub fn generate(&self, n_items: usize, seed: u64) -> Stream {
+        assert!(self.active_keys > 0);
+        assert!(self.rotation_period > 0);
+        assert!((0.0..=1.0).contains(&self.churn_fraction));
+
+        // slot → generation counter; the live key for a slot is derived
+        // from both, so bumping the generation retires the old key
+        let mut generation = vec![0u64; self.active_keys as usize];
+        let mut rank_sampler = ZipfSampler::new(self.active_keys, self.skew, seed ^ 0xc0ffee);
+        let mut churn_rng = SplitMix64::new(seed ^ 0x5eed_c0de);
+        let per_event = ((self.active_keys as f64) * self.churn_fraction).round() as u64;
+
+        let mut stream = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            if i > 0 && i % self.rotation_period == 0 {
+                for _ in 0..per_event {
+                    let slot = churn_rng.next_bounded(self.active_keys) as usize;
+                    generation[slot] += 1;
+                }
+            }
+            let slot = rank_sampler.sample() - 1; // ranks are 1-based
+            let key = splitmix64(
+                (generation[slot as usize] * self.active_keys + slot) ^ seed.rotate_left(11),
+            );
+            stream.push(Item::unit(key));
+        }
+        stream
+    }
+
+    /// Expected number of distinct keys over an `n_items` run (live
+    /// population plus everything retired along the way, ignoring slots
+    /// never sampled).
+    pub fn distinct_upper_bound(&self, n_items: usize) -> u64 {
+        let events = (n_items / self.rotation_period) as u64;
+        let per_event = ((self.active_keys as f64) * self.churn_fraction).round() as u64;
+        self.active_keys + events * per_event
+    }
+}
+
+/// On/off bursts: a rotating hot key injects `burst_len`-item bursts at
+/// `burst_share` of the stream, over a Zipf background — election
+/// stability under the worst realistic pattern (sudden takeovers).
+pub fn bursty(
+    n_items: usize,
+    background_keys: u64,
+    burst_len: usize,
+    burst_share: f64,
+    seed: u64,
+) -> Stream {
+    assert!(burst_len > 0);
+    assert!((0.0..1.0).contains(&burst_share));
+    let mut background = ZipfSampler::new(background_keys.max(1), 1.0, seed ^ 0xbac);
+    let mut rng = SplitMix64::new(seed ^ 0xb117);
+    let mut stream = Vec::with_capacity(n_items);
+    let mut burst_remaining = 0usize;
+    let mut burst_key = 0u64;
+    let mut burst_counter = 0u64;
+    while stream.len() < n_items {
+        if burst_remaining == 0 && rng.next_f64() < burst_share / burst_len as f64 {
+            burst_counter += 1;
+            burst_key = splitmix64((0xb0b0_0000_0000 + burst_counter) ^ seed);
+            burst_remaining = burst_len;
+        }
+        if burst_remaining > 0 {
+            burst_remaining -= 1;
+            stream.push(Item::unit(burst_key));
+        } else {
+            stream.push(Item::unit(splitmix64(background.sample() ^ seed)));
+        }
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn distinct(stream: &Stream) -> usize {
+        stream.iter().map(|i| i.key).collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn churn_grows_distinct_keys_beyond_live_population() {
+        let model = ChurnModel {
+            active_keys: 500,
+            rotation_period: 5_000,
+            churn_fraction: 0.5,
+            skew: 0.8,
+        };
+        let stream = model.generate(100_000, 3);
+        let d = distinct(&stream) as u64;
+        assert!(
+            d > model.active_keys,
+            "churn must retire keys: {d} distinct"
+        );
+        assert!(d <= model.distinct_upper_bound(100_000));
+    }
+
+    #[test]
+    fn zero_churn_is_a_static_population() {
+        let model = ChurnModel {
+            active_keys: 300,
+            rotation_period: 1_000,
+            churn_fraction: 0.0,
+            skew: 1.0,
+        };
+        let stream = model.generate(50_000, 4);
+        assert!(distinct(&stream) as u64 <= 300);
+    }
+
+    #[test]
+    fn churned_keys_never_resurrect() {
+        let model = ChurnModel {
+            active_keys: 50,
+            rotation_period: 500,
+            churn_fraction: 0.4,
+            skew: 0.5,
+        };
+        let stream = model.generate(20_000, 5);
+        // once a key's last occurrence is followed by a full rotation
+        // window without it, it must not reappear: check via last/first
+        // occurrence windows of each key
+        let mut first = std::collections::HashMap::new();
+        let mut last = std::collections::HashMap::new();
+        for (i, it) in stream.iter().enumerate() {
+            first.entry(it.key).or_insert(i);
+            last.insert(it.key, i);
+        }
+        // with 40% of 50 slots churned every 500 items, most keys live
+        // far shorter than the stream: retired generations must not span
+        // the run (they never resurrect)
+        let spans: Vec<usize> = first.iter().map(|(k, &f)| last[k] - f).collect();
+        let short_lived = spans.iter().filter(|&&s| s <= 10_000).count();
+        assert!(
+            short_lived * 2 > spans.len(),
+            "churn should retire most keys quickly: {short_lived}/{} short-lived",
+            spans.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = ChurnModel::default();
+        let a = model.generate(10_000, 9);
+        let b = model.generate(10_000, 9);
+        assert_eq!(a, b);
+        let c = model.generate(10_000, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursty_contains_bursts() {
+        let stream = bursty(100_000, 1_000, 500, 0.3, 7);
+        assert_eq!(stream.len(), 100_000);
+        // the most frequent key should be a burst key with a long run
+        let mut best_run = 0usize;
+        let mut run = 1usize;
+        for w in stream.windows(2) {
+            if w[0].key == w[1].key {
+                run += 1;
+                best_run = best_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(best_run >= 400, "no burst found (best run {best_run})");
+    }
+
+    #[test]
+    #[should_panic(expected = "churn_fraction")]
+    fn rejects_bad_fraction() {
+        ChurnModel {
+            churn_fraction: 1.5,
+            ..Default::default()
+        }
+        .generate(10, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace persistence: read and write item streams so users can run the
+//! harness on their own captures.
+//!
+//! Two formats:
+//!
+//! * **binary** — fixed 16-byte little-endian records `(key: u64,
+//!   value: u64)` with a 16-byte header (magic, version, count); compact
+//!   and exact, the format the benchmarks cache streams in;
+//! * **CSV** — `key,value` lines for interchange with other tooling
+//!   (keys in decimal; a header row is tolerated and skipped).
+
+use crate::{Item, Stream};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary trace format ("RSKT" + version 1).
+const MAGIC: [u8; 8] = *b"RSKTRC\x00\x01";
+
+/// Write a stream in the binary trace format.
+pub fn write_binary(path: &Path, stream: &[Item<u64>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(stream.len() as u64).to_le_bytes())?;
+    for it in stream {
+        w.write_all(&it.key.to_le_bytes())?;
+        w.write_all(&it.value.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a binary trace written by [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<Stream> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)?;
+    if header[..8] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an RSKT trace (bad magic)",
+        ));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut rec = [0u8; 16];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        out.push(Item::new(
+            u64::from_le_bytes(rec[..8].try_into().unwrap()),
+            u64::from_le_bytes(rec[8..].try_into().unwrap()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Write a stream as `key,value` CSV.
+pub fn write_csv(path: &Path, stream: &[Item<u64>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "key,value")?;
+    for it in stream {
+        writeln!(w, "{},{}", it.key, it.value)?;
+    }
+    w.flush()
+}
+
+/// Read a `key,value` CSV trace (an optional header row is skipped; blank
+/// lines are ignored; a missing value column means value 1).
+pub fn read_csv(path: &Path) -> io::Result<Stream> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let key_str = cols.next().unwrap_or_default().trim();
+        let key: u64 = match key_str.parse() {
+            Ok(k) => k,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad key {key_str:?}: {e}", lineno + 1),
+                ))
+            }
+        };
+        let value: u64 = match cols.next() {
+            None => 1,
+            Some(v) => v.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad value: {e}", lineno + 1),
+                )
+            })?,
+        };
+        out.push(Item::new(key, value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join("rsk_io_tests").join(name)
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let stream = Dataset::Hadoop.generate(5_000, 1);
+        let path = tmp("roundtrip.rskt");
+        write_binary(&path, &stream).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(stream, back);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let path = tmp("garbage.rskt");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"this is not a trace file").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn csv_roundtrip_with_header() {
+        let stream = vec![
+            Item::new(1u64, 5),
+            Item::new(18446744073709551615, 1),
+            Item::new(42, 9000),
+        ];
+        let path = tmp("roundtrip.csv");
+        write_csv(&path, &stream).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(stream, back);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn csv_missing_value_defaults_to_one() {
+        let path = tmp("unit.csv");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "key,value\n7\n8,2\n\n9\n").unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(
+            back,
+            vec![Item::new(7, 1), Item::new(8, 2), Item::new(9, 1)]
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn csv_reports_bad_rows() {
+        let path = tmp("bad.csv");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "key,value\n7,x\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let path = tmp("empty.rskt");
+        write_binary(&path, &[]).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), vec![]);
+        std::fs::remove_file(path).unwrap();
+    }
+}

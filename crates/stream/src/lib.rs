@@ -1,0 +1,88 @@
+//! # rsk-stream — workload substrate for the ReliableSketch evaluation
+//!
+//! The paper evaluates on four real traces (CAIDA IP trace, a web document
+//! stream, a university data-center trace, Hadoop traffic) plus synthetic
+//! Zipf streams (§6.1.2). The real traces are not redistributable, so this
+//! crate provides *calibrated synthetic stand-ins*: generators matched to
+//! the item counts, distinct-key counts and heavy-tail shapes the paper
+//! reports. All evaluated sketches are key-identity-agnostic (keys are
+//! hashed), so only the frequency histogram shape matters for accuracy
+//! experiments — see DESIGN.md §5 for the substitution argument.
+//!
+//! Contents:
+//!
+//! * [`Item`] / [`Stream`] — the key–value stream model;
+//! * [`zipf::ZipfSampler`] — rejection-inversion Zipf rank sampler
+//!   (Hörmann & Derflinger 1996), the method behind the synthetic datasets
+//!   the paper cites (web-polygraph);
+//! * [`Dataset`] — the five workload models with paper-scale specs and
+//!   arbitrary-scale generation;
+//! * [`GroundTruth`] — exact oracle implementing the `rsk-api` traits;
+//! * [`packets::PacketSizeModel`] — byte-valued streams for the testbed
+//!   experiment (Fig 20);
+//! * [`adversarial`] — stress streams for failure-injection tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod churn;
+pub mod datasets;
+pub mod io;
+pub mod oracle;
+pub mod packets;
+pub mod zipf;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use oracle::GroundTruth;
+
+/// One stream element: a key and the value it carries.
+///
+/// With `value = 1` the stream-summary problem reduces to frequency
+/// estimation, which is the paper's default setting (§6.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Item<K = u64> {
+    /// Flow identifier.
+    pub key: K,
+    /// Value carried by this item (packet count, bytes, …).
+    pub value: u64,
+}
+
+impl<K> Item<K> {
+    /// Construct an item.
+    #[inline]
+    pub fn new(key: K, value: u64) -> Self {
+        Self { key, value }
+    }
+
+    /// An item with value 1 (pure frequency counting).
+    #[inline]
+    pub fn unit(key: K) -> Self {
+        Self { key, value: 1 }
+    }
+}
+
+/// A materialized stream of `u64`-keyed items.
+pub type Stream = Vec<Item<u64>>;
+
+/// Sum of all values in the stream (the paper's `N = Σ f(e)`).
+pub fn total_value(stream: &[Item<u64>]) -> u64 {
+    stream.iter().map(|it| it.value).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_constructors() {
+        assert_eq!(Item::new(3u64, 7).value, 7);
+        assert_eq!(Item::unit(3u64).value, 1);
+    }
+
+    #[test]
+    fn total_value_sums() {
+        let s = vec![Item::new(1, 2), Item::new(2, 3), Item::new(1, 5)];
+        assert_eq!(total_value(&s), 10);
+    }
+}

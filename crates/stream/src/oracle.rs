@@ -1,0 +1,188 @@
+//! Exact ground truth for evaluation.
+//!
+//! Every experiment compares a sketch's answers against [`GroundTruth`], an
+//! exact hash-map summary. It implements the same `rsk-api` traits as the
+//! sketches (with MPE = 0), so harness code can treat it uniformly.
+
+use crate::Item;
+use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use std::collections::HashMap;
+
+/// Exact per-key value sums (the `f(e)` of the paper).
+///
+/// ```
+/// use rsk_stream::{GroundTruth, Item};
+///
+/// let stream = [Item::new(1u64, 10), Item::new(2, 5), Item::new(1, 2)];
+/// let truth = GroundTruth::from_items(&stream);
+/// assert_eq!(truth.freq(&1), 12);
+/// assert_eq!(truth.distinct(), 2);
+/// assert_eq!(truth.keys_above(6), vec![1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth<K: Key = u64> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Key> GroundTruth<K> {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Build from a stream in one pass.
+    pub fn from_items<'a, I>(items: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Item<K>>,
+        K: 'a,
+    {
+        let mut gt = Self::new();
+        for it in items {
+            gt.insert(&it.key, it.value);
+        }
+        gt
+    }
+
+    /// Exact sum for `key` (0 if unseen).
+    #[inline]
+    pub fn freq(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total stream value `N = Σ f(e)`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over `(key, f(key))`.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Keys with `f(e) > threshold` — the paper's "frequent keys" (§6.2.2).
+    pub fn keys_above(&self, threshold: u64) -> Vec<K> {
+        self.counts
+            .iter()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// The largest value sum in the stream.
+    pub fn max_freq(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl<K: Key> StreamSummary<K> for GroundTruth<K> {
+    fn insert(&mut self, key: &K, value: u64) {
+        *self.counts.entry(*key).or_insert(0) += value;
+        self.total += value;
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        self.freq(key)
+    }
+}
+
+impl<K: Key> ErrorSensing<K> for GroundTruth<K> {
+    fn query_with_error(&self, key: &K) -> Estimate {
+        Estimate::exact(self.freq(key))
+    }
+}
+
+impl<K: Key> MemoryFootprint for GroundTruth<K> {
+    fn memory_bytes(&self) -> usize {
+        // model: key + 64-bit counter per entry
+        self.counts.len() * (core::mem::size_of::<K>() + 8)
+    }
+}
+
+impl<K: Key> Algorithm for GroundTruth<K> {
+    fn name(&self) -> String {
+        "Exact".into()
+    }
+}
+
+impl<K: Key> Clear for GroundTruth<K> {
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    #[test]
+    fn counts_are_exact() {
+        let mut gt = GroundTruth::new();
+        gt.insert(&1u64, 3);
+        gt.insert(&1, 4);
+        gt.insert(&2, 1);
+        assert_eq!(gt.freq(&1), 7);
+        assert_eq!(gt.freq(&2), 1);
+        assert_eq!(gt.freq(&3), 0);
+        assert_eq!(gt.total(), 8);
+        assert_eq!(gt.distinct(), 2);
+        assert_eq!(gt.max_freq(), 7);
+    }
+
+    #[test]
+    fn from_items_matches_manual_inserts() {
+        let stream = Dataset::IpTrace.generate(20_000, 11);
+        let gt = GroundTruth::from_items(&stream);
+        assert_eq!(gt.total(), 20_000);
+        let mut manual = GroundTruth::new();
+        for it in &stream {
+            manual.insert(&it.key, it.value);
+        }
+        assert_eq!(gt.distinct(), manual.distinct());
+        for (k, v) in gt.iter() {
+            assert_eq!(manual.freq(k), v);
+        }
+    }
+
+    #[test]
+    fn keys_above_threshold() {
+        let mut gt = GroundTruth::new();
+        for k in 0u64..100 {
+            gt.insert(&k, k);
+        }
+        let hot = gt.keys_above(90);
+        assert_eq!(hot.len(), 9); // 91..=99
+        assert!(hot.iter().all(|k| *k > 90));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut gt = GroundTruth::new();
+        gt.insert(&5u64, 5);
+        rsk_api::Clear::clear(&mut gt);
+        assert_eq!(gt.total(), 0);
+        assert_eq!(gt.distinct(), 0);
+    }
+
+    #[test]
+    fn estimates_are_exact() {
+        let mut gt = GroundTruth::new();
+        gt.insert(&9u64, 42);
+        let est = gt.query_with_error(&9);
+        assert_eq!(est.value, 42);
+        assert_eq!(est.max_possible_error, 0);
+        assert!(est.contains(42));
+    }
+}

@@ -1,0 +1,161 @@
+//! Byte-valued packet streams for the testbed experiment (Fig 20).
+//!
+//! The paper's Tofino deployment (§6.5.3) replays 40 M packets at 40 Gbps
+//! and reports AAE in Kbps — i.e. values are packet *sizes*, not counts. We
+//! model packet sizes with the classic trimodal Internet mix (small ACKs,
+//! medium segments, full-MTU data) and provide the unit conversion from
+//! byte error to Kbps over the replay window.
+
+use crate::{Item, Stream};
+use rsk_hash::SplitMix64;
+
+/// A discrete packet-size distribution.
+#[derive(Debug, Clone)]
+pub struct PacketSizeModel {
+    sizes: Vec<u64>,
+    cumulative: Vec<f64>,
+}
+
+impl PacketSizeModel {
+    /// The classic trimodal Internet mix: 50 % 64 B, 10 % 576 B, 40 % 1500 B
+    /// (shares as reported in backbone trace studies).
+    pub fn internet_mix() -> Self {
+        Self::new(&[(64, 0.5), (576, 0.1), (1500, 0.4)])
+    }
+
+    /// Data-center style mix: many small RPCs plus full-MTU bulk transfer.
+    pub fn datacenter_mix() -> Self {
+        Self::new(&[(64, 0.4), (256, 0.2), (1024, 0.1), (1500, 0.3)])
+    }
+
+    /// Build from `(size_bytes, probability)` pairs.
+    ///
+    /// # Panics
+    /// Panics if probabilities do not sum to ≈ 1 or any size is zero.
+    pub fn new(mix: &[(u64, f64)]) -> Self {
+        assert!(!mix.is_empty());
+        let total: f64 = mix.iter().map(|&(_, p)| p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
+        let mut sizes = Vec::with_capacity(mix.len());
+        let mut cumulative = Vec::with_capacity(mix.len());
+        let mut acc = 0.0;
+        for &(size, p) in mix {
+            assert!(size > 0, "zero-byte packets are not a thing");
+            acc += p;
+            sizes.push(size);
+            cumulative.push(acc);
+        }
+        // guard against fp drift on the last edge
+        *cumulative.last_mut().unwrap() = 1.0;
+        Self { sizes, cumulative }
+    }
+
+    /// Draw one packet size.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        for (i, &edge) in self.cumulative.iter().enumerate() {
+            if u < edge {
+                return self.sizes[i];
+            }
+        }
+        *self.sizes.last().unwrap()
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &edge) in self.cumulative.iter().enumerate() {
+            mean += (edge - prev) * self.sizes[i] as f64;
+            prev = edge;
+        }
+        mean
+    }
+
+    /// Re-value a unit stream with sampled packet sizes.
+    pub fn apply(&self, stream: &[Item<u64>], seed: u64) -> Stream {
+        let mut rng = SplitMix64::new(seed);
+        stream
+            .iter()
+            .map(|it| Item::new(it.key, it.value * self.sample(&mut rng)))
+            .collect()
+    }
+}
+
+/// Convert an absolute byte error into the paper's Kbps unit, given the
+/// replay duration implied by `total_bytes` at `link_gbps`.
+///
+/// Fig 20 replays the trace at 40 Gbps; a byte-count error `e` over a
+/// `T`-second window corresponds to `8·e / T / 1000` Kbps.
+pub fn bytes_error_to_kbps(error_bytes: f64, total_bytes: u64, link_gbps: f64) -> f64 {
+    if total_bytes == 0 {
+        return 0.0;
+    }
+    let seconds = (total_bytes as f64 * 8.0) / (link_gbps * 1e9);
+    (error_bytes * 8.0) / seconds / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    #[test]
+    fn sampled_sizes_come_from_the_mix() {
+        let m = PacketSizeModel::internet_mix();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let s = m.sample(&mut rng);
+            assert!([64, 576, 1500].contains(&s));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_model_mean() {
+        let m = PacketSizeModel::internet_mix();
+        let mut rng = SplitMix64::new(2);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let got = sum as f64 / n as f64;
+        let want = m.mean();
+        assert!(
+            (got - want).abs() < want * 0.02,
+            "mean {got:.1} vs model {want:.1}"
+        );
+    }
+
+    #[test]
+    fn internet_mix_mean_value() {
+        // 0.5·64 + 0.1·576 + 0.4·1500 = 689.6
+        assert!((PacketSizeModel::internet_mix().mean() - 689.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_preserves_keys_and_scales_values() {
+        let unit = Dataset::Hadoop.generate(10_000, 3);
+        let bytes = PacketSizeModel::internet_mix().apply(&unit, 4);
+        assert_eq!(unit.len(), bytes.len());
+        for (u, b) in unit.iter().zip(&bytes) {
+            assert_eq!(u.key, b.key);
+            assert!(b.value >= 64 && b.value <= 1500);
+        }
+    }
+
+    #[test]
+    fn kbps_conversion() {
+        // 1 GB at 40 Gbps takes 0.2 s; a 1 KB error is 8·1000/0.2/1000 = 40 Kbps
+        let kbps = bytes_error_to_kbps(1000.0, 1_000_000_000, 40.0);
+        assert!((kbps - 40.0).abs() < 1e-9, "{kbps}");
+        assert_eq!(bytes_error_to_kbps(5.0, 0, 40.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_rejected() {
+        PacketSizeModel::new(&[(64, 0.5)]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Zipf rank sampling by rejection inversion.
+//!
+//! Implements the rejection-inversion method of Hörmann & Derflinger
+//! ("Rejection-inversion to generate variates from monotone discrete
+//! distributions", 1996) — the standard O(1)-per-sample Zipf sampler, also
+//! used by Apache Commons and `rand_distr`. A rank `k ∈ {1..n}` is drawn
+//! with probability proportional to `k^(−s)`.
+//!
+//! The paper's synthetic datasets (§6.1.2) are Zipf streams with skews from
+//! 0.3 to 3.0; this sampler covers any `s ≥ 0` (with `s = 0` degrading to
+//! the uniform distribution).
+
+use rsk_hash::SplitMix64;
+
+/// O(1) Zipf(`n`, `s`) rank sampler.
+///
+/// ```
+/// use rsk_stream::zipf::ZipfSampler;
+///
+/// let mut z = ZipfSampler::new(1_000_000, 1.05, 42);
+/// let mut hits_rank1 = 0;
+/// for _ in 0..10_000 {
+///     let rank = z.sample();
+///     assert!((1..=1_000_000).contains(&rank));
+///     if rank == 1 { hits_rank1 += 1; }
+/// }
+/// // rank 1 carries ≈ 1/H share of the mass — far above uniform
+/// assert!(hits_rank1 > 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    rng: SplitMix64,
+    // precomputed constants of the rejection-inversion scheme
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over ranks `1..=n` with exponent `s`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf universe must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let shift = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Self {
+            n,
+            s,
+            rng: SplitMix64::new(seed),
+            h_x1,
+            h_n,
+            shift,
+        }
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    #[inline]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample(&mut self) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            // u uniform in (h_n, h_x1]; note h_x1 > h_n because hIntegral is
+            // increasing and we subtracted 1
+            let u = self.h_n + self.rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            let k_int = k as u64;
+            // quick accept: x close enough to k
+            if k - x <= self.shift {
+                return k_int;
+            }
+            // full accept test
+            if u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k_int;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (for tests; O(n) on first call per
+    /// sampler via the normalization sum).
+    pub fn probability(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / z
+    }
+}
+
+/// Expected number of distinct ranks observed in `draws` samples of
+/// Zipf(`universe`, `s`): `Σ_k (1 − (1 − p_k)^draws)`.
+///
+/// This is the calibration function behind the dataset models in
+/// [`crate::datasets`] — it predicts the distinct-key counts that the
+/// paper reports for its traces (≈0.4 M keys in 10 M CAIDA packets, …).
+/// Exact but `O(universe)`; fine for the calibration sizes used here.
+pub fn expected_distinct(universe: u64, s: f64, draws: u64) -> f64 {
+    assert!(universe > 0 && s >= 0.0);
+    let z: f64 = (1..=universe).map(|i| (i as f64).powf(-s)).sum();
+    let n = draws as f64;
+    (1..=universe)
+        .map(|k| {
+            let p = (k as f64).powf(-s) / z;
+            // 1 − (1−p)^n, computed stably via exp/ln_1p
+            1.0 - (n * (-p).ln_1p()).exp()
+        })
+        .sum()
+}
+
+/// `H(x) = ∫ t^(−s) dt`, the antiderivative used by rejection inversion.
+#[inline]
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    // (exp((1−s)·ln x) − 1) / (1−s), numerically stable near s = 1
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^(−s)`.
+#[inline]
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of `h_integral`.
+#[inline]
+fn h_integral_inverse(u: f64, s: f64) -> f64 {
+    let mut t = u * (1.0 - s);
+    if t < -1.0 {
+        // rounding guard, as in the Apache Commons implementation
+        t = -1.0;
+    }
+    (helper1(t) * u).exp()
+}
+
+/// `log1p(x)/x`, continuous at 0.
+#[inline]
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x)/x`, continuous at 0.
+#[inline]
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, s: f64, draws: usize, seed: u64) -> Vec<u64> {
+        let mut z = ZipfSampler::new(n, s, seed);
+        let mut hist = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = z.sample();
+            assert!(k >= 1 && k <= n, "rank out of range: {k}");
+            hist[k as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn ranks_in_range_various_exponents() {
+        for &s in &[0.0, 0.3, 0.99, 1.0, 1.01, 1.5, 2.0, 3.0] {
+            let mut z = ZipfSampler::new(1000, s, 42);
+            for _ in 0..10_000 {
+                let k = z.sample();
+                assert!((1..=1000).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_probabilities_small_universe() {
+        // chi-square-ish check against the exact pmf on a 10-rank universe
+        let n = 10u64;
+        for &s in &[0.5, 1.0, 2.0] {
+            let draws = 200_000usize;
+            let hist = histogram(n, s, draws, 7);
+            let z = ZipfSampler::new(n, s, 0);
+            for k in 1..=n {
+                let expected = z.probability(k) * draws as f64;
+                let got = hist[k as usize] as f64;
+                assert!(
+                    (got - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+                    "s={s} rank={k}: got {got}, expected {expected:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_monotone_decreasing() {
+        let z = ZipfSampler::new(100, 1.2, 0);
+        for k in 1..100 {
+            assert!(z.probability(k) > z.probability(k + 1));
+        }
+    }
+
+    #[test]
+    fn skew_increases_head_mass() {
+        let draws = 100_000usize;
+        let low = histogram(1000, 0.5, draws, 1)[1];
+        let high = histogram(1000, 2.0, draws, 1)[1];
+        assert!(
+            high > low * 2,
+            "rank-1 mass should grow with skew: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn uniform_at_zero_exponent() {
+        let n = 50u64;
+        let draws = 100_000usize;
+        let hist = histogram(n, 0.0, draws, 3);
+        let expect = draws as f64 / n as f64;
+        for k in 1..=n {
+            let got = hist[k as usize] as f64;
+            assert!(
+                (got - expect).abs() < 6.0 * expect.sqrt(),
+                "rank {k}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ZipfSampler::new(1 << 20, 1.05, 99);
+        let mut b = ZipfSampler::new(1 << 20, 1.05, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let mut z = ZipfSampler::new(1, 1.5, 5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(), 1);
+        }
+    }
+
+    #[test]
+    fn expected_distinct_matches_empirical() {
+        let (universe, s, draws) = (5_000u64, 1.0, 50_000u64);
+        let expect = expected_distinct(universe, s, draws);
+        let mut z = ZipfSampler::new(universe, s, 31);
+        let seen: std::collections::HashSet<u64> = (0..draws).map(|_| z.sample()).collect();
+        let got = seen.len() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.05,
+            "empirical {got} vs analytic {expect:.0}"
+        );
+    }
+
+    #[test]
+    fn expected_distinct_limits() {
+        // zero draws → zero keys; huge draws → the whole universe
+        assert_eq!(expected_distinct(100, 1.0, 0), 0.0);
+        let all = expected_distinct(100, 0.5, 10_000_000);
+        assert!((all - 100.0).abs() < 1e-6);
+        // monotone in draws
+        assert!(expected_distinct(1000, 1.0, 10_000) > expected_distinct(1000, 1.0, 1_000));
+    }
+}

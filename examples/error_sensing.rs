@@ -1,0 +1,69 @@
+//! Error sensing in action — what makes ReliableSketch different from
+//! every counter sketch: each answer carries a *certified* Maximum
+//! Possible Error (paper §3.1, Figures 17–18).
+//!
+//! The demo shows (a) interval containment across the whole key
+//! population, (b) how the sensed error tracks the actual error, and
+//! (c) how both shrink as memory grows.
+//!
+//! ```sh
+//! cargo run --release --example error_sensing
+//! ```
+
+use reliablesketch::prelude::*;
+
+fn main() {
+    let stream = Dataset::WebStream.generate(1_000_000, 11);
+    let truth = GroundTruth::from_items(&stream);
+
+    println!(
+        "stream: {} items, {} keys\n",
+        truth.total(),
+        truth.distinct()
+    );
+    println!("memory    failures   containment      mean sensed   mean actual   max actual");
+
+    for mem_kb in [64usize, 128, 256, 512] {
+        let mut sk = ReliableSketch::<u64>::builder()
+            .memory_bytes(mem_kb * 1024)
+            .error_tolerance(25)
+            .build::<u64>();
+        for it in &stream {
+            sk.insert(&it.key, it.value);
+        }
+
+        let mut contained = 0u64;
+        let mut sensed_sum = 0.0;
+        let mut actual_sum = 0.0;
+        let mut max_actual = 0u64;
+        for (k, f) in truth.iter() {
+            let est = sk.query_with_error(k);
+            if est.contains(f) {
+                contained += 1;
+            }
+            sensed_sum += est.max_possible_error as f64;
+            let actual = est.value.abs_diff(f);
+            actual_sum += actual as f64;
+            max_actual = max_actual.max(actual);
+        }
+        let n = truth.distinct() as f64;
+        println!(
+            "{:>5} KB {:>9} {:>9}/{:<9} {:>10.3} {:>13.3} {:>12}",
+            mem_kb,
+            sk.insertion_failures(),
+            contained,
+            truth.distinct(),
+            sensed_sum / n,
+            actual_sum / n,
+            max_actual,
+        );
+    }
+
+    println!(
+        "\nreading the table: 'sensed' is the mean certified MPE, an upper \
+         bound the sketch derives *without knowing the truth*; it tracks \
+         the actual error and both fall as memory grows (Fig 18). With \
+         zero insertion failures every interval contains the truth and \
+         the max actual error stays ≤ Λ = 25 (Fig 17)."
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a ReliableSketch, feed it a synthetic packet stream,
+//! query keys with certified error intervals.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use reliablesketch::prelude::*;
+
+fn main() {
+    // 1. Configure: 512 KB of memory, tolerate at most Λ = 25 error on
+    //    any key. Everything else (R_w = 2, R_λ = 2.5, 20 % mice filter)
+    //    follows the paper's recommended defaults.
+    let mut sketch = ReliableSketch::<u64>::builder()
+        .memory_bytes(512 * 1024)
+        .error_tolerance(25)
+        .build::<u64>();
+
+    // 2. Stream: two million packets of a synthetic CAIDA-like trace.
+    let stream = Dataset::IpTrace.generate(2_000_000, 42);
+    let truth = GroundTruth::from_items(&stream);
+    for item in &stream {
+        sketch.insert(&item.key, item.value);
+    }
+    println!(
+        "ingested {} items over {} distinct flows into {} KB",
+        truth.total(),
+        truth.distinct(),
+        sketch.memory_bytes() / 1024
+    );
+
+    // 3. Query any key: the answer comes with its Maximum Possible Error,
+    //    and truth ∈ [estimate − MPE, estimate] for every key as long as
+    //    no insertion failed.
+    println!("insertion failures: {}", sketch.insertion_failures());
+    let mut worst_err = 0u64;
+    let mut contained = 0u64;
+    for (key, f) in truth.iter() {
+        let est = sketch.query_with_error(key);
+        assert!(est.max_possible_error <= 25, "MPE is capped by Λ");
+        if est.contains(f) {
+            contained += 1;
+        }
+        worst_err = worst_err.max(est.value.abs_diff(f));
+    }
+    println!(
+        "all {} flows answered; worst absolute error = {worst_err} (Λ = 25); \
+         {contained} certified intervals contained the truth",
+        truth.distinct()
+    );
+
+    // 4. A few sample answers.
+    println!("\nsample answers:");
+    for (key, f) in truth.iter().take(5) {
+        let est = sketch.query_with_error(key);
+        println!(
+            "  flow {key:>20}: true {f:>6}, estimate {:>6}, certified interval [{}, {}]",
+            est.value,
+            est.lower_bound(),
+            est.upper_bound()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # reliablesketch — umbrella crate
+//!
+//! Re-exports the full public API of the ReliableSketch reproduction
+//! workspace so applications can depend on a single crate:
+//!
+//! ```
+//! use reliablesketch::prelude::*;
+//!
+//! let mut sk = ReliableSketch::<u64>::builder()
+//!     .memory_bytes(64 * 1024)
+//!     .error_tolerance(25)
+//!     .build::<u64>();
+//! sk.insert(&42u64, 10);
+//! let est = sk.query_with_error(&42);
+//! assert!(est.value >= 10 && est.value <= 10 + est.max_possible_error);
+//! ```
+//!
+//! The workspace crates are also re-exported as modules: [`hash`],
+//! [`api`], [`stream`], [`core`], [`baselines`], [`metrics`], [`dataplane`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rsk_api as api;
+pub use rsk_baselines as baselines;
+pub use rsk_core as core;
+pub use rsk_dataplane as dataplane;
+pub use rsk_hash as hash;
+pub use rsk_metrics as metrics;
+pub use rsk_stream as stream;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use rsk_api::{Clear, ErrorSensing, Estimate, MemoryFootprint, Merge, StreamSummary};
+    pub use rsk_core::{merge_all, ReliableConfig, ReliableSketch};
+    pub use rsk_stream::{Dataset, GroundTruth, Item};
+}

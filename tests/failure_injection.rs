@@ -1,0 +1,140 @@
+//! Failure injection: drive ReliableSketch outside its comfort zone with
+//! the adversarial generators and verify the failure machinery itself —
+//! accurate failure accounting, graceful degradation, and recovery
+//! through the emergency store.
+
+use reliablesketch::core::{EmergencyPolicy, ReliableConfig, ReliableSketch};
+use reliablesketch::prelude::*;
+use reliablesketch::stream::adversarial;
+
+fn tiny(policy: EmergencyPolicy, seed: u64) -> ReliableSketch<u64> {
+    ReliableSketch::new(ReliableConfig {
+        memory_bytes: 2 * 1024,
+        lambda: 10,
+        mice_filter: None,
+        emergency: policy,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn all_distinct_stream_floods_the_structure() {
+    // 50k distinct keys into a 200-bucket sketch: elections never settle,
+    // locks cascade, failures must be counted
+    let stream = adversarial::all_distinct(50_000, 1);
+    let mut sk = tiny(EmergencyPolicy::Disabled, 1);
+    for it in &stream {
+        sk.insert(&it.key, it.value);
+    }
+    assert!(sk.insertion_failures() > 0);
+    assert_eq!(sk.dropped_value(), sk.insertion_failures());
+    // even so: nothing is *over*-estimated beyond the MPE contract
+    for it in stream.iter().take(2_000) {
+        let est = sk.query_with_error(&it.key);
+        assert!(est.value <= 50_000);
+        assert!(est.max_possible_error <= 10);
+    }
+}
+
+#[test]
+fn round_robin_ties_still_bounded() {
+    // perfectly balanced vote ties — maximal replacement churn
+    let stream = adversarial::round_robin(60_000, 120, 2);
+    let mut sk = tiny(EmergencyPolicy::ExactTable, 2);
+    for it in &stream {
+        sk.insert(&it.key, it.value);
+    }
+    let truth = GroundTruth::from_items(&stream);
+    for (k, f) in truth.iter() {
+        let est = sk.query_with_error(k);
+        assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+    }
+}
+
+#[test]
+fn arrival_order_does_not_break_the_contract() {
+    // §4.2: "Our analysis must be applicable regardless of the order in
+    // which any item is inserted." Same multiset of items in the two most
+    // extreme orders (key-major vs round-robin): failure counts may differ
+    // slightly, but stay in the same regime, and the MPE contract holds
+    // for both.
+    let friendly = adversarial::key_major(300, 100, 3);
+    let hostile = adversarial::round_robin(30_000, 300, 3);
+    let mut sk_friendly = tiny(EmergencyPolicy::Disabled, 3);
+    let mut sk_hostile = tiny(EmergencyPolicy::Disabled, 3);
+    for it in &friendly {
+        sk_friendly.insert(&it.key, it.value);
+    }
+    for it in &hostile {
+        sk_hostile.insert(&it.key, it.value);
+    }
+    let (a, b) = (
+        sk_friendly.insertion_failures(),
+        sk_hostile.insertion_failures(),
+    );
+    assert!(a > 0 && b > 0, "both orders must overflow this sizing");
+    assert!(
+        a * 2 > b && b * 2 > a,
+        "orders should land in the same failure regime: {a} vs {b}"
+    );
+    for sk in [&sk_friendly, &sk_hostile] {
+        for it in friendly.iter().take(1_000) {
+            assert!(sk.query_with_error(&it.key).max_possible_error <= 10);
+        }
+    }
+}
+
+#[test]
+fn heavy_values_split_correctly_under_pressure() {
+    let stream = adversarial::heavy_values(20_000, 50, 1_000, 4);
+    let truth = GroundTruth::from_items(&stream);
+    let mut sk = tiny(EmergencyPolicy::ExactTable, 4);
+    for it in &stream {
+        sk.insert(&it.key, it.value);
+    }
+    // exact emergency: full interval contract despite the brutal sizing
+    for (k, f) in truth.iter() {
+        let est = sk.query_with_error(k);
+        assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+    }
+}
+
+#[test]
+fn spacesaving_emergency_bounds_error_by_min_count() {
+    let stream = adversarial::single_heavy(40_000, 0.4, 5_000, 5);
+    let truth = GroundTruth::from_items(&stream);
+    let mut sk = tiny(EmergencyPolicy::SpaceSaving(64), 5);
+    for it in &stream {
+        sk.insert(&it.key, it.value);
+    }
+    assert!(sk.insertion_failures() > 0, "stream must overflow");
+    // the heavy key is too big to lose: its estimate must bracket reality
+    let heavy = truth
+        .iter()
+        .max_by_key(|(_, f)| *f)
+        .map(|(k, _)| *k)
+        .unwrap();
+    let est = sk.query_with_error(&heavy);
+    assert!(
+        est.contains(truth.freq(&heavy)),
+        "heavy key must stay bracketed: {est:?} vs {}",
+        truth.freq(&heavy)
+    );
+}
+
+#[test]
+fn failure_statistics_are_consistent() {
+    let stream = adversarial::all_distinct(30_000, 6);
+    let mut sk = tiny(EmergencyPolicy::Disabled, 6);
+    let mut observed_failures = 0u64;
+    for it in &stream {
+        let trace = sk.insert_traced(&it.key, it.value);
+        if matches!(trace.stop, reliablesketch::core::StopLayer::Failed) {
+            observed_failures += 1;
+            assert!(trace.failed_remainder > 0);
+        }
+    }
+    assert_eq!(observed_failures, sk.insertion_failures());
+    assert_eq!(observed_failures, sk.stats().failures());
+}
