@@ -1,0 +1,76 @@
+//! Workspace-layout contract: the umbrella crate must re-export every
+//! member crate as a module, and the builder round-trip documented in the
+//! crate root must keep working. Guards the Cargo workspace wiring itself —
+//! a crate dropped from the umbrella's manifest or `pub use` list fails
+//! here before anything subtler does.
+
+use reliablesketch::prelude::*;
+
+/// Every re-exported module resolves, and key items live where the crate
+/// docs say they do.
+#[test]
+fn umbrella_reexports_resolve() {
+    // hash: seeded hashing is reachable through the umbrella path.
+    let h = reliablesketch::hash::murmur3_x86_32(&42u64.to_le_bytes(), 7);
+    assert_eq!(
+        h,
+        reliablesketch::hash::murmur3_x86_32(&42u64.to_le_bytes(), 7)
+    );
+
+    // api: the trait surface is nameable through the umbrella.
+    fn assert_traits<T: reliablesketch::api::StreamSummary<u64> + reliablesketch::api::Clear>() {}
+    assert_traits::<reliablesketch::core::ReliableSketch<u64>>();
+
+    // core: config type round-trips through the module path.
+    let config = reliablesketch::core::ReliableConfig::default();
+    assert!(config.validate().is_ok());
+
+    // stream: datasets enumerate.
+    let items = reliablesketch::stream::Dataset::Zipf { skew: 1.1 }.generate(100, 7);
+    assert_eq!(items.len(), 100);
+
+    // baselines: the factory knows the competitor set.
+    assert!(!reliablesketch::baselines::factory::Baseline::ACCURACY_SET.is_empty());
+
+    // metrics + dataplane: representative items resolve.
+    let _ = std::any::type_name::<reliablesketch::metrics::error::ErrorReport>();
+    let tofino = reliablesketch::dataplane::TofinoReliable::<u64>::new(64 * 1024, 25, 1);
+    let _ = tofino;
+}
+
+/// The builder round-trip from the crate-root docs, verbatim semantics:
+/// an estimate's certified interval contains the truth and respects Λ.
+#[test]
+fn crate_doc_builder_roundtrip_works() {
+    let mut sk = ReliableSketch::<u64>::builder()
+        .memory_bytes(64 * 1024)
+        .error_tolerance(25)
+        .build::<u64>();
+    sk.insert(&42u64, 10);
+    let est = sk.query_with_error(&42);
+    assert!(est.value >= 10 && est.value <= 10 + est.max_possible_error);
+    assert!(est.max_possible_error <= 25);
+}
+
+/// The prelude exposes the workhorse types without module paths.
+#[test]
+fn prelude_surface_is_complete() {
+    let config = ReliableConfig {
+        memory_bytes: 32 * 1024,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut a = ReliableSketch::<u64>::new(config.clone());
+    let mut b = ReliableSketch::<u64>::new(config);
+    for i in 0..5_000u64 {
+        a.insert(&(i % 50), 1);
+        b.insert(&(i % 50), 2);
+    }
+    let merged = merge_all([a, b]).expect("same-config sketches merge");
+    let est = merged.query_with_error(&7u64);
+    assert!(est.contains(100 + 200), "merged truth inside interval");
+
+    let items = [Item::new(1u64, 2), Item::new(1u64, 3)];
+    let truth = GroundTruth::from_items(&items);
+    assert_eq!(truth.freq(&1), 5);
+}

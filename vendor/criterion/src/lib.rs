@@ -1,0 +1,323 @@
+//! Minimal `criterion` shim.
+//!
+//! This build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the `criterion` API its benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with throughput
+//! annotations, `Bencher::iter`/`iter_batched`, `BenchmarkId`, `BatchSize`
+//! and `black_box`.
+//!
+//! Measurement is intentionally simple — a fixed warm-up then
+//! `sample_size` timed samples, reporting the median per-iteration time —
+//! so `cargo bench` gives usable relative numbers quickly. Statistical
+//! rigor (outlier analysis, confidence intervals, HTML reports) is out of
+//! scope for the shim; restore the upstream crate for that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units a benchmark processes per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (items, packets, inserts) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one input per
+/// routine call regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iteration count.
+    NumIterations(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { label: s.clone() }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last run, used for reporting.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs long
+        // enough to time reliably, capped to keep total bench time small.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_micros(200) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+fn report(label: &str, median: Duration, throughput: Option<Throughput>) {
+    let ns = median.as_nanos().max(1);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.1} Melem/s", n as f64 / ns as f64 * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>12.1} MiB/s",
+                n as f64 / ns as f64 * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{label:<60} {ns:>12} ns/iter{rate}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the units processed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let label = format!("{}/{}", self.name, id.label);
+        report(&label, bencher.last_median, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Finish the group (drop-equivalent; kept for API compatibility).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Apply command-line configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        report(&id.label, bencher.last_median, None);
+        self
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; the shim
+            // accepts and ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

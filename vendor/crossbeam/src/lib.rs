@@ -1,0 +1,133 @@
+//! Minimal `crossbeam` shim backed by `std::sync::mpsc`.
+//!
+//! This build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the `crossbeam` API it uses: multi-producer
+//! channels with cloneable senders and iterable receivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels with crossbeam's API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Cloneable sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+
+        /// Iterate over received values until the channel closes.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// A channel with unbounded buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_fan_in() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let txs: Vec<_> = (0..3).map(|_| tx.clone()).collect();
+        drop(tx);
+        std::thread::scope(|scope| {
+            for (i, t) in txs.into_iter().enumerate() {
+                scope.spawn(move || t.send(i as u32).unwrap());
+            }
+        });
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(9u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+}

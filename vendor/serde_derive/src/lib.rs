@@ -1,0 +1,563 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! shim.
+//!
+//! Implemented directly on the raw `proc_macro` token API — `syn`/`quote`
+//! are unavailable offline. The parser handles the shapes this workspace
+//! actually derives on: structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like, with plain type parameters
+//! (`<K>` or `<K: Bound>`). Anything fancier (lifetimes, const generics,
+//! `where` clauses) panics with a clear message rather than miscompiling.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, bounds stripped (e.g. `["K"]`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+                           // Inner attributes (`#![..]`) cannot appear here; expect `[..]`.
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    // `#[serde(...)]` attributes carry semantics (rename,
+                    // default, skip, tag, ...) this shim does not implement;
+                    // ignoring one would silently change the wire format.
+                    if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                        if id.to_string() == "serde" {
+                            panic!(
+                                "serde_derive shim: #[serde(...)] attributes are not \
+                                 supported; drop the attribute or restore the real \
+                                 serde crates in [workspace.dependencies]"
+                            );
+                        }
+                    }
+                }
+                other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// After the opening `<`: collect type-parameter names, skipping bounds
+    /// and defaults, until the matching `>` is consumed.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        let mut depth = 1usize; // the consumed '<'
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        at_param_start = false;
+                    }
+                    '>' => {
+                        depth -= 1;
+                    }
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => panic!("serde_derive shim: lifetime parameters are not supported"),
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if at_param_start {
+                        if s == "const" {
+                            panic!("serde_derive shim: const generics are not supported");
+                        }
+                        params.push(s);
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("serde_derive shim: unterminated generics"),
+            }
+        }
+        params
+    }
+
+    /// Skip one field's type: everything until a top-level `,` (consumed) or
+    /// the end of the token list.
+    fn skip_type(&mut self) {
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle = angle.saturating_sub(1);
+                    } else if c == ',' && angle == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+fn named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor {
+        tokens: group.into_iter().collect(),
+        pos: 0,
+    };
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_visibility();
+        fields.push(c.expect_ident());
+        if !c.eat_punct(':') {
+            panic!(
+                "serde_derive shim: expected `:` after field `{}`",
+                fields.last().unwrap()
+            );
+        }
+        c.skip_type();
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries of a tuple field list.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0usize;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            let ch = p.as_char();
+            if ch == '<' {
+                angle += 1;
+            } else if ch == '>' {
+                angle = angle.saturating_sub(1);
+            } else if ch == ',' && angle == 0 {
+                arity += 1;
+                trailing_comma = true;
+                continue;
+            }
+        }
+        trailing_comma = false;
+    }
+    arity - usize::from(trailing_comma)
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut c = Cursor {
+        tokens: input.into_iter().collect(),
+        pos: 0,
+    };
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = if c.eat_punct('<') {
+        c.parse_generics()
+    } else {
+        Vec::new()
+    };
+
+    if let Some(TokenTree::Ident(id)) = c.peek() {
+        if id.to_string() == "where" {
+            panic!("serde_derive shim: `where` clauses are not supported");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive shim: malformed struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: malformed enum body {other:?}"),
+            };
+            let mut vc = Cursor {
+                tokens: body.into_iter().collect(),
+                pos: 0,
+            };
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.skip_attrs();
+                let vname = vc.expect_ident();
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = VariantFields::Named(named_fields(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = VariantFields::Tuple(tuple_arity(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    _ => VariantFields::Unit,
+                };
+                if vc.eat_punct('=') {
+                    vc.skip_type(); // discriminant expression, up to the comma
+                } else {
+                    vc.eat_punct(',');
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Kind::Enum(variants)
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(input: &Input, trait_name: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = input.generics.join(", ");
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", input.name, plain),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Seq(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::value::Value::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::value::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Map(::std::vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\"))?"))
+                .collect();
+            format!(
+                "if __v.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(\
+                     ::serde::DeError::mismatch(\"struct {name}\", __v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq()\
+                     .filter(|s| s.len() == {n})\
+                     .ok_or_else(|| ::serde::DeError::mismatch(\"tuple struct {name}\", __v))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match __v {{\n\
+                 ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::mismatch(\"unit struct {name}\", other)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __s = __payload.as_seq()\
+                                         .filter(|s| s.len() == {n})\
+                                         .ok_or_else(|| ::serde::DeError::mismatch(\
+                                         \"variant {name}::{vn}\", __payload))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.field(\"{f}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n\
+                         {unit}\n\
+                         _ => return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown {name} variant {{__s:?}}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let __m = __v.as_map()\
+                     .filter(|m| m.len() == 1)\
+                     .ok_or_else(|| ::serde::DeError::mismatch(\"enum {name}\", __v))?;\n\
+                 let (__tag, __payload) = (&__m[0].0, &__m[0].1);\n\
+                 match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"unknown {name} variant {{__tag:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,425 @@
+//! Minimal `serde_json` shim: JSON text to and from the vendored serde
+//! shim's [`Value`] data model.
+//!
+//! Supports everything the workspace round-trips through checkpoints:
+//! full-width `u64` integers, shortest-roundtrip floats, escaped strings,
+//! arrays and objects. Not a general JSON library — no streaming, no
+//! borrowed deserialization — but `to_string`/`from_str` are call-compatible
+//! with the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::value::Value;
+use serde::{de::DeserializeOwned, Serialize};
+
+/// Error for both serialization and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parse a JSON string into any deserializable type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite float {f} is not valid JSON")));
+            }
+            // Rust's Debug for f64 is the shortest representation that
+            // round-trips, which is exactly what JSON needs.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Enforce the JSON number grammar (RFC 8259 §6): Rust's `FromStr` for
+/// `f64`/`u64` is more permissive (`+5`, `.5`, `5.`, `007`, `inf`), and
+/// accepting those here would let checkpoints round-trip through the shim
+/// that the real `serde_json` rejects.
+fn is_json_number(text: &str) -> bool {
+    let mut rest = text.strip_prefix('-').unwrap_or(text).as_bytes();
+    // Integer part: `0` alone, or a non-zero digit followed by digits.
+    match rest {
+        [b'0', tail @ ..] => rest = tail,
+        [b'1'..=b'9', tail @ ..] => {
+            rest = tail;
+            while let [b'0'..=b'9', tail @ ..] = rest {
+                rest = tail;
+            }
+        }
+        _ => return false,
+    }
+    // Optional fraction: `.` followed by at least one digit.
+    if let [b'.', tail @ ..] = rest {
+        rest = tail;
+        let mut digits = 0;
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+    }
+    // Optional exponent: `e`/`E`, optional sign, at least one digit.
+    if let [b'e' | b'E', tail @ ..] = rest {
+        rest = tail;
+        if let [b'+' | b'-', tail @ ..] = rest {
+            rest = tail;
+        }
+        let mut digits = 0;
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+    }
+    rest.is_empty()
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(Error(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or ']' at byte {}, got {:?}",
+                                self.pos, other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let value = self.value()?;
+                    entries.push((key, value));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or '}}' at byte {}, got {:?}",
+                                self.pos, other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            // Surrogate pairs: only BMP escapes are emitted by
+                            // this shim's writer; accept lone BMP scalars.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u scalar".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream: back up and take
+                    // the full character.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number text");
+        if !is_json_number(text) {
+            return Err(Error(format!("invalid number {text:?} at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid float literal {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("integer {text:?} out of range")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error(format!("integer {text:?} out of range")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "18446744073709551615",
+            "-42",
+            "1.5",
+        ] {
+            let v: Value = parse_value(json).unwrap();
+            let mut out = String::new();
+            write_value(&v, &mut out).unwrap();
+            assert_eq!(out, json);
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let json = r#"{"a":[1,2,{"b":"x\ny"}],"c":null}"#;
+        let v = parse_value(json).unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out).unwrap();
+        assert_eq!(out, json);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![(1u64, true), (u64::MAX, false)];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<(u64, bool)> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("[1").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn number_grammar_matches_json() {
+        for bad in ["+5", ".5", "5.", "007", "-", "1e", "1e+", "--1", "0x10"] {
+            assert!(from_str::<f64>(bad).is_err(), "{bad:?} must be rejected");
+        }
+        for (good, want) in [("1e5", 1e5), ("-0", 0.0), ("0.25", 0.25), ("2E-2", 0.02)] {
+            assert_eq!(from_str::<f64>(good).unwrap(), want);
+        }
+    }
+}
