@@ -129,6 +129,33 @@ pub trait Clear {
     fn clear(&mut self);
 }
 
+/// A sketch that supports lock-free ingestion through a shared reference,
+/// so any number of producer threads can feed it concurrently.
+///
+/// Contract: `insert_concurrent` must be safe to call from many threads at
+/// once, and every unit of inserted value must be visible to queries that
+/// start after the insertion returns (estimates never undershoot the mass
+/// already absorbed). `ingest_parallel` distributes a materialized stream
+/// over `n_workers` threads; the default implementation is a sequential
+/// fallback for implementations without a dedicated parallel path.
+pub trait ConcurrentSummary<K: Key>: Sync {
+    /// Process one stream item through a shared reference.
+    fn insert_concurrent(&self, key: &K, value: u64);
+
+    /// Estimate the value sum of `key` through a shared reference.
+    fn query_concurrent(&self, key: &K) -> u64;
+
+    /// Ingest a stream with `n_workers` threads; returns the number of
+    /// items processed.
+    fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize {
+        let _ = n_workers;
+        for (k, v) in items {
+            self.insert_concurrent(k, *v);
+        }
+        items.len()
+    }
+}
+
 /// Sketches that can absorb another instance built with identical
 /// parameters (same shape, same seeds) — the distributed-aggregation
 /// primitive: summarize per shard, merge centrally.
@@ -221,6 +248,33 @@ mod tests {
         assert_eq!(s.query(&2), 0);
         assert_eq!(s.name(), "Exact");
         assert_eq!(s.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn concurrent_summary_default_ingest_is_sequential() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct SharedExact(Mutex<HashMap<u64, u64>>);
+        impl ConcurrentSummary<u64> for SharedExact {
+            fn insert_concurrent(&self, key: &u64, value: u64) {
+                *self.0.lock().unwrap().entry(*key).or_insert(0) += value;
+            }
+            fn query_concurrent(&self, key: &u64) -> u64 {
+                self.0.lock().unwrap().get(key).copied().unwrap_or(0)
+            }
+        }
+
+        let s = SharedExact::default();
+        let items: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 2)).collect();
+        assert_eq!(s.ingest_parallel(&items, 4), 100);
+        for k in 0..10u64 {
+            assert_eq!(s.query_concurrent(&k), 20);
+        }
+        // object safety: the trait must box
+        let boxed: Box<dyn ConcurrentSummary<u64>> = Box::new(SharedExact::default());
+        boxed.insert_concurrent(&1, 3);
+        assert_eq!(boxed.query_concurrent(&1), 3);
     }
 
     #[test]

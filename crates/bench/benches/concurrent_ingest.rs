@@ -1,0 +1,70 @@
+//! Multi-core ingestion throughput: the lock-free sharded data path
+//! against the single-thread baseline on a Zipf stream.
+//!
+//! Mirrors the paper's pipelined-hardware speed story on CPUs: one
+//! `ReliableSketch` ingesting sequentially, the batch-amortized
+//! sequential path, and `ShardedReliable::ingest_parallel` at 1/2/4/8
+//! workers over 8 lock-free shards. Mops/s = elements / time. On a
+//! multi-core box the 8-worker row should clear 3× the single-thread
+//! baseline; on fewer cores it degrades gracefully to the batching gain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rsk_bench::{concurrent_config, sharded, BENCH_ITEMS};
+use rsk_core::ReliableSketch;
+use rsk_stream::Dataset;
+
+const SEED: u64 = 17;
+const SHARDS: usize = 8;
+
+fn bench_concurrent_ingest(c: &mut Criterion) {
+    let stream = Dataset::Zipf { skew: 1.05 }.generate(BENCH_ITEMS, SEED);
+    let items: Vec<(u64, u64)> = stream.iter().map(|it| (it.key, it.value)).collect();
+
+    let mut g = c.benchmark_group("concurrent_ingest");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    g.bench_function("sequential_1thread", |b| {
+        b.iter_batched(
+            || ReliableSketch::<u64>::new(concurrent_config(SEED)),
+            |mut sk| {
+                for (k, v) in &items {
+                    rsk_api::StreamSummary::insert(&mut sk, k, *v);
+                }
+                sk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("sequential_batched", |b| {
+        b.iter_batched(
+            || ReliableSketch::<u64>::new(concurrent_config(SEED)),
+            |mut sk| {
+                sk.insert_batch(&items);
+                sk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(
+            BenchmarkId::new("sharded", format!("{workers}workers")),
+            |b| {
+                b.iter_batched(
+                    || sharded(SEED, SHARDS),
+                    |sh| {
+                        sh.ingest_parallel(&items, workers);
+                        sh
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrent_ingest);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! | `parameter_ablation` | Figures 11–13: geometric vs arithmetic decay, R_w/R_λ |
 //! | `mice_filter_ablation` | §3.3 / Fig 16: filter width/bits trade-offs |
 //! | `dataplane_model` | Tofino behavioural model overhead vs CPU version |
+//! | `concurrent_ingest` | multi-core lock-free ingestion vs 1-thread baseline |
 //!
 //! Run with `cargo bench -p rsk-bench` (or `--bench <target>`).
 //!
@@ -22,7 +23,8 @@
 
 use rsk_api::Sketch;
 use rsk_baselines::factory::Baseline;
-use rsk_core::ReliableSketch;
+use rsk_core::concurrent::ShardedReliable;
+use rsk_core::{ReliableConfig, ReliableSketch};
 
 /// Stream length every bench uses (10 % of a paper-scale step keeps a
 /// full `cargo bench --workspace` under a few minutes).
@@ -52,6 +54,23 @@ pub fn ours_raw(seed: u64) -> Box<dyn Sketch<u64>> {
             .seed(seed)
             .build::<u64>(),
     )
+}
+
+/// Configuration the `concurrent_ingest` bench uses for both the
+/// single-thread baseline and the sharded lock-free path (same budget,
+/// same Λ, paper defaults otherwise).
+pub fn concurrent_config(seed: u64) -> ReliableConfig {
+    ReliableConfig {
+        memory_bytes: BENCH_MEMORY,
+        lambda: 25,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Build the sharded lock-free sketch at the bench budget.
+pub fn sharded(seed: u64, shards: usize) -> ShardedReliable<u64> {
+    ShardedReliable::new(concurrent_config(seed), shards)
 }
 
 /// `(label, fresh sketch)` for the full Figure 10 lineup.

@@ -1,0 +1,735 @@
+//! Lock-free atomic bucket layers — the multi-core hot path.
+//!
+//! The paper scales ReliableSketch across FPGA/Tofino *pipeline stages*;
+//! on CPUs the analogue is scaling across cores, and the lesson of "Fast
+//! Concurrent Data Sketches" (Rinberg et al., PPoPP '20) is that lock-free
+//! ingestion beats lock-based designs by an order of magnitude. This
+//! module rebuilds the Error-Sensible bucket for that regime:
+//!
+//! * **One `AtomicU64` word per bucket.** The paper's §6.1.1 hardware
+//!   layout (32-bit `YES`, 16-bit `NO`, 32-bit `ID` = 80 bits) does not
+//!   fit a single CAS word, so the concurrent bucket stores a 24-bit key
+//!   *fingerprint* instead of the full ID and packs
+//!   `fingerprint(24) | count(28) | error(12)` into 64 bits. `error` is
+//!   the bucket's `NO` field; the lock invariant `NO ≤ λ_i ≤ Λ` keeps it
+//!   within 12 bits (enforced at construction).
+//! * **CAS capture of the lock-in rule.** One insertion step — vote,
+//!   lock-divert, or candidate replacement with the `YES`/`NO` swap — is
+//!   computed as a pure function on the packed word ([`step_word`]) and
+//!   committed with a single compare-and-swap, so every bucket transition
+//!   is atomic and the per-bucket invariants (`YES ≥ NO` for candidates,
+//!   `NO ≤ λ_i`) hold under any interleaving.
+//! * **Relaxed counters for stats.** Items, CAS retries, failures and
+//!   saturation events are `Relaxed` atomics off the decision path.
+//!
+//! ### What survives concurrency
+//!
+//! Each CAS is a linearization point, so a parallel execution is
+//! equivalent to *some* sequential stream in which each `⟨key, value⟩`
+//! insertion may be split into per-layer sub-insertions. ReliableSketch
+//! is closed under such splits (weighted insertions already split across
+//! the lock boundary), so the structural guarantees survive: estimates
+//! never undershoot the truth, `MPE(e) ≤ Σ λ_i ≤ Λ` for every key, and a
+//! locked bucket stays locked. What is *not* preserved under concurrent
+//! interleaving is bit-for-bit determinism of the election outcomes —
+//! that is restored one level up by
+//! [`crate::concurrent::ShardedReliable::ingest_parallel`], which applies
+//! each shard's sub-stream in stream order from a single owner.
+//!
+//! ### Caveats vs. [`crate::ReliableSketch`]
+//!
+//! * Fingerprinting adds a `2⁻²⁴` per-colliding-pair chance of two keys
+//!   aliasing inside one bucket (the paper's own 32-bit `ID` field makes
+//!   the same trade against `u64` keys, at `2⁻³²`).
+//! * `count` saturates at `2²⁸ − 1` per bucket; saturation events are
+//!   counted in [`AtomicStats::saturations`].
+//! * The mice filter is not replicated (this is the paper's "Raw"
+//!   variant); an atomic CU filter is an open item in ROADMAP.md.
+
+use crate::config::ReliableConfig;
+use crate::emergency::EmergencyStore;
+use crate::geometry::LayerGeometry;
+use parking_lot::Mutex;
+use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use rsk_hash::{splitmix64, HashFamily};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Physical size of one atomic bucket: a single 64-bit word.
+pub const ATOMIC_BUCKET_BYTES: usize = 8;
+
+/// Bits of the packed word holding the bucket error (`NO`).
+const ERR_BITS: u32 = 12;
+/// Bits of the packed word holding the candidate count (`YES`).
+const COUNT_BITS: u32 = 28;
+
+/// Largest representable `NO`; every layer threshold must stay below it.
+pub const ERR_MAX: u64 = (1 << ERR_BITS) - 1;
+/// Largest representable `YES`; additions saturate here.
+pub const COUNT_MAX: u64 = (1 << COUNT_BITS) - 1;
+/// Mask of the 24-bit candidate fingerprint.
+pub const FP_MASK: u64 = (1 << (64 - ERR_BITS - COUNT_BITS)) - 1;
+
+#[inline]
+fn pack(fp: u64, count: u64, err: u64) -> u64 {
+    debug_assert!(fp <= FP_MASK && count <= COUNT_MAX && err <= ERR_MAX);
+    (fp << (COUNT_BITS + ERR_BITS)) | (count << ERR_BITS) | err
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u64, u64) {
+    (
+        word >> (COUNT_BITS + ERR_BITS),
+        (word >> ERR_BITS) & COUNT_MAX,
+        word & ERR_MAX,
+    )
+}
+
+/// One Algorithm-1 layer step as a pure function on the packed word.
+///
+/// Returns `(new_word, leftover, saturated)`: the committed bucket state,
+/// the value that must descend to the next layer, and whether the `count`
+/// field clipped at [`COUNT_MAX`].
+///
+/// The three branches mirror [`crate::ReliableSketch::insert_traced`]:
+/// matching candidates absorb fully (even when locked); a triggered lock
+/// absorbs `λ − NO` and diverts the rest; otherwise the value votes `NO`
+/// and replaces the candidate when `NO ≥ YES` (swapping the counters).
+/// An empty bucket needs no special case — the replacement branch turns
+/// `(0, 0, 0)` into `(fp, v, 0)` exactly like a first insertion.
+#[inline]
+pub(crate) fn step_word(word: u64, fp: u64, value: u64, lambda: u64) -> (u64, u64, bool) {
+    let (bfp, yes, no) = unpack(word);
+    if bfp == fp {
+        let raised = yes.saturating_add(value);
+        return (pack(fp, raised.min(COUNT_MAX), no), 0, raised > COUNT_MAX);
+    }
+    if no.saturating_add(value) > lambda && yes > lambda {
+        let room = lambda.saturating_sub(no);
+        return (pack(bfp, yes, no + room), value - room, false);
+    }
+    let votes = no.saturating_add(value);
+    if votes >= yes {
+        // replacement + swap: the old YES becomes the new NO; both
+        // branches reaching here imply old YES ≤ λ ≤ ERR_MAX
+        (pack(fp, votes.min(COUNT_MAX), yes), 0, votes > COUNT_MAX)
+    } else {
+        (pack(bfp, yes, votes), 0, false)
+    }
+}
+
+/// Relaxed operation counters of an [`AtomicBucketArray`].
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    items: AtomicU64,
+    retries: AtomicU64,
+    saturations: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Insert operations started.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// CAS attempts that lost a race and retried (contention gauge).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-count saturation events (estimates may undershoot past
+    /// [`COUNT_MAX`] per bucket once this is nonzero).
+    pub fn saturations(&self) -> u64 {
+        self.saturations.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.items.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.saturations.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The layered lock-free bucket store: geometry-shaped `AtomicU64` words
+/// plus relaxed statistics. Hashing and key handling live one level up in
+/// [`ConcurrentReliable`]; this type deals in `(layer, index, fingerprint)`
+/// coordinates only.
+#[derive(Debug)]
+pub struct AtomicBucketArray {
+    words: Vec<AtomicU64>,
+    offsets: Vec<usize>,
+    widths: Vec<usize>,
+    lambdas: Vec<u64>,
+    stats: AtomicStats,
+}
+
+impl AtomicBucketArray {
+    /// Allocate zeroed buckets for `geometry`.
+    ///
+    /// # Panics
+    /// Panics if any layer threshold exceeds [`ERR_MAX`] — the packed
+    /// 12-bit error field cannot certify larger per-layer budgets.
+    pub fn new(geometry: &LayerGeometry) -> Self {
+        let widths = geometry.widths().to_vec();
+        let lambdas = geometry.lambdas().to_vec();
+        assert!(
+            lambdas.iter().all(|&l| l <= ERR_MAX),
+            "layer threshold exceeds the packed error field ({ERR_MAX})"
+        );
+        let mut offsets = Vec::with_capacity(widths.len());
+        let mut total = 0usize;
+        for &w in &widths {
+            offsets.push(total);
+            total += w;
+        }
+        let words = (0..total).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            words,
+            offsets,
+            widths,
+            lambdas,
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Buckets in layer `i`.
+    #[inline]
+    pub fn width(&self, layer: usize) -> usize {
+        self.widths[layer]
+    }
+
+    /// Lock threshold of layer `i`.
+    #[inline]
+    pub fn lambda(&self, layer: usize) -> u64 {
+        self.lambdas[layer]
+    }
+
+    /// Total buckets across all layers.
+    #[inline]
+    pub fn total_buckets(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &AtomicStats {
+        &self.stats
+    }
+
+    /// Record one insert operation (called once per item by the owner).
+    #[inline]
+    pub(crate) fn note_item(&self) {
+        self.stats.items.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply one layer step for `fingerprint` at `(layer, index)` with a
+    /// CAS loop; returns the leftover value that must descend.
+    #[inline]
+    pub fn insert_step(&self, layer: usize, index: usize, fingerprint: u64, value: u64) -> u64 {
+        let cell = &self.words[self.offsets[layer] + index];
+        let lambda = self.lambdas[layer];
+        let mut current = cell.load(Ordering::Acquire);
+        loop {
+            let (next, leftover, saturated) = step_word(current, fingerprint, value, lambda);
+            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    if saturated {
+                        self.stats.saturations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return leftover;
+                }
+                Err(actual) => {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    current = actual;
+                }
+            }
+        }
+    }
+
+    /// Read bucket `(layer, index)` as `(fingerprint, yes, no)`.
+    #[inline]
+    pub fn read(&self, layer: usize, index: usize) -> (u64, u64, u64) {
+        unpack(self.words[self.offsets[layer] + index].load(Ordering::Acquire))
+    }
+
+    /// Zero every bucket and reset statistics (requires exclusive access
+    /// for a consistent result; concurrent readers only ever observe valid
+    /// bucket words).
+    pub fn reset(&mut self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+        self.stats.reset();
+    }
+}
+
+/// Salt separating the fingerprint hash from the per-layer index family.
+const FP_SALT: u64 = 0xf19e_5a1e_0ff5_eeda;
+
+/// Lock-free ReliableSketch over an [`AtomicBucketArray`]: shared-`&self`
+/// insertion from any number of threads, the paper's "Raw" (no mice
+/// filter) semantics, with the configured emergency policy serviced off
+/// the hot path behind a mutex that only failures touch.
+///
+/// ```
+/// use rsk_core::atomic::ConcurrentReliable;
+/// use rsk_core::ReliableConfig;
+///
+/// let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+///     memory_bytes: 64 * 1024,
+///     seed: 7,
+///     ..Default::default()
+/// });
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let sk = &sk;
+///         s.spawn(move || {
+///             for i in 0..1000u64 {
+///                 sk.insert_concurrent(&(i % 10), 1 + t % 2);
+///             }
+///         });
+///     }
+/// });
+/// let est = sk.query_with_error(&3);
+/// assert!(est.value >= 400); // all four threads' mass is visible
+/// assert!(est.max_possible_error <= 25);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentReliable<K: Key> {
+    config: ReliableConfig,
+    geometry: LayerGeometry,
+    hashes: HashFamily,
+    fp_seed: u32,
+    array: AtomicBucketArray,
+    failures: AtomicU64,
+    emergency: Mutex<EmergencyStore<K>>,
+}
+
+impl<K: Key> ConcurrentReliable<K> {
+    /// Build from a configuration. The mice filter (if configured) is
+    /// ignored — the concurrent data path is the paper's "Raw" variant —
+    /// so the whole `memory_bytes` budget buys
+    /// `memory_bytes / ATOMIC_BUCKET_BYTES` single-word buckets.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations, or when `Λ` yields a layer
+    /// threshold above [`ERR_MAX`] (the packed error field is 12 bits
+    /// wide, a narrower domain than [`crate::ReliableSketch`]'s unbounded
+    /// `u64` counters — tolerances up to `Λ = 4095` are always safe).
+    pub fn new(config: ReliableConfig) -> Self {
+        let raw = ReliableConfig {
+            mice_filter: None,
+            ..config
+        };
+        raw.validate()
+            .unwrap_or_else(|e| panic!("invalid ReliableConfig: {e}"));
+        let buckets = (raw.memory_bytes / ATOMIC_BUCKET_BYTES).max(1);
+        let geometry = LayerGeometry::derive(
+            buckets,
+            raw.lambda,
+            raw.r_w,
+            raw.r_lambda,
+            raw.depth,
+            raw.lambda_floor_one,
+        );
+        Self::with_geometry(raw, geometry)
+    }
+
+    /// Build with an explicit layer schedule (tests and ablations; also
+    /// how the differential suite pins this variant to the exact geometry
+    /// of a [`crate::ReliableSketch`] twin).
+    pub fn with_geometry(config: ReliableConfig, geometry: LayerGeometry) -> Self {
+        let array = AtomicBucketArray::new(&geometry);
+        let hashes = HashFamily::new(geometry.depth(), config.seed);
+        let fp_seed = splitmix64(config.seed ^ FP_SALT) as u32;
+        let emergency = Mutex::new(EmergencyStore::new(config.emergency));
+        Self {
+            config,
+            geometry,
+            hashes,
+            fp_seed,
+            array,
+            failures: AtomicU64::new(0),
+            emergency,
+        }
+    }
+
+    /// The configuration this sketch was built from (mice filter stripped).
+    pub fn config(&self) -> &ReliableConfig {
+        &self.config
+    }
+
+    /// The materialized layer geometry.
+    pub fn geometry(&self) -> &LayerGeometry {
+        &self.geometry
+    }
+
+    /// The underlying bucket store (contention and saturation stats).
+    pub fn array(&self) -> &AtomicBucketArray {
+        &self.array
+    }
+
+    /// Insert operations that overflowed every layer.
+    pub fn insertion_failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Total value dropped by failures (nonzero only with
+    /// [`crate::EmergencyPolicy::Disabled`]).
+    pub fn dropped_value(&self) -> u64 {
+        self.emergency.lock().dropped_value()
+    }
+
+    /// 24-bit candidate fingerprint of `key`.
+    #[inline]
+    fn fingerprint(&self, key: &K) -> u64 {
+        key.hash32(self.fp_seed) as u64 & FP_MASK
+    }
+
+    /// Lock-free insertion through a shared reference.
+    #[inline]
+    pub fn insert_concurrent(&self, key: &K, value: u64) {
+        if value == 0 {
+            return;
+        }
+        let fp = self.fingerprint(key);
+        let idx0 = self.hashes.index(0, key, self.geometry.width(0));
+        self.insert_prehashed(key, value, fp, idx0);
+    }
+
+    /// The walk after the batch-amortized prefix (fingerprint and layer-0
+    /// index already computed).
+    #[inline]
+    fn insert_prehashed(&self, key: &K, value: u64, fp: u64, idx0: usize) {
+        self.array.note_item();
+        let mut v = self.array.insert_step(0, idx0, fp, value);
+        let mut layer = 1;
+        while v > 0 && layer < self.geometry.depth() {
+            let j = self.hashes.index(layer, key, self.geometry.width(layer));
+            v = self.array.insert_step(layer, j, fp, v);
+            layer += 1;
+        }
+        if v > 0 {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            self.emergency.lock().record(key, v);
+        }
+    }
+
+    /// Insert a batch, amortizing fingerprint and layer-0 hashing over a
+    /// tight precompute loop per 64-item chunk. Semantically identical to
+    /// calling [`Self::insert_concurrent`] per item in order.
+    pub fn insert_batch(&self, items: &[(K, u64)]) {
+        const CHUNK: usize = 64;
+        let w0 = self.geometry.width(0);
+        let mut idx0 = [0usize; CHUNK];
+        let mut fps = [0u64; CHUNK];
+        for chunk in items.chunks(CHUNK) {
+            for (s, (k, _)) in chunk.iter().enumerate() {
+                idx0[s] = self.hashes.index(0, k, w0);
+                fps[s] = self.fingerprint(k);
+            }
+            for (s, &(k, v)) in chunk.iter().enumerate() {
+                if v > 0 {
+                    self.insert_prehashed(&k, v, fps[s], idx0[s]);
+                }
+            }
+        }
+    }
+
+    /// Algorithm-2 point query with its certified error interval.
+    pub fn query_with_error(&self, key: &K) -> Estimate {
+        let fp = self.fingerprint(key);
+        let mut est = 0u64;
+        let mut mpe = 0u64;
+        for i in 0..self.geometry.depth() {
+            let j = self.hashes.index(i, key, self.geometry.width(i));
+            let (bfp, yes, no) = self.array.read(i, j);
+            let matches = bfp == fp;
+            est += if matches { yes } else { no };
+            mpe += no;
+            if no < self.array.lambda(i) || yes == no || matches {
+                break;
+            }
+        }
+        if self.failures.load(Ordering::Relaxed) > 0 {
+            let (ev, eo) = self.emergency.lock().query(key);
+            est += ev;
+            mpe += eo;
+        }
+        Estimate {
+            value: est,
+            max_possible_error: mpe,
+        }
+    }
+
+    /// Worst-case MPE this structure can report: `Σ λ_i ≤ Λ`.
+    pub fn mpe_ceiling(&self) -> u64 {
+        self.geometry.total_lambda()
+    }
+}
+
+impl<K: Key> StreamSummary<K> for ConcurrentReliable<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        self.insert_concurrent(key, value);
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+}
+
+impl<K: Key> ErrorSensing<K> for ConcurrentReliable<K> {
+    #[inline]
+    fn query_with_error(&self, key: &K) -> Estimate {
+        ConcurrentReliable::query_with_error(self, key)
+    }
+}
+
+impl<K: Key> MemoryFootprint for ConcurrentReliable<K> {
+    fn memory_bytes(&self) -> usize {
+        self.array.total_buckets() * ATOMIC_BUCKET_BYTES + self.emergency.lock().memory_bytes()
+    }
+}
+
+impl<K: Key> Algorithm for ConcurrentReliable<K> {
+    fn name(&self) -> String {
+        "OursAtomic".into()
+    }
+}
+
+impl<K: Key> Clear for ConcurrentReliable<K> {
+    fn clear(&mut self) {
+        self.array.reset();
+        self.failures.store(0, Ordering::Relaxed);
+        self.emergency.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Depth, EmergencyPolicy};
+    use crate::sketch::ReliableSketch;
+    use proptest::prelude::*;
+
+    #[test]
+    fn word_roundtrip() {
+        for (fp, count, err) in [(0, 0, 0), (1, 2, 3), (FP_MASK, COUNT_MAX, ERR_MAX)] {
+            assert_eq!(unpack(pack(fp, count, err)), (fp, count, err));
+        }
+    }
+
+    #[test]
+    fn step_word_matches_bucket_election() {
+        // Figure 2's worked example on the packed word (λ large: no lock)
+        let mut w = 0u64;
+        let (a, b) = (1u64, 2u64);
+        let step = |w: &mut u64, fp, v| {
+            let (next, left, _) = step_word(*w, fp, v, ERR_MAX);
+            *w = next;
+            left
+        };
+        assert_eq!(step(&mut w, a, 2), 0);
+        assert_eq!(unpack(w), (a, 2, 0));
+        assert_eq!(step(&mut w, a, 3), 0);
+        assert_eq!(unpack(w), (a, 5, 0));
+        assert_eq!(step(&mut w, b, 10), 0); // NO 10 ≥ YES 5 → replace + swap
+        assert_eq!(unpack(w), (b, 10, 5));
+    }
+
+    #[test]
+    fn step_word_lock_diverts() {
+        // λ = 4, bucket captured by fp 1 with YES 10, NO 3: a colliding 5
+        // absorbs 1 (to NO = λ) and diverts 4
+        let w = pack(1, 10, 3);
+        let (next, left, _) = step_word(w, 2, 5, 4);
+        assert_eq!(unpack(next), (1, 10, 4));
+        assert_eq!(left, 4);
+        // a matching key is absorbed fully even when locked
+        let (next, left, _) = step_word(next, 1, 7, 4);
+        assert_eq!(unpack(next), (1, 17, 4));
+        assert_eq!(left, 0);
+    }
+
+    #[test]
+    fn step_word_count_saturates() {
+        let w = pack(3, COUNT_MAX - 1, 0);
+        let (next, left, sat) = step_word(w, 3, 10, ERR_MAX);
+        assert_eq!(unpack(next), (3, COUNT_MAX, 0));
+        assert_eq!(left, 0);
+        assert!(sat);
+    }
+
+    #[test]
+    fn array_rejects_oversized_lambda() {
+        let geometry = LayerGeometry::custom(vec![4], vec![ERR_MAX + 1]).unwrap();
+        let r = std::panic::catch_unwind(|| AtomicBucketArray::new(&geometry));
+        assert!(r.is_err());
+    }
+
+    fn twin_pair(
+        geometry: &LayerGeometry,
+        seed: u64,
+    ) -> (ConcurrentReliable<u64>, ReliableSketch<u64>) {
+        let config = ReliableConfig {
+            memory_bytes: geometry.total_buckets() * ATOMIC_BUCKET_BYTES,
+            lambda: geometry.total_lambda().max(1),
+            depth: Depth::Fixed(geometry.depth()),
+            mice_filter: None,
+            emergency: EmergencyPolicy::ExactTable,
+            seed,
+            ..Default::default()
+        };
+        let atomic = ConcurrentReliable::with_geometry(config.clone(), geometry.clone());
+        let classic = ReliableSketch::with_geometry(config, geometry.clone());
+        (atomic, classic)
+    }
+
+    #[test]
+    fn single_thread_equals_classic_sketch() {
+        let geometry = LayerGeometry::derive(2_000, 25, 2.0, 2.5, Depth::Auto, false);
+        let (atomic, mut classic) = twin_pair(&geometry, 9);
+        let items: Vec<(u64, u64)> = (0..40_000u64).map(|i| (i % 1_111, 1 + i % 3)).collect();
+        for &(k, v) in &items {
+            atomic.insert_concurrent(&k, v);
+            classic.insert(&k, v);
+        }
+        for k in 0..1_111u64 {
+            let a = atomic.query_with_error(&k);
+            let c = rsk_api::ErrorSensing::query_with_error(&classic, &k);
+            assert_eq!(
+                (a.value, a.max_possible_error),
+                (c.value, c.max_possible_error)
+            );
+        }
+        assert_eq!(atomic.insertion_failures(), classic.insertion_failures());
+    }
+
+    #[test]
+    fn insert_batch_equals_item_loop() {
+        let geometry = LayerGeometry::derive(1_000, 25, 2.0, 2.5, Depth::Auto, false);
+        let config = ReliableConfig {
+            memory_bytes: geometry.total_buckets() * ATOMIC_BUCKET_BYTES,
+            seed: 4,
+            ..Default::default()
+        };
+        let batched = ConcurrentReliable::<u64>::with_geometry(config.clone(), geometry.clone());
+        let looped = ConcurrentReliable::<u64>::with_geometry(config, geometry);
+        let items: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 500, 1 + i % 7)).collect();
+        batched.insert_batch(&items);
+        for &(k, v) in &items {
+            looped.insert_concurrent(&k, v);
+        }
+        for k in 0..500u64 {
+            assert_eq!(batched.query_with_error(&k), looped.query_with_error(&k));
+        }
+        assert_eq!(
+            batched.array().stats().items(),
+            looped.array().stats().items()
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_keep_the_guarantee() {
+        let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+            memory_bytes: 256 * 1024,
+            emergency: EmergencyPolicy::ExactTable,
+            seed: 3,
+            ..Default::default()
+        });
+        let n_threads = 8u64;
+        let per_thread = 20_000u64;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let sk = &sk;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        sk.insert_concurrent(&((t * per_thread + i) % 2_000), 1);
+                    }
+                });
+            }
+        });
+        let total = n_threads * per_thread;
+        let mut recovered = 0u64;
+        for k in 0..2_000u64 {
+            let est = sk.query_with_error(&k);
+            let truth = total / 2_000;
+            assert!(est.value >= truth, "undershoot at {k}: {est:?}");
+            assert!(est.max_possible_error <= 25, "MPE blew past Λ at {k}");
+            assert!(est.contains(truth), "key {k}: {truth} ∉ {est:?}");
+            recovered += est.value - est.max_possible_error.min(est.value);
+        }
+        assert!(recovered <= total, "lower bounds must not exceed the mass");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+            memory_bytes: 16 * 1024,
+            seed: 5,
+            ..Default::default()
+        });
+        for i in 0..5_000u64 {
+            sk.insert_concurrent(&(i % 100), 2);
+        }
+        Clear::clear(&mut sk);
+        for k in 0..100u64 {
+            assert_eq!(sk.query_with_error(&k).value, 0);
+        }
+        assert_eq!(sk.array().stats().items(), 0);
+        assert_eq!(sk.insertion_failures(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Single-threaded, the atomic path is bit-for-bit the classic
+        /// sketch (same geometry, seed and emergency policy) on arbitrary
+        /// streams — fingerprint collisions aside, which the key range
+        /// here makes vanishingly unlikely.
+        #[test]
+        fn prop_atomic_equals_classic(
+            ops in proptest::collection::vec((0u64..300, 1u64..8), 1..1500),
+            seed in 0u64..32,
+        ) {
+            let geometry = LayerGeometry::derive(256, 25, 2.0, 2.5, Depth::Fixed(5), false);
+            let (atomic, mut classic) = twin_pair(&geometry, seed);
+            for &(k, v) in &ops {
+                atomic.insert_concurrent(&k, v);
+                classic.insert(&k, v);
+            }
+            for k in 0..300u64 {
+                let a = atomic.query_with_error(&k);
+                let c = rsk_api::ErrorSensing::query_with_error(&classic, &k);
+                prop_assert_eq!((a.value, a.max_possible_error), (c.value, c.max_possible_error), "key {}", k);
+            }
+        }
+
+        /// The packed-word lock invariant: NO never exceeds λ after any
+        /// step, and value is conserved (absorbed + leftover = inserted).
+        #[test]
+        fn prop_step_word_invariants(
+            ops in proptest::collection::vec((0u64..6, 1u64..40), 1..200),
+            lambda in 1u64..64,
+        ) {
+            let mut w = 0u64;
+            for (fp, v) in ops {
+                let (yes0, no0) = { let (_, y, n) = unpack(w); (y, n) };
+                let (next, left, sat) = step_word(w, fp, v, lambda);
+                let (_, yes1, no1) = unpack(next);
+                prop_assert!(no1 <= lambda.max(no0), "NO {} above λ {}", no1, lambda);
+                prop_assert!(yes1 >= no1 || no1 <= lambda);
+                if !sat {
+                    prop_assert_eq!(yes1 + no1 + left, yes0 + no0 + v, "value not conserved");
+                }
+                w = next;
+            }
+        }
+    }
+}

@@ -1,49 +1,101 @@
-//! Multi-core ingestion — a beyond-the-paper extension.
+//! Multi-core ingestion on lock-free shards — a beyond-the-paper
+//! extension.
 //!
 //! The paper demonstrates ReliableSketch on pipelined hardware (FPGA,
-//! Tofino); on CPU servers the natural analogue is *sharding*: partition
-//! the key space over `S` independent sketches and give each its own lock.
-//! Because every key maps to exactly one shard, each shard is a complete
-//! ReliableSketch over its sub-stream and the per-key `Λ` guarantee is
-//! preserved verbatim — the shards simply split the memory budget.
+//! Tofino); on CPU servers the natural analogue is concurrent ingestion.
+//! This module partitions the key space over `S` independent
+//! [`ConcurrentReliable`] shards, each a complete lock-free ReliableSketch
+//! over its sub-stream (see [`crate::atomic`] for the single-word CAS
+//! bucket design), so the per-key `Λ` guarantee is preserved verbatim —
+//! the shards simply split the memory budget, remainder included.
 //!
-//! [`ShardedReliable::ingest_parallel`] fans a stream out to worker
-//! threads over crossbeam channels (one bounded channel per shard, so
-//! there is no cross-shard synchronization on the hot path).
+//! ### The hot path
+//!
+//! Earlier revisions locked a `Mutex` per shard and paid a bounded-channel
+//! send per item. Both are gone:
+//!
+//! * [`ShardedReliable::insert_shared`] routes one item to its shard and
+//!   inserts with CAS only — any number of producer threads may call it
+//!   through `&self` with no lock anywhere on the path.
+//! * [`ShardedReliable::ingest_parallel`] runs two barrier-free phases
+//!   over scoped threads: workers first partition chunk-affine slices of
+//!   the input into per-shard batch buffers (pure local work, one routing
+//!   hash per item), then claim whole shards from an atomic ticket and
+//!   flush every chunk's buffer for that shard in chunk order via
+//!   [`ConcurrentReliable::insert_batch`]. No per-item channel send, no
+//!   mutex, and each shard is applied by exactly one owner in stream
+//!   order — which makes the result *bit-for-bit identical* to a
+//!   sequential [`ShardedReliable::insert_shared`] replay of the same
+//!   stream, for every shard and worker count. The root
+//!   `concurrent_ingest` suite pins this equivalence.
+//!
+//! ### Seeds and memory
+//!
+//! Per-shard hash seeds are drawn from the [`SplitMix64`] stream of the
+//! master seed (not a linear offset, which left shard families
+//! correlated), and `memory_bytes` is split as evenly as possible with
+//! the remainder spread over the first `memory_bytes % S` shards so the
+//! budgets sum exactly to the configured total.
 
+use crate::atomic::ConcurrentReliable;
 use crate::config::ReliableConfig;
-use crate::sketch::ReliableSketch;
-use crossbeam::channel;
-use parking_lot::Mutex;
-use rsk_api::{Algorithm, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use rsk_api::{
+    Algorithm, ConcurrentSummary, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary,
+};
+use rsk_hash::SplitMix64;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Key-partitioned ReliableSketch for shared (`&self`) ingestion.
+/// Key-partitioned lock-free ReliableSketch for shared (`&self`)
+/// ingestion from many threads.
 pub struct ShardedReliable<K: Key> {
-    shards: Vec<Mutex<ReliableSketch<K>>>,
-    shard_seed: u32,
+    shards: Vec<ConcurrentReliable<K>>,
+    router_seed: u32,
 }
 
 impl<K: Key> ShardedReliable<K> {
-    /// Split `config.memory_bytes` evenly over `n_shards` sketches.
+    /// Split `config.memory_bytes` over `n_shards` lock-free sketches.
+    ///
+    /// The division distributes the remainder (`memory_bytes % n_shards`)
+    /// one byte per leading shard, so no budget is silently dropped, and
+    /// per-shard seeds come from a SplitMix64 stream over `config.seed`.
+    ///
+    /// Shards run the paper's **"Raw" variant**: `config.mice_filter` is
+    /// ignored (see [`ConcurrentReliable::new`] — the CU filter has no
+    /// lock-free implementation yet), and the whole budget buys
+    /// single-word atomic buckets. Accuracy on mouse-heavy streams
+    /// therefore tracks `Ours(Raw)` rather than filtered `Ours`; the
+    /// certified `≤ Λ` interval guarantee is unchanged.
     ///
     /// # Panics
-    /// Panics if `n_shards == 0` or the per-shard budget is invalid.
+    /// Panics if `n_shards == 0`, if a per-shard budget is invalid, or if
+    /// `config.lambda` yields a layer threshold above
+    /// [`crate::atomic::ERR_MAX`] (= 4095) — the packed atomic bucket
+    /// stores the error in 12 bits, unlike the unbounded `u64` fields of
+    /// [`crate::ReliableSketch`].
     pub fn new(config: ReliableConfig, n_shards: usize) -> Self {
         assert!(n_shards > 0, "need at least one shard");
-        let per_shard = ReliableConfig {
-            memory_bytes: config.memory_bytes / n_shards,
-            ..config.clone()
-        };
-        let shards = (0..n_shards)
+        let base = config.memory_bytes / n_shards;
+        let remainder = config.memory_bytes % n_shards;
+        let mut seeds = SplitMix64::new(config.seed);
+        let mut allotted = 0usize;
+        let shards: Vec<_> = (0..n_shards)
             .map(|i| {
-                let mut c = per_shard.clone();
-                c.seed = config.seed.wrapping_add(i as u64 * 0x9e37_79b9);
-                Mutex::new(ReliableSketch::new(c))
+                let budget = base + usize::from(i < remainder);
+                allotted += budget;
+                ConcurrentReliable::new(ReliableConfig {
+                    memory_bytes: budget,
+                    seed: seeds.next_u64(),
+                    ..config.clone()
+                })
             })
             .collect();
+        assert_eq!(
+            allotted, config.memory_bytes,
+            "shard budgets must sum to the configured total"
+        );
         Self {
             shards,
-            shard_seed: (config.seed >> 32) as u32 ^ SHARD_SALT,
+            router_seed: seeds.next_u64() as u32 ^ SHARD_SALT,
         }
     }
 
@@ -52,69 +104,162 @@ impl<K: Key> ShardedReliable<K> {
         self.shards.len()
     }
 
+    /// The shard a key routes to (diagnostics and tests).
     #[inline]
-    fn shard_of(&self, key: &K) -> usize {
-        ((key.hash32(self.shard_seed) as u64 * self.shards.len() as u64) >> 32) as usize
+    pub fn shard_of(&self, key: &K) -> usize {
+        ((key.hash32(self.router_seed) as u64 * self.shards.len() as u64) >> 32) as usize
     }
 
-    /// Insert through a shared reference (locks one shard).
+    /// Direct access to shard `i` (diagnostics and tests).
+    pub fn shard(&self, i: usize) -> &ConcurrentReliable<K> {
+        &self.shards[i]
+    }
+
+    /// Lock-free insert through a shared reference.
+    #[inline]
     pub fn insert_shared(&self, key: &K, value: u64) {
-        let s = self.shard_of(key);
-        self.shards[s].lock().insert(key, value);
+        self.shards[self.shard_of(key)].insert_concurrent(key, value);
     }
 
-    /// Query with error through a shared reference.
+    /// Query with certified error through a shared reference.
+    #[inline]
     pub fn query_shared(&self, key: &K) -> Estimate {
-        let s = self.shard_of(key);
-        self.shards[s].lock().query_with_error(key)
+        self.shards[self.shard_of(key)].query_with_error(key)
     }
 
     /// Total insertion failures across shards.
     pub fn insertion_failures(&self) -> u64 {
+        self.shards.iter().map(|s| s.insertion_failures()).sum()
+    }
+
+    /// Total CAS retries across shards (contention gauge; 0 when every
+    /// shard was only ever touched by one thread at a time).
+    pub fn cas_retries(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().insertion_failures())
+            .map(|s| s.array().stats().retries())
             .sum()
     }
 
-    /// Ingest `items` with `n_workers` threads (one consumer per shard,
-    /// producers round-robin the input slice).
+    /// Ingest `items` with `n_workers` threads in two barrier-free
+    /// phases: parallel shard-affine partitioning, then shard-owned batch
+    /// application in stream order (see the module docs). Deterministic:
+    /// the result is identical to a sequential
+    /// [`Self::insert_shared`] replay for every worker count.
     ///
     /// Returns the number of items processed.
     pub fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize
     where
         K: Send + Sync,
     {
-        let n_workers = n_workers.max(1);
+        let n_workers = n_workers.max(1).min(items.len().max(1));
         let n_shards = self.shards.len();
-        // one channel per shard; senders shared by the splitter threads
-        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_shards)
-            .map(|_| channel::bounded::<(K, u64)>(4096))
-            .unzip();
+        if n_workers == 1 {
+            for (k, v) in items {
+                self.insert_shared(k, *v);
+            }
+            return items.len();
+        }
 
+        // Phase 1: chunk-affine partitioning. Chunks are contiguous, so
+        // concatenating one shard's buffers in chunk order reproduces that
+        // shard's sub-stream in stream order.
+        let chunk_len = items.len().div_ceil(n_workers).max(1);
+        let partitions: Vec<Vec<Vec<(K, u64)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut per_shard: Vec<Vec<(K, u64)>> = vec![Vec::new(); n_shards];
+                        for &(k, v) in part {
+                            per_shard[self.shard_of(&k)].push((k, v));
+                        }
+                        per_shard
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Phase 2: workers claim whole shards from a ticket counter, so
+        // every shard has exactly one owner and its batches apply in
+        // chunk (= stream) order; flushes on distinct shards proceed in
+        // parallel with no synchronization beyond the bucket CAS.
+        let ticket = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            // consumers: each owns one shard for the whole run
-            for (shard, rx) in self.shards.iter().zip(rxs) {
-                scope.spawn(move || {
-                    let mut guard = shard.lock();
-                    for (k, v) in rx {
-                        guard.insert(&k, v);
+            for _ in 0..n_workers.min(n_shards) {
+                scope.spawn(|| loop {
+                    let shard = ticket.fetch_add(1, Ordering::Relaxed);
+                    if shard >= n_shards {
+                        break;
+                    }
+                    for chunk in &partitions {
+                        self.shards[shard].insert_batch(&chunk[shard]);
                     }
                 });
             }
-            // producers: split the slice, route by shard hash
-            let chunk = items.len().div_ceil(n_workers);
-            for part in items.chunks(chunk.max(1)) {
-                let txs = txs.clone();
-                scope.spawn(move || {
-                    for (k, v) in part {
-                        let s = self.shard_of(k);
-                        // receiver lives for the whole scope: send succeeds
-                        let _ = txs[s].send((*k, *v));
-                    }
-                });
+        });
+        items.len()
+    }
+}
+
+impl<K: Key> StreamSummary<K> for ShardedReliable<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        self.insert_shared(key, value);
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        self.query_shared(key).value
+    }
+}
+
+impl<K: Key> ErrorSensing<K> for ShardedReliable<K> {
+    #[inline]
+    fn query_with_error(&self, key: &K) -> Estimate {
+        self.query_shared(key)
+    }
+}
+
+impl<K: Key + Send + Sync> ConcurrentSummary<K> for ShardedReliable<K> {
+    #[inline]
+    fn insert_concurrent(&self, key: &K, value: u64) {
+        self.insert_shared(key, value);
+    }
+
+    #[inline]
+    fn query_concurrent(&self, key: &K) -> u64 {
+        self.query_shared(key).value
+    }
+
+    fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize {
+        ShardedReliable::ingest_parallel(self, items, n_workers)
+    }
+}
+
+impl<K: Key + Send + Sync> ConcurrentSummary<K> for ConcurrentReliable<K> {
+    #[inline]
+    fn insert_concurrent(&self, key: &K, value: u64) {
+        ConcurrentReliable::insert_concurrent(self, key, value);
+    }
+
+    #[inline]
+    fn query_concurrent(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+
+    /// Chunked concurrent ingestion into one lock-free sketch. Unlike the
+    /// sharded version this interleaves bucket elections and is therefore
+    /// not deterministic, but the semantic guarantee (estimates bound the
+    /// truth within `Λ`) is preserved under any interleaving.
+    fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize {
+        let n_workers = n_workers.max(1).min(items.len().max(1));
+        let chunk_len = items.len().div_ceil(n_workers).max(1);
+        std::thread::scope(|scope| {
+            for part in items.chunks(chunk_len) {
+                scope.spawn(move || self.insert_batch(part));
             }
-            drop(txs); // close channels once producers finish
         });
         items.len()
     }
@@ -122,7 +267,7 @@ impl<K: Key> ShardedReliable<K> {
 
 impl<K: Key> MemoryFootprint for ShardedReliable<K> {
     fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().memory_bytes()).sum()
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
     }
 }
 
@@ -167,45 +312,85 @@ mod tests {
     }
 
     #[test]
-    fn parallel_ingest_equals_sequential() {
-        let items: Vec<(u64, u64)> = (0..40_000u64).map(|i| (i % 1777, 1)).collect();
-
-        let par = ShardedReliable::<u64>::new(config(256 * 1024), 4);
-        par.ingest_parallel(&items, 4);
+    fn parallel_ingest_is_identical_to_sequential() {
+        let items: Vec<(u64, u64)> = (0..40_000u64).map(|i| (i % 1777, 1 + i % 3)).collect();
 
         let seq = ShardedReliable::<u64>::new(config(256 * 1024), 4);
         for (k, v) in &items {
             seq.insert_shared(k, *v);
         }
-
-        // same shard layout and deterministic per-shard insertion order is
-        // NOT guaranteed under parallel ingest; the guarantee is semantic:
-        // both answer within Λ of the truth.
-        let mut truth: HashMap<u64, u64> = HashMap::new();
-        for (k, v) in &items {
-            *truth.entry(*k).or_insert(0) += v;
-        }
-        for (&k, &f) in &truth {
-            for s in [&par, &seq] {
-                let est = s.query_shared(&k);
-                assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+        for workers in [2usize, 4, 8] {
+            let par = ShardedReliable::<u64>::new(config(256 * 1024), 4);
+            assert_eq!(par.ingest_parallel(&items, workers), items.len());
+            for k in 0..1777u64 {
+                assert_eq!(
+                    par.query_shared(&k),
+                    seq.query_shared(&k),
+                    "divergence at key {k} with {workers} workers"
+                );
             }
+            assert_eq!(par.insertion_failures(), seq.insertion_failures());
         }
     }
 
     #[test]
-    fn memory_splits_across_shards() {
-        let total = 1 << 20;
+    fn memory_budget_sums_exactly_across_shards() {
+        // a budget that does NOT divide evenly: the remainder must land in
+        // the leading shards instead of being dropped
+        let total = (1 << 20) + 7;
         let sh = ShardedReliable::<u64>::new(config(total), 8);
+        let budgets: Vec<usize> = (0..8).map(|i| sh.shard(i).config().memory_bytes).collect();
+        assert_eq!(budgets.iter().sum::<usize>(), total);
+        assert!(budgets.iter().all(|&b| {
+            let base = total / 8;
+            b == base || b == base + 1
+        }));
         let used = sh.memory_bytes();
         assert!(used <= total);
-        assert!(used > total / 2, "shards should use most of the budget");
+        assert!(
+            used > total * 9 / 10,
+            "shards should use most of the budget"
+        );
         assert_eq!(sh.name(), "Ours(x8)");
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        // SplitMix64-derived seeds: no two shards share a seed, and the
+        // same key maps to different layer-0 buckets in (almost) all shards
+        let sh = ShardedReliable::<u64>::new(config(1 << 20), 8);
+        let seeds: std::collections::HashSet<u64> =
+            (0..8).map(|i| sh.shard(i).config().seed).collect();
+        assert_eq!(seeds.len(), 8, "duplicate shard seeds");
+        let key = 0xdead_beefu64;
+        let indexes: std::collections::HashSet<usize> = (0..8)
+            .map(|i| {
+                let s = sh.shard(i);
+                rsk_hash::HashFamily::new(s.geometry().depth(), s.config().seed).index(
+                    0,
+                    &key,
+                    s.geometry().width(0),
+                )
+            })
+            .collect();
+        assert!(indexes.len() >= 6, "layer-0 placements look correlated");
     }
 
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedReliable::<u64>::new(config(1 << 20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed error field")]
+    fn oversized_lambda_rejected() {
+        // the atomic bucket stores NO in 12 bits: tolerances whose layer
+        // thresholds exceed ERR_MAX are a documented construction panic
+        let cfg = ReliableConfig {
+            lambda: 100_000,
+            ..config(1 << 20)
+        };
+        ShardedReliable::<u64>::new(cfg, 4);
     }
 }

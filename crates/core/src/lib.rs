@@ -18,7 +18,10 @@
 //! * [`ReliableSketch`] — the full layered structure with the lock
 //!   mechanism, mice filter (§3.3) and emergency store (§3.3);
 //! * [`theory`] — the paper's closed-form results (Theorems 4–5, Table 1);
-//! * [`concurrent::ShardedReliable`] — a multi-core ingestion extension.
+//! * [`atomic::AtomicBucketArray`] / [`atomic::ConcurrentReliable`] — the
+//!   lock-free multi-core data path (single-word CAS buckets);
+//! * [`concurrent::ShardedReliable`] — key-partitioned multi-core
+//!   ingestion over lock-free shards.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod atomic;
 pub mod bucket;
 pub mod concurrent;
 pub mod config;
@@ -59,7 +63,9 @@ pub mod snapshot;
 pub mod stats;
 pub mod theory;
 
+pub use atomic::{AtomicBucketArray, ConcurrentReliable, ATOMIC_BUCKET_BYTES};
 pub use bucket::EsBucket;
+pub use concurrent::ShardedReliable;
 pub use config::{
     Depth, EmergencyPolicy, MiceFilterConfig, ReliableConfig, ReliableConfigBuilder, BUCKET_BYTES,
     DEFAULT_SEED,

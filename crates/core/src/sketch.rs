@@ -155,6 +155,14 @@ impl<K: Key> ReliableSketch<K> {
 
     /// Insert and return the full trace (stop layer, hash calls, failure).
     pub fn insert_traced(&mut self, key: &K, value: u64) -> InsertTrace {
+        self.insert_traced_at(key, value, None)
+    }
+
+    /// [`Self::insert_traced`] with an optional precomputed layer-0 bucket
+    /// index — the hook [`Self::insert_batch`] uses to amortize hashing.
+    /// Hash-call accounting is identical either way: a precomputed index
+    /// still cost one evaluation, just in the batch prefix loop.
+    fn insert_traced_at(&mut self, key: &K, value: u64, idx0: Option<usize>) -> InsertTrace {
         let mut v = value;
         let mut hash_calls = 0u64;
 
@@ -175,7 +183,10 @@ impl<K: Key> ReliableSketch<K> {
         for i in 0..self.geometry.depth() {
             hash_calls += 1;
             let width = self.geometry.width(i);
-            let j = self.hashes.index(i, key, width);
+            let j = match (i, idx0) {
+                (0, Some(j)) => j,
+                _ => self.hashes.index(i, key, width),
+            };
             let lambda = self.geometry.lambda(i);
             let b = &mut self.layers[i][j];
 
@@ -225,6 +236,65 @@ impl<K: Key> ReliableSketch<K> {
         };
         self.stats.record_insert(&trace);
         trace
+    }
+
+    /// Insert a batch of items, amortizing the layer-0 hash over a tight
+    /// precompute loop per 64-item chunk (the dominant hash on mouse-free
+    /// streams, since most items stop in the first layer or two).
+    ///
+    /// Semantically identical to calling [`rsk_api::StreamSummary::insert`]
+    /// per item in order — same buckets, same traces, same stats — so the
+    /// batched and item-at-a-time paths are interchangeable. With a mice
+    /// filter configured, the filter hashes first and absorbs most items,
+    /// so the batch path degrades gracefully to the plain loop there.
+    ///
+    /// Returns the number of insertion failures within the batch.
+    pub fn insert_batch(&mut self, items: &[(K, u64)]) -> u64 {
+        const CHUNK: usize = 64;
+        let mut failed = 0u64;
+        if self.filter.is_some() {
+            for &(k, v) in items {
+                if v > 0 && self.insert_traced_at(&k, v, None).stop == StopLayer::Failed {
+                    failed += 1;
+                }
+            }
+            return failed;
+        }
+        let w0 = self.geometry.width(0);
+        let mut idx0 = [0usize; CHUNK];
+        for chunk in items.chunks(CHUNK) {
+            for (slot, (k, _)) in idx0.iter_mut().zip(chunk) {
+                *slot = self.hashes.index(0, k, w0);
+            }
+            for (s, &(k, v)) in chunk.iter().enumerate() {
+                if v > 0 && self.insert_traced_at(&k, v, Some(idx0[s])).stop == StopLayer::Failed {
+                    failed += 1;
+                }
+            }
+        }
+        failed
+    }
+
+    /// Drain an item stream through [`Self::insert_batch`] in batches of
+    /// `batch_size` (clamped to ≥ 1), buffering only one batch at a time.
+    /// Returns the number of items processed.
+    pub fn ingest_batched<I>(&mut self, stream: I, batch_size: usize) -> usize
+    where
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        let batch_size = batch_size.max(1);
+        let mut buffer = Vec::with_capacity(batch_size);
+        let mut total = 0usize;
+        for item in stream {
+            buffer.push(item);
+            if buffer.len() == batch_size {
+                self.insert_batch(&buffer);
+                total += buffer.len();
+                buffer.clear();
+            }
+        }
+        self.insert_batch(&buffer);
+        total + buffer.len()
     }
 
     /// Query and return the full trace (estimate, layers visited, hash
@@ -692,6 +762,74 @@ mod tests {
             assert!(est.contains(f));
             assert!(est.value - f <= 25);
         }
+    }
+
+    #[test]
+    fn insert_batch_is_identical_to_item_loop() {
+        for raw in [false, true] {
+            let build = || {
+                let mut b = ReliableSketch::<u64>::builder()
+                    .memory_bytes(32 * 1024)
+                    .error_tolerance(25)
+                    .seed(17);
+                if raw {
+                    b = b.raw();
+                }
+                b.build::<u64>()
+            };
+            let items: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i % 997, 1 + i % 5)).collect();
+            let mut batched = build();
+            batched.insert_batch(&items);
+            let mut looped = build();
+            for &(k, v) in &items {
+                looped.insert(&k, v);
+            }
+            for k in 0..997u64 {
+                assert_eq!(
+                    batched.query_with_error(&k),
+                    looped.query_with_error(&k),
+                    "raw={raw} key={k}"
+                );
+            }
+            assert_eq!(batched.stats().inserts(), looped.stats().inserts());
+            assert_eq!(
+                batched.stats().avg_insert_hash_calls(),
+                looped.stats().avg_insert_hash_calls(),
+                "batch hashing must be accounted identically"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_batched_drains_arbitrary_stream_lengths() {
+        // lengths that are not multiples of the batch size exercise the
+        // final partial flush
+        for (n, batch) in [(0usize, 8usize), (7, 8), (64, 64), (1000, 33)] {
+            let mut sk = small_sketch(32 * 1024, 25);
+            let processed = sk.ingest_batched((0..n as u64).map(|i| (i % 13, 1)), batch);
+            assert_eq!(processed, n);
+            assert_eq!(sk.stats().inserts(), n as u64);
+        }
+    }
+
+    #[test]
+    fn insert_batch_reports_failures() {
+        let cfg = ReliableConfig {
+            memory_bytes: 2 * BUCKET_BYTES,
+            lambda: 2,
+            r_w: 2.0,
+            r_lambda: 2.0,
+            depth: Depth::Fixed(2),
+            mice_filter: None,
+            emergency: EmergencyPolicy::Disabled,
+            lambda_floor_one: true,
+            seed: 4,
+        };
+        let mut sk: ReliableSketch<u64> = ReliableSketch::new(cfg);
+        let items: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 3, 1)).collect();
+        let failed = sk.insert_batch(&items);
+        assert!(failed > 0);
+        assert_eq!(failed, sk.insertion_failures());
     }
 
     proptest! {

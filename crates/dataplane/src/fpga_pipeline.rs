@@ -126,8 +126,27 @@ impl<K: Key> FpgaPipeline<K> {
         self.forwarding = on;
     }
 
+    /// Compute the hash stages for one packet ahead of time (the per-batch
+    /// amortized prefix of [`Self::run_batched`]).
+    fn prepare(&self, key: K, value: u64) -> Txn<K> {
+        Txn {
+            key,
+            remaining: value,
+            indices: (0..self.widths.len())
+                .map(|i| self.hashes.index(i, &key, self.widths[i]))
+                .collect(),
+            pending: None,
+        }
+    }
+
     /// Clock the pipeline once, optionally accepting a new key.
     pub fn tick(&mut self, input: Option<(K, u64)>) {
+        let txn = input.map(|(key, value)| self.prepare(key, value));
+        self.tick_prepared(txn);
+    }
+
+    /// Clock the pipeline once with an already-hashed transaction.
+    fn tick_prepared(&mut self, input: Option<Txn<K>>) {
         // evaluate read stages against current memory + forwarded writes,
         // then commit all write stages at end of clock, then shift
         let depth = self.widths.len();
@@ -213,26 +232,66 @@ impl<K: Key> FpgaPipeline<K> {
         for s in (1..self.stages.len()).rev() {
             self.stages[s] = self.stages[s - 1].take();
         }
-        self.stages[0] = input.map(|(key, value)| {
+        self.stages[0] = input.inspect(|_| {
             self.accepted += 1;
-            Txn {
-                key,
-                remaining: value,
-                indices: (0..self.widths.len())
-                    .map(|i| self.hashes.index(i, &key, self.widths[i]))
-                    .collect(),
-                pending: None,
-            }
         });
         self.clock += 1;
     }
 
     /// Feed a whole stream at line rate (one key per clock) and drain.
+    ///
+    /// Ingestion is batched internally (see [`Self::run_batched`]); the
+    /// cycle accounting is unchanged — one accepted key per clock, no
+    /// idle gaps between batches.
     pub fn run<'a>(&mut self, items: impl IntoIterator<Item = &'a (K, u64)>) {
+        const BATCH: usize = 256;
+        let mut buffer = Vec::with_capacity(BATCH);
         for &(k, v) in items {
-            self.tick(Some((k, v)));
+            buffer.push((k, v));
+            if buffer.len() == BATCH {
+                self.feed_batch(&buffer);
+                buffer.clear();
+            }
+        }
+        self.feed_batch(&buffer);
+        self.drain();
+    }
+
+    /// Feed a materialized stream in `batch_size`-item batches and drain.
+    ///
+    /// Each batch's hash stages are evaluated in one tight loop per layer
+    /// before any packet enters the pipeline — the software analogue of
+    /// the hardware's dedicated hash units, and the same amortization
+    /// [`rsk_core::ReliableSketch::insert_batch`] applies on the CPU path.
+    /// Functionally identical to [`Self::run`]: same memory image, same
+    /// clock count (`n + depth`).
+    pub fn run_batched(&mut self, items: &[(K, u64)], batch_size: usize) {
+        for batch in items.chunks(batch_size.max(1)) {
+            self.feed_batch(batch);
         }
         self.drain();
+    }
+
+    /// Pre-hash `batch` layer by layer, then clock it in back to back.
+    fn feed_batch(&mut self, batch: &[(K, u64)]) {
+        let mut txns: Vec<Txn<K>> = batch
+            .iter()
+            .map(|&(key, value)| Txn {
+                key,
+                remaining: value,
+                indices: vec![0; self.widths.len()],
+                pending: None,
+            })
+            .collect();
+        for i in 0..self.widths.len() {
+            let w = self.widths[i];
+            for t in &mut txns {
+                t.indices[i] = self.hashes.index(i, &t.key, w);
+            }
+        }
+        for t in txns {
+            self.tick_prepared(Some(t));
+        }
     }
 
     /// Clock until the pipeline is empty.
@@ -356,6 +415,26 @@ mod tests {
             .map(|i| (rsk_hash::splitmix64(i % 1_500), 1 + i % 3))
             .collect();
         check_against_software(&geometry, 7, &items);
+    }
+
+    #[test]
+    fn run_batched_is_identical_to_run() {
+        let geometry = LayerGeometry::derive(1_500, 25, 2.0, 2.5, Depth::Auto, false);
+        let items: Vec<(u64, u64)> = (0..20_000u64)
+            .map(|i| (rsk_hash::splitmix64(i % 700), 1 + i % 4))
+            .collect();
+        let mut streamed = FpgaPipeline::<u64>::new(&geometry, 5);
+        streamed.run(&items);
+        // batch sizes that do and do not divide the stream length
+        for batch in [1usize, 64, 333, 50_000] {
+            let mut batched = FpgaPipeline::<u64>::new(&geometry, 5);
+            batched.run_batched(&items, batch);
+            assert_eq!(batched.accepted(), streamed.accepted());
+            assert_eq!(batched.clock(), streamed.clock(), "batch={batch}");
+            for &(k, _) in items.iter().take(2_000) {
+                assert_eq!(batched.query(&k), streamed.query(&k), "batch={batch}");
+            }
+        }
     }
 
     #[test]

@@ -1,27 +1,54 @@
 //! Percentile helpers over error distributions — used to read Figure
 //! 19b-style "error at the top 10⁻ᵏ fraction of keys" points out of a
 //! sorted error vector, and generally handy for tail analysis.
+//!
+//! Rank arithmetic here is hardened against binary-float noise: products
+//! like `0.07 × 100` evaluate to `7.000000000000001` in `f64`, and a bare
+//! `ceil()` (or `as usize` truncation) then lands one rank off the
+//! nearest-rank definition. Both entry points snap products within a few
+//! ulps of an integer back onto it before rounding, and clamp the result
+//! into the valid rank range; the property tests at the bottom pin the
+//! behaviour against an exact rational reference.
+
+/// Smallest rank `r ∈ [1, n]` with `r ≥ q·n`, robust to `f64` noise in
+/// the product.
+fn nearest_rank(q: f64, n: usize) -> usize {
+    let scaled = q * n as f64;
+    // a relative epsilon a few ulps wide: wide enough to absorb the
+    // rounding error of one multiply, far too narrow to skip a real rank
+    let eps = scaled.max(1.0) * f64::EPSILON * 4.0;
+    let rank = (scaled - eps).ceil().max(1.0) as usize;
+    rank.min(n)
+}
 
 /// Value at the `q`-quantile (0 = smallest, 1 = largest) of an ascending
-/// or descending sorted slice, by nearest-rank.
+/// or descending sorted slice, by nearest-rank (the `⌈q·N⌉`-th value).
+///
+/// `q = 0` reads the first element, `q = 1` the last.
 ///
 /// # Panics
 /// Panics on an empty slice or `q ∉ [0, 1]`.
 pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
     assert!(!sorted.is_empty(), "quantile of empty distribution");
     assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-    // nearest-rank: the ⌈q·N⌉-th smallest value
-    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank - 1]
+    sorted[nearest_rank(q, sorted.len()) - 1]
 }
 
 /// Error at the top-`ratio` rank of a *descending* error distribution —
-/// Figure 19b's x-axis ("logarithmic ratio" of keys).
+/// Figure 19b's x-axis ("logarithmic ratio" of keys). Reads index
+/// `⌊ratio·N⌋`, clamped to the last element (so `ratio = 1` reads the
+/// minimum, matching the figure's right edge).
+///
+/// # Panics
+/// Panics on an empty slice or `ratio ∉ [0, 1]`.
 pub fn at_top_ratio(desc: &[u64], ratio: f64) -> u64 {
-    assert!(!desc.is_empty());
-    assert!((0.0..=1.0).contains(&ratio));
-    let idx = (((desc.len() as f64) * ratio) as usize).min(desc.len() - 1);
-    desc[idx]
+    assert!(!desc.is_empty(), "top-ratio of empty distribution");
+    assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+    let scaled = ratio * desc.len() as f64;
+    let eps = scaled.max(1.0) * f64::EPSILON * 4.0;
+    // snap upward: 0.29 × 100 = 28.999999999999996 must floor to 29
+    let idx = (scaled + eps).floor() as usize;
+    desc[idx.min(desc.len() - 1)]
 }
 
 /// Summary of a distribution's tail: max, p99, p95, p50.
@@ -55,6 +82,7 @@ impl TailSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn quantiles_of_known_distribution() {
@@ -62,6 +90,30 @@ mod tests {
         assert_eq!(quantile_sorted(&asc, 0.0), 0);
         assert_eq!(quantile_sorted(&asc, 0.5), 50);
         assert_eq!(quantile_sorted(&asc, 1.0), 100);
+    }
+
+    #[test]
+    fn float_noise_does_not_shift_the_rank() {
+        // 0.07 × 100 = 7.000000000000001 in f64: a bare ceil() reads rank
+        // 8; the nearest-rank definition says rank 7 (value 6 on 0..100)
+        let asc: Vec<u64> = (0..100).collect();
+        assert_eq!(quantile_sorted(&asc, 0.07), 6);
+        // 0.29 × 100 = 28.999999999999996: a bare truncation reads index
+        // 28; the definition says ⌊29.0⌋ = 29 (value 70 on 99..0)
+        let desc: Vec<u64> = (0..100).rev().collect();
+        assert_eq!(at_top_ratio(&desc, 0.29), 70);
+    }
+
+    #[test]
+    fn boundary_quantiles_on_tiny_slices() {
+        assert_eq!(quantile_sorted(&[42], 0.0), 42);
+        assert_eq!(quantile_sorted(&[42], 1.0), 42);
+        assert_eq!(quantile_sorted(&[1, 2], 0.0), 1);
+        assert_eq!(quantile_sorted(&[1, 2], 0.5), 1);
+        assert_eq!(quantile_sorted(&[1, 2], 1.0), 2);
+        assert_eq!(at_top_ratio(&[7], 0.0), 7);
+        assert_eq!(at_top_ratio(&[7], 1.0), 7);
+        assert_eq!(at_top_ratio(&[9, 3], 1.0), 3);
     }
 
     #[test]
@@ -86,5 +138,73 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_rejected() {
         quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected_top_ratio() {
+        at_top_ratio(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_ratio_rejected() {
+        at_top_ratio(&[1], 1.5);
+    }
+
+    /// Exact integer reference: smallest rank `r ∈ [1, n]` with
+    /// `r·den ≥ num·n`, for `q = num/den`.
+    fn rank_ref(num: u64, den: u64, n: u64) -> u64 {
+        (1..=n).find(|r| r * den >= num * n).unwrap_or(n).max(1)
+    }
+
+    proptest! {
+        /// On an identity slice, the picked rank matches the exact
+        /// rational nearest-rank for every representable q = num/den.
+        #[test]
+        fn prop_rank_matches_rational_reference(
+            n in 1u64..2_000,
+            den in 1u64..1_000,
+            num_seed in 0u64..1_000,
+        ) {
+            let num = num_seed % (den + 1); // q = num/den ∈ [0, 1]
+            let q = num as f64 / den as f64;
+            let asc: Vec<u64> = (0..n).collect();
+            let got = quantile_sorted(&asc, q) + 1; // value v = rank v+1 − 1
+            prop_assert_eq!(got, rank_ref(num, den, n),
+                "q={}/{} n={}", num, den, n);
+        }
+
+        /// The top-ratio index matches ⌊ratio·n⌋ (clamped), computed
+        /// exactly in integers.
+        #[test]
+        fn prop_top_ratio_matches_rational_reference(
+            n in 1u64..2_000,
+            den in 1u64..1_000,
+            num_seed in 0u64..1_000,
+        ) {
+            let num = num_seed % (den + 1);
+            let ratio = num as f64 / den as f64;
+            let desc: Vec<u64> = (0..n).rev().collect();
+            let idx_ref = ((num * n) / den).min(n - 1);
+            prop_assert_eq!(at_top_ratio(&desc, ratio), n - 1 - idx_ref,
+                "ratio={}/{} n={}", num, den, n);
+        }
+
+        /// Quantiles are monotone in q.
+        #[test]
+        fn prop_quantile_monotone(
+            values in proptest::collection::vec(0u64..1000, 1..200),
+            qa in 0u32..101,
+            qb in 0u32..101,
+        ) {
+            let mut sorted = values;
+            sorted.sort_unstable();
+            let (lo, hi) = (qa.min(qb), qa.max(qb));
+            prop_assert!(
+                quantile_sorted(&sorted, lo as f64 / 100.0)
+                    <= quantile_sorted(&sorted, hi as f64 / 100.0)
+            );
+        }
     }
 }

@@ -31,7 +31,11 @@ pub use rsk_stream as stream;
 
 /// One-stop import for applications.
 pub mod prelude {
-    pub use rsk_api::{Clear, ErrorSensing, Estimate, MemoryFootprint, Merge, StreamSummary};
-    pub use rsk_core::{merge_all, ReliableConfig, ReliableSketch};
+    pub use rsk_api::{
+        Clear, ConcurrentSummary, ErrorSensing, Estimate, MemoryFootprint, Merge, StreamSummary,
+    };
+    pub use rsk_core::{
+        merge_all, ConcurrentReliable, ReliableConfig, ReliableSketch, ShardedReliable,
+    };
     pub use rsk_stream::{Dataset, GroundTruth, Item};
 }

@@ -1,0 +1,187 @@
+//! Concurrent-correctness suite for the lock-free multi-core data path.
+//!
+//! Two properties are pinned here:
+//!
+//! 1. **Determinism** — `ShardedReliable::ingest_parallel` produces
+//!    per-key estimates *identical* to a sequential `insert` replay of
+//!    the same stream, for every shard/worker combination in {1, 2, 4, 8}.
+//!    The two-phase design (parallel shard-affine partitioning, then
+//!    shard-owned application in stream order) makes the parallel result
+//!    bit-for-bit reproducible.
+//! 2. **Linearizable soundness** — when producers outnumber shards and
+//!    race on the same atomic buckets, the certified-interval guarantee
+//!    still holds for every key: estimates never undershoot, and the MPE
+//!    stays within Λ.
+
+use reliablesketch::core::atomic::ConcurrentReliable;
+use reliablesketch::core::concurrent::ShardedReliable;
+use reliablesketch::core::{EmergencyPolicy, ReliableConfig};
+use reliablesketch::prelude::*;
+use rsk_api::ConcurrentSummary;
+use std::collections::HashMap;
+
+const MEMORY: usize = 512 * 1024;
+const LAMBDA: u64 = 25;
+const SEED: u64 = 77;
+
+fn config() -> ReliableConfig {
+    ReliableConfig {
+        memory_bytes: MEMORY,
+        lambda: LAMBDA,
+        emergency: EmergencyPolicy::ExactTable,
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+fn zipf_items(n: usize, seed: u64) -> (Vec<(u64, u64)>, HashMap<u64, u64>) {
+    let stream = Dataset::Zipf { skew: 1.0 }.generate(n, seed);
+    let items: Vec<(u64, u64)> = stream.iter().map(|it| (it.key, it.value)).collect();
+    let mut truth = HashMap::new();
+    for (k, v) in &items {
+        *truth.entry(*k).or_insert(0u64) += v;
+    }
+    (items, truth)
+}
+
+/// All 16 shard × worker combinations agree exactly with the sequential
+/// replay — and with each other.
+#[test]
+fn parallel_ingest_identical_to_sequential_all_combinations() {
+    let (items, truth) = zipf_items(60_000, 5);
+
+    for shards in [1usize, 2, 4, 8] {
+        let sequential = ShardedReliable::<u64>::new(config(), shards);
+        for (k, v) in &items {
+            sequential.insert_shared(k, *v);
+        }
+
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = ShardedReliable::<u64>::new(config(), shards);
+            assert_eq!(parallel.ingest_parallel(&items, workers), items.len());
+
+            for (k, &f) in &truth {
+                let p = parallel.query_shared(k);
+                let s = sequential.query_shared(k);
+                assert_eq!(
+                    p, s,
+                    "estimate diverged at key {k} ({shards} shards, {workers} workers)"
+                );
+                assert!(
+                    p.contains(f),
+                    "guarantee broken at key {k}: {f} ∉ {p:?} \
+                     ({shards} shards, {workers} workers)"
+                );
+            }
+            assert_eq!(
+                parallel.insertion_failures(),
+                sequential.insertion_failures()
+            );
+        }
+    }
+}
+
+/// Worker count beyond the shard count neither deadlocks nor changes the
+/// answer (phase 2 simply leaves surplus workers without a shard).
+#[test]
+fn more_workers_than_shards_is_harmless() {
+    let (items, _) = zipf_items(20_000, 8);
+    let wide = ShardedReliable::<u64>::new(config(), 2);
+    wide.ingest_parallel(&items, 8);
+    let narrow = ShardedReliable::<u64>::new(config(), 2);
+    narrow.ingest_parallel(&items, 2);
+    for (k, _) in &items {
+        assert_eq!(wide.query_shared(k), narrow.query_shared(k));
+    }
+}
+
+/// Stress: 8 producer threads race through `&self` into 2 shards — four
+/// producers per shard contending on the same CAS buckets. The election
+/// outcomes are nondeterministic but the guarantee must survive: no
+/// undershoot, MPE ≤ Λ, every certified interval contains the truth.
+#[test]
+fn producers_outnumber_shards_stress() {
+    const PRODUCERS: usize = 8;
+    let (items, truth) = zipf_items(120_000, 13);
+    let sketch = ShardedReliable::<u64>::new(config(), 2);
+
+    let slice_len = items.len().div_ceil(PRODUCERS);
+    std::thread::scope(|scope| {
+        for part in items.chunks(slice_len) {
+            let sketch = &sketch;
+            scope.spawn(move || {
+                for (k, v) in part {
+                    sketch.insert_shared(k, *v);
+                }
+            });
+        }
+    });
+
+    assert_eq!(sketch.insertion_failures(), 0, "undersized for this test");
+    for (k, &f) in &truth {
+        let est = sketch.query_shared(k);
+        assert!(est.value >= f, "undershoot at key {k}: {est:?} < {f}");
+        assert!(
+            est.max_possible_error <= LAMBDA,
+            "MPE above Λ at key {k}: {est:?}"
+        );
+        assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+    }
+}
+
+/// The same stress on a single unsharded `ConcurrentReliable` — maximum
+/// contention, every producer on every bucket — through the
+/// `ConcurrentSummary` trait object surface.
+#[test]
+fn trait_object_ingest_under_contention() {
+    let (items, truth) = zipf_items(60_000, 21);
+    let sketch = ConcurrentReliable::<u64>::new(config());
+    let dyn_sketch: &dyn ConcurrentSummary<u64> = &sketch;
+    assert_eq!(dyn_sketch.ingest_parallel(&items, 8), items.len());
+
+    for (k, &f) in &truth {
+        let est = sketch.query_with_error(k);
+        assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+        assert!(est.max_possible_error <= LAMBDA);
+    }
+    assert_eq!(sketch.insertion_failures(), 0);
+}
+
+/// Weighted values cross the per-layer lock boundaries identically in
+/// the parallel and sequential paths.
+#[test]
+fn weighted_streams_stay_deterministic() {
+    let items: Vec<(u64, u64)> = (0..50_000u64)
+        .map(|i| (i % 701, 1 + (i % 29) * 3))
+        .collect();
+    let sequential = ShardedReliable::<u64>::new(config(), 4);
+    for (k, v) in &items {
+        sequential.insert_shared(k, *v);
+    }
+    let parallel = ShardedReliable::<u64>::new(config(), 4);
+    parallel.ingest_parallel(&items, 4);
+    for k in 0..701u64 {
+        assert_eq!(parallel.query_shared(&k), sequential.query_shared(&k));
+    }
+}
+
+/// The memory budget is split with no remainder loss and the guarantee
+/// holds on an awkward (prime) budget and shard count.
+#[test]
+fn odd_budgets_split_exactly() {
+    let cfg = ReliableConfig {
+        memory_bytes: 300_007, // prime: maximal remainder pressure
+        ..config()
+    };
+    let sketch = ShardedReliable::<u64>::new(cfg.clone(), 7);
+    let budgets: usize = (0..7).map(|i| sketch.shard(i).config().memory_bytes).sum();
+    assert_eq!(budgets, cfg.memory_bytes);
+
+    let (items, truth) = zipf_items(30_000, 3);
+    sketch.ingest_parallel(&items, 4);
+    if sketch.insertion_failures() == 0 {
+        for (k, &f) in &truth {
+            assert!(sketch.query_shared(k).contains(f));
+        }
+    }
+}

@@ -89,3 +89,46 @@ fn recirculation_cost_is_bounded() {
     let rate = sw.recirculations() as f64 / stream.len() as f64;
     assert!(rate < 0.05, "recirculation rate {rate} too high");
 }
+
+#[test]
+fn batched_pipeline_matches_batched_software() {
+    // the batch ingestion paths agree end to end: the FPGA pipeline fed
+    // through run_batched answers exactly like the software sketch fed
+    // through insert_batch on the same geometry and seed
+    use reliablesketch::core::{EmergencyPolicy, LayerGeometry, BUCKET_BYTES};
+    use reliablesketch::dataplane::FpgaPipeline;
+
+    let geometry = LayerGeometry::derive(3_000, 22, 2.0, 2.5, Depth::Fixed(8), false);
+    let items: Vec<(u64, u64)> = Dataset::IpTrace
+        .generate(80_000, 15)
+        .iter()
+        .map(|it| (it.key, it.value))
+        .collect();
+
+    let mut hw = FpgaPipeline::<u64>::new(&geometry, 15);
+    hw.run_batched(&items, 512);
+
+    let mut sw = ReliableSketch::<u64>::with_geometry(
+        ReliableConfig {
+            memory_bytes: geometry.total_buckets() * BUCKET_BYTES,
+            lambda: geometry.total_lambda().max(1),
+            depth: Depth::Fixed(geometry.depth()),
+            mice_filter: None,
+            emergency: EmergencyPolicy::ExactTable,
+            seed: 15,
+            ..Default::default()
+        },
+        geometry.clone(),
+    );
+    sw.insert_batch(&items);
+
+    for &(k, _) in items.iter().take(5_000) {
+        let h = hw.query(&k);
+        let s = sw.query_with_error(&k);
+        assert_eq!(
+            (h.value, h.max_possible_error),
+            (s.value, s.max_possible_error),
+            "batched hardware/software divergence at key {k}"
+        );
+    }
+}
