@@ -134,10 +134,50 @@ pub trait Clear {
 ///
 /// Contract: `insert_concurrent` must be safe to call from many threads at
 /// once, and every unit of inserted value must be visible to queries that
-/// start after the insertion returns (estimates never undershoot the mass
-/// already absorbed). `ingest_parallel` distributes a materialized stream
-/// over `n_workers` threads; the default implementation is a sequential
+/// start after the insertion returns — estimates never undershoot the mass
+/// already absorbed, up to any *documented, bounded* relaxation the
+/// implementation declares for contended paths (e.g. a filtered
+/// concurrent ReliableSketch's `(arrays − 1) × threshold` slack, the
+/// relaxed-semantics trade of Fast Concurrent Data Sketches, Rinberg et
+/// al.). `ingest_parallel` distributes a materialized stream over
+/// `n_workers` threads; the default implementation is a sequential
 /// fallback for implementations without a dedicated parallel path.
+///
+/// The trait is object safe: ingestion pipelines can hold
+/// `Box<dyn ConcurrentSummary<u64>>` and stay agnostic of the sketch.
+///
+/// # Examples
+///
+/// Implementing the trait on a trivial exact store (real sketches use
+/// atomics instead of a mutex — see `rsk_core::atomic` — but the contract
+/// is the same):
+///
+/// ```
+/// use rsk_api::ConcurrentSummary;
+/// use std::collections::HashMap;
+/// use std::sync::Mutex;
+///
+/// #[derive(Default)]
+/// struct SharedExact(Mutex<HashMap<u64, u64>>);
+///
+/// impl ConcurrentSummary<u64> for SharedExact {
+///     fn insert_concurrent(&self, key: &u64, value: u64) {
+///         *self.0.lock().unwrap().entry(*key).or_insert(0) += value;
+///     }
+///     fn query_concurrent(&self, key: &u64) -> u64 {
+///         self.0.lock().unwrap().get(key).copied().unwrap_or(0)
+///     }
+/// }
+///
+/// let store = SharedExact::default();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let store = &store;
+///         s.spawn(move || store.insert_concurrent(&7, 25));
+///     }
+/// });
+/// assert_eq!(store.query_concurrent(&7), 100);
+/// ```
 pub trait ConcurrentSummary<K: Key>: Sync {
     /// Process one stream item through a shared reference.
     fn insert_concurrent(&self, key: &K, value: u64);

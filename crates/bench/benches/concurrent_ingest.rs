@@ -4,12 +4,16 @@
 //! Mirrors the paper's pipelined-hardware speed story on CPUs: one
 //! `ReliableSketch` ingesting sequentially, the batch-amortized
 //! sequential path, and `ShardedReliable::ingest_parallel` at 1/2/4/8
-//! workers over 8 lock-free shards. Mops/s = elements / time. On a
+//! workers over 8 lock-free shards — in both the filtered (atomic CU
+//! mice filter) and "Raw" variants, so the filter's cost/benefit on the
+//! lock-free hot path is visible. Mops/s = elements / time. On a
 //! multi-core box the 8-worker row should clear 3× the single-thread
 //! baseline; on fewer cores it degrades gracefully to the batching gain.
+//! On the Zipf mouse tail, the filtered rows trade two extra hashes per
+//! item for far fewer bucket CAS walks.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use rsk_bench::{concurrent_config, sharded, BENCH_ITEMS};
+use rsk_bench::{concurrent_config, sharded, sharded_raw, BENCH_ITEMS};
 use rsk_core::ReliableSketch;
 use rsk_stream::Dataset;
 
@@ -54,6 +58,19 @@ fn bench_concurrent_ingest(c: &mut Criterion) {
             |b| {
                 b.iter_batched(
                     || sharded(SEED, SHARDS),
+                    |sh| {
+                        sh.ingest_parallel(&items, workers);
+                        sh
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+        g.bench_function(
+            BenchmarkId::new("sharded_raw", format!("{workers}workers")),
+            |b| {
+                b.iter_batched(
+                    || sharded_raw(SEED, SHARDS),
                     |sh| {
                         sh.ingest_parallel(&items, workers);
                         sh

@@ -68,9 +68,23 @@ pub fn concurrent_config(seed: u64) -> ReliableConfig {
     }
 }
 
-/// Build the sharded lock-free sketch at the bench budget.
+/// Build the sharded lock-free sketch at the bench budget (paper
+/// defaults, so the shards run the filtered variant with the atomic CU
+/// mice filter in front).
 pub fn sharded(seed: u64, shards: usize) -> ShardedReliable<u64> {
     ShardedReliable::new(concurrent_config(seed), shards)
+}
+
+/// Build the sharded lock-free sketch in the paper's "Raw" variant (no
+/// mice filter — isolates the bucket-CAS hot path from the filter).
+pub fn sharded_raw(seed: u64, shards: usize) -> ShardedReliable<u64> {
+    ShardedReliable::new(
+        ReliableConfig {
+            mice_filter: None,
+            ..concurrent_config(seed)
+        },
+        shards,
+    )
 }
 
 /// `(label, fresh sketch)` for the full Figure 10 lineup.

@@ -15,7 +15,7 @@
 //!   within 12 bits (enforced at construction).
 //! * **CAS capture of the lock-in rule.** One insertion step — vote,
 //!   lock-divert, or candidate replacement with the `YES`/`NO` swap — is
-//!   computed as a pure function on the packed word ([`step_word`]) and
+//!   computed as a pure function on the packed word (`step_word`) and
 //!   committed with a single compare-and-swap, so every bucket transition
 //!   is atomic and the per-bucket invariants (`YES ≥ NO` for candidates,
 //!   `NO ≤ λ_i`) hold under any interleaving.
@@ -36,6 +36,27 @@
 //! [`crate::concurrent::ShardedReliable::ingest_parallel`], which applies
 //! each shard's sub-stream in stream order from a single owner.
 //!
+//! ### Feature parity with the sequential sketch
+//!
+//! The concurrent path implements the paper's *full* §3.3 design, not just
+//! the "Raw" variant:
+//!
+//! * **Mice filter** — [`ConcurrentReliable`] honors
+//!   [`crate::MiceFilterConfig`] with an [`crate::filter::AtomicMiceFilter`]
+//!   (CU counters packed into `AtomicU64` lanes, one-CAS conditional
+//!   increment), so mouse flows are absorbed before they burn first-layer
+//!   buckets;
+//! * **Emergency store** — failures are recorded under the configured
+//!   policy behind a mutex only failures touch;
+//! * **Windows** — [`crate::epoch::EpochedConcurrent`] rotates generations
+//!   of this structure for bounded-history summaries;
+//! * **Merging** — [`rsk_api::Merge`] is implemented for
+//!   [`ConcurrentReliable`] and [`crate::concurrent::ShardedReliable`]
+//!   (packed words are read out into
+//!   [`crate::EsBucket`] unions — see [`crate::merge`]), and
+//!   [`ConcurrentReliable::merge_from_sequential`] folds in a sequential
+//!   [`crate::ReliableSketch`] twin for mixed distributed aggregation.
+//!
 //! ### Caveats vs. [`crate::ReliableSketch`]
 //!
 //! * Fingerprinting adds a `2⁻²⁴` per-colliding-pair chance of two keys
@@ -43,11 +64,50 @@
 //!   the same trade against `u64` keys, at `2⁻³²`).
 //! * `count` saturates at `2²⁸ − 1` per bucket; saturation events are
 //!   counted in [`AtomicStats::saturations`].
-//! * The mice filter is not replicated (this is the paper's "Raw"
-//!   variant); an atomic CU filter is an open item in ROADMAP.md.
+//! * With a mice filter configured, racing inserts of one key may read
+//!   the CU minimum across lanes mid-update; the per-key estimate can
+//!   then trail the truth by at most
+//!   [`ConcurrentReliable::contention_undershoot_bound`]
+//!   (`(arrays − 1) × threshold`, 3 units at paper defaults). Uncontended
+//!   execution — one producer, or one owner per shard as in
+//!   [`crate::concurrent::ShardedReliable::ingest_parallel`] — is exact
+//!   and bit-for-bit equal to the filtered sequential sketch.
+//!
+//! # Examples
+//!
+//! Shared-reference ingestion from four threads, with the certified
+//! interval (§3.1's Maximum Possible Error) intact at the end:
+//!
+//! ```
+//! use rsk_core::atomic::ConcurrentReliable;
+//! use rsk_core::ReliableConfig;
+//!
+//! let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+//!     memory_bytes: 64 * 1024,
+//!     seed: 7,
+//!     ..Default::default() // paper defaults: Λ=25, 20% 2-bit mice filter
+//! });
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let sk = &sk;
+//!         s.spawn(move || {
+//!             for i in 0..1000u64 {
+//!                 sk.insert_concurrent(&(i % 10), 1 + t % 2);
+//!             }
+//!         });
+//!     }
+//! });
+//! let est = sk.query_with_error(&3);
+//! // 600 units of true mass; contention may hide at most the documented
+//! // filter slack, and the MPE ceiling Λ = 25 survives any interleaving
+//! assert!(est.value + sk.contention_undershoot_bound() >= 600);
+//! assert!(est.max_possible_error <= 25);
+//! ```
 
+use crate::bucket::EsBucket;
 use crate::config::ReliableConfig;
 use crate::emergency::EmergencyStore;
+use crate::filter::{AtomicMiceFilter, FILTER_SEED_SALT};
 use crate::geometry::LayerGeometry;
 use parking_lot::Mutex;
 use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
@@ -146,6 +206,19 @@ impl AtomicStats {
         self.items.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.saturations.store(0, Ordering::Relaxed);
+    }
+
+    /// Add a peer's counters (the stats half of [`rsk_api::Merge`]).
+    pub(crate) fn absorb(&self, other: &Self) {
+        self.items.fetch_add(other.items(), Ordering::Relaxed);
+        self.retries.fetch_add(other.retries(), Ordering::Relaxed);
+        self.saturations
+            .fetch_add(other.saturations(), Ordering::Relaxed);
+    }
+
+    /// Count `n` foreign insert operations (merging a sequential peer).
+    pub(crate) fn add_items(&self, n: u64) {
+        self.items.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -256,34 +329,80 @@ impl AtomicBucketArray {
         unpack(self.words[self.offsets[layer] + index].load(Ordering::Acquire))
     }
 
+    /// Read every packed word out into fingerprint-space
+    /// [`EsBucket`]s — the bridge into [`crate::merge`]'s union machinery.
+    /// A zero word is an empty bucket (every insertion leaves a nonzero
+    /// count behind, so the encoding is unambiguous).
+    pub fn read_out(&self) -> Vec<Vec<EsBucket<u64>>> {
+        (0..self.depth())
+            .map(|layer| {
+                (0..self.width(layer))
+                    .map(|j| {
+                        let word = self.words[self.offsets[layer] + j].load(Ordering::Acquire);
+                        if word == 0 {
+                            EsBucket::new()
+                        } else {
+                            let (fp, yes, no) = unpack(word);
+                            EsBucket::from_parts(Some(fp), yes, no)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Zero every bucket word, keeping the operation statistics (used
+    /// when merging seals the live words into an overlay).
+    pub(crate) fn zero_words(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
     /// Zero every bucket and reset statistics (requires exclusive access
     /// for a consistent result; concurrent readers only ever observe valid
     /// bucket words).
     pub fn reset(&mut self) {
-        for w in &self.words {
-            w.store(0, Ordering::Relaxed);
-        }
+        self.zero_words();
         self.stats.reset();
     }
+}
+
+/// Sealed union of merged operands, in fingerprint space with unbounded
+/// counters (merged `NO` fields can exceed the packed word's 12-bit error
+/// field, so the union cannot live in the `AtomicU64` words themselves).
+/// Populated only by the [`rsk_api::Merge`] impls; `None` — zero cost —
+/// for ordinary sketches. Queries walk the overlay *and* the live atomic
+/// words (which keep absorbing post-merge insertions) like two epoch
+/// generations; `hints` mirrors [`crate::ReliableSketch`]'s divert flags.
+#[derive(Debug)]
+pub(crate) struct MergedOverlay {
+    pub(crate) layers: Vec<Vec<EsBucket<u64>>>,
+    pub(crate) hints: Vec<Vec<bool>>,
 }
 
 /// Salt separating the fingerprint hash from the per-layer index family.
 const FP_SALT: u64 = 0xf19e_5a1e_0ff5_eeda;
 
 /// Lock-free ReliableSketch over an [`AtomicBucketArray`]: shared-`&self`
-/// insertion from any number of threads, the paper's "Raw" (no mice
-/// filter) semantics, with the configured emergency policy serviced off
-/// the hot path behind a mutex that only failures touch.
+/// insertion from any number of threads, with the paper's §3.3 mice
+/// filter (when configured) running lock-free in front of the bucket
+/// layers and the configured emergency policy serviced off the hot path
+/// behind a mutex that only failures touch.
+///
+/// # Examples
 ///
 /// ```
 /// use rsk_core::atomic::ConcurrentReliable;
 /// use rsk_core::ReliableConfig;
 ///
+/// // paper defaults: Λ = 25, 20% of memory on a 2-bit 2-array CU filter
 /// let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
 ///     memory_bytes: 64 * 1024,
 ///     seed: 7,
 ///     ..Default::default()
 /// });
+/// assert!(sk.has_filter());
 /// std::thread::scope(|s| {
 ///     for t in 0..4u64 {
 ///         let sk = &sk;
@@ -294,9 +413,9 @@ const FP_SALT: u64 = 0xf19e_5a1e_0ff5_eeda;
 ///         });
 ///     }
 /// });
-/// let est = sk.query_with_error(&3);
-/// assert!(est.value >= 400); // all four threads' mass is visible
-/// assert!(est.max_possible_error <= 25);
+/// let est = sk.query_with_error(&3); // true sum: 600
+/// assert!(est.value + sk.contention_undershoot_bound() >= 600);
+/// assert!(est.max_possible_error <= 25); // MPE ≤ Λ under any schedule
 /// ```
 #[derive(Debug)]
 pub struct ConcurrentReliable<K: Key> {
@@ -304,16 +423,21 @@ pub struct ConcurrentReliable<K: Key> {
     geometry: LayerGeometry,
     hashes: HashFamily,
     fp_seed: u32,
+    filter: Option<AtomicMiceFilter>,
     array: AtomicBucketArray,
     failures: AtomicU64,
     emergency: Mutex<EmergencyStore<K>>,
+    merged: Option<MergedOverlay>,
 }
 
 impl<K: Key> ConcurrentReliable<K> {
-    /// Build from a configuration. The mice filter (if configured) is
-    /// ignored — the concurrent data path is the paper's "Raw" variant —
-    /// so the whole `memory_bytes` budget buys
-    /// `memory_bytes / ATOMIC_BUCKET_BYTES` single-word buckets.
+    /// Build from a configuration, honoring `config.mice_filter`: the
+    /// filter takes its configured fraction of `memory_bytes` as packed
+    /// atomic CU lanes, and the remaining budget buys
+    /// `layer_bytes / ATOMIC_BUCKET_BYTES` single-word buckets shaped
+    /// against the residual tolerance `Λ − threshold` (exactly like
+    /// [`crate::ReliableSketch::new`]). With `mice_filter: None` this is
+    /// the paper's "Raw" variant and the whole budget goes to buckets.
     ///
     /// # Panics
     /// Panics on invalid configurations, or when `Λ` yields a layer
@@ -321,28 +445,36 @@ impl<K: Key> ConcurrentReliable<K> {
     /// wide, a narrower domain than [`crate::ReliableSketch`]'s unbounded
     /// `u64` counters — tolerances up to `Λ = 4095` are always safe).
     pub fn new(config: ReliableConfig) -> Self {
-        let raw = ReliableConfig {
-            mice_filter: None,
-            ..config
-        };
-        raw.validate()
+        config
+            .validate()
             .unwrap_or_else(|e| panic!("invalid ReliableConfig: {e}"));
-        let buckets = (raw.memory_bytes / ATOMIC_BUCKET_BYTES).max(1);
+        let buckets = (config.layer_bytes() / ATOMIC_BUCKET_BYTES).max(1);
         let geometry = LayerGeometry::derive(
             buckets,
-            raw.lambda,
-            raw.r_w,
-            raw.r_lambda,
-            raw.depth,
-            raw.lambda_floor_one,
+            config.layer_lambda(),
+            config.r_w,
+            config.r_lambda,
+            config.depth,
+            config.lambda_floor_one,
         );
-        Self::with_geometry(raw, geometry)
+        Self::with_geometry(config, geometry)
     }
 
     /// Build with an explicit layer schedule (tests and ablations; also
     /// how the differential suite pins this variant to the exact geometry
-    /// of a [`crate::ReliableSketch`] twin).
+    /// of a [`crate::ReliableSketch`] twin). The mice filter is still
+    /// derived from `config`, identically to the sequential constructor,
+    /// so twins share filter shape and hash seeds too.
     pub fn with_geometry(config: ReliableConfig, geometry: LayerGeometry) -> Self {
+        let filter = config.mice_filter.as_ref().and_then(|fc| {
+            AtomicMiceFilter::new(
+                config.filter_bytes(),
+                fc.arrays,
+                fc.counter_bits,
+                config.filter_threshold().max(1),
+                config.seed ^ FILTER_SEED_SALT,
+            )
+        });
         let array = AtomicBucketArray::new(&geometry);
         let hashes = HashFamily::new(geometry.depth(), config.seed);
         let fp_seed = splitmix64(config.seed ^ FP_SALT) as u32;
@@ -352,13 +484,15 @@ impl<K: Key> ConcurrentReliable<K> {
             geometry,
             hashes,
             fp_seed,
+            filter,
             array,
             failures: AtomicU64::new(0),
             emergency,
+            merged: None,
         }
     }
 
-    /// The configuration this sketch was built from (mice filter stripped).
+    /// The configuration this sketch was built from.
     pub fn config(&self) -> &ReliableConfig {
         &self.config
     }
@@ -371,6 +505,35 @@ impl<K: Key> ConcurrentReliable<K> {
     /// The underlying bucket store (contention and saturation stats).
     pub fn array(&self) -> &AtomicBucketArray {
         &self.array
+    }
+
+    /// Does the mice filter exist (false for the paper's "Raw" variant)?
+    pub fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// The lock-free mice filter, if configured.
+    pub fn filter(&self) -> Option<&AtomicMiceFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Per-key bound on how far a contended filtered estimate may trail
+    /// the truth: the filter's
+    /// [`contention_undershoot_bound`](AtomicMiceFilter::contention_undershoot_bound),
+    /// or 0 for the raw variant and on uncontended/single-owner paths
+    /// (which are exact).
+    pub fn contention_undershoot_bound(&self) -> u64 {
+        self.filter
+            .as_ref()
+            .map_or(0, AtomicMiceFilter::contention_undershoot_bound)
+    }
+
+    /// Has this sketch absorbed another via [`rsk_api::Merge`] (or
+    /// [`Self::merge_from_sequential`])? Merged sketches keep the
+    /// certified-interval guarantee but the `MPE ≤ Λ` ceiling becomes
+    /// data-dependent, exactly as for [`crate::ReliableSketch::is_merged`].
+    pub fn is_merged(&self) -> bool {
+        self.merged.is_some()
     }
 
     /// Insert operations that overflowed every layer.
@@ -386,7 +549,7 @@ impl<K: Key> ConcurrentReliable<K> {
 
     /// 24-bit candidate fingerprint of `key`.
     #[inline]
-    fn fingerprint(&self, key: &K) -> u64 {
+    pub(crate) fn fingerprint(&self, key: &K) -> u64 {
         key.hash32(self.fp_seed) as u64 & FP_MASK
     }
 
@@ -402,11 +565,20 @@ impl<K: Key> ConcurrentReliable<K> {
     }
 
     /// The walk after the batch-amortized prefix (fingerprint and layer-0
-    /// index already computed).
+    /// index already computed). The mice filter — when configured — runs
+    /// first, exactly like the sequential Algorithm-1 front end: only the
+    /// value it passes through descends into the bucket layers.
     #[inline]
     fn insert_prehashed(&self, key: &K, value: u64, fp: u64, idx0: usize) {
         self.array.note_item();
-        let mut v = self.array.insert_step(0, idx0, fp, value);
+        let mut v = value;
+        if let Some(f) = &self.filter {
+            v = f.insert(key, v);
+            if v == 0 {
+                return; // absorbed: a mouse never touches a bucket
+            }
+        }
+        v = self.array.insert_step(0, idx0, fp, v);
         let mut layer = 1;
         while v > 0 && layer < self.geometry.depth() {
             let j = self.hashes.index(layer, key, self.geometry.width(layer));
@@ -440,19 +612,49 @@ impl<K: Key> ConcurrentReliable<K> {
         }
     }
 
-    /// Algorithm-2 point query with its certified error interval.
+    /// Algorithm-2 point query with its certified error interval. The
+    /// filter contribution (a `NO` in disguise) joins both the estimate
+    /// and the MPE; an unsaturated key never descended, so the walk stops
+    /// at the filter. After a merge, the sealed overlay is walked in
+    /// addition to the live words (two generations of one stream).
     pub fn query_with_error(&self, key: &K) -> Estimate {
         let fp = self.fingerprint(key);
         let mut est = 0u64;
         let mut mpe = 0u64;
-        for i in 0..self.geometry.depth() {
-            let j = self.hashes.index(i, key, self.geometry.width(i));
-            let (bfp, yes, no) = self.array.read(i, j);
-            let matches = bfp == fp;
-            est += if matches { yes } else { no };
-            mpe += no;
-            if no < self.array.lambda(i) || yes == no || matches {
-                break;
+        let mut descend = true;
+        if let Some(f) = &self.filter {
+            let (c, saturated) = f.query(key);
+            est += c;
+            mpe += c;
+            descend = saturated;
+        }
+        if descend {
+            if let Some(overlay) = &self.merged {
+                for i in 0..self.geometry.depth() {
+                    let j = self.hashes.index(i, key, self.geometry.width(i));
+                    let b = &overlay.layers[i][j];
+                    let matches = b.id() == Some(&fp);
+                    est += if matches { b.yes() } else { b.no() };
+                    mpe += b.no();
+                    // stop conditions are suppressed on merge-flagged
+                    // buckets, from which a key may have descended in
+                    // some operand (see crate::merge)
+                    if !overlay.hints[i][j]
+                        && (b.no() < self.array.lambda(i) || b.yes() == b.no() || matches)
+                    {
+                        break;
+                    }
+                }
+            }
+            for i in 0..self.geometry.depth() {
+                let j = self.hashes.index(i, key, self.geometry.width(i));
+                let (bfp, yes, no) = self.array.read(i, j);
+                let matches = bfp == fp;
+                est += if matches { yes } else { no };
+                mpe += no;
+                if no < self.array.lambda(i) || yes == no || matches {
+                    break;
+                }
             }
         }
         if self.failures.load(Ordering::Relaxed) > 0 {
@@ -466,9 +668,92 @@ impl<K: Key> ConcurrentReliable<K> {
         }
     }
 
-    /// Worst-case MPE this structure can report: `Σ λ_i ≤ Λ`.
+    /// Worst-case MPE this structure can report for any key:
+    /// `filter_threshold + Σ λ_i ≤ Λ` (the same split as
+    /// [`crate::ReliableSketch::mpe_ceiling`]; the ceiling becomes
+    /// data-dependent after a merge — check [`Self::is_merged`]).
     pub fn mpe_ceiling(&self) -> u64 {
-        self.geometry.total_lambda()
+        self.config.filter_threshold() + self.geometry.total_lambda()
+    }
+
+    // ---- crate-internal access for the merge module ----
+
+    /// The operand view a peer reads while merging: the effective sealed
+    /// layers (overlay ∪ live words, unioned on the fly when both exist)
+    /// with their divert hints.
+    pub(crate) fn effective_layers(&self) -> (Vec<Vec<EsBucket<u64>>>, Vec<Vec<bool>>) {
+        let readout = self.array.read_out();
+        match &self.merged {
+            None => (readout, Vec::new()),
+            Some(overlay) => {
+                let mut layers = overlay.layers.clone();
+                let mut hints = overlay.hints.clone();
+                crate::merge::union_layers(
+                    &mut layers,
+                    &mut hints,
+                    &readout,
+                    &[],
+                    self.geometry.lambdas(),
+                );
+                (layers, hints)
+            }
+        }
+    }
+
+    /// Seal the live atomic words into the merged overlay (creating it on
+    /// first use) and zero them, so post-merge insertions accumulate in a
+    /// fresh generation. Operation statistics survive.
+    pub(crate) fn seal_into_overlay(&mut self) {
+        let readout = self.array.read_out();
+        match &mut self.merged {
+            Some(overlay) => {
+                crate::merge::union_layers(
+                    &mut overlay.layers,
+                    &mut overlay.hints,
+                    &readout,
+                    &[],
+                    self.geometry.lambdas(),
+                );
+            }
+            None => {
+                let hints = readout.iter().map(|l| vec![false; l.len()]).collect();
+                self.merged = Some(MergedOverlay {
+                    layers: readout,
+                    hints,
+                });
+            }
+        }
+        self.array.zero_words();
+    }
+
+    /// Mutable merge state: filter, overlay, emergency store, failure
+    /// counter (the concurrent analogue of
+    /// [`crate::ReliableSketch`]'s `merge_parts`).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn merge_parts(
+        &mut self,
+    ) -> (
+        &mut Option<AtomicMiceFilter>,
+        &mut Option<MergedOverlay>,
+        &Mutex<EmergencyStore<K>>,
+        &AtomicU64,
+    ) {
+        (
+            &mut self.filter,
+            &mut self.merged,
+            &self.emergency,
+            &self.failures,
+        )
+    }
+
+    /// Shared peer state read during a merge.
+    pub(crate) fn peer_filter(&self) -> Option<&AtomicMiceFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Clone of the peer's emergency store (read under its mutex).
+    pub(crate) fn peer_emergency(&self) -> EmergencyStore<K> {
+        self.emergency.lock().clone()
     }
 }
 
@@ -493,28 +778,46 @@ impl<K: Key> ErrorSensing<K> for ConcurrentReliable<K> {
 
 impl<K: Key> MemoryFootprint for ConcurrentReliable<K> {
     fn memory_bytes(&self) -> usize {
-        self.array.total_buckets() * ATOMIC_BUCKET_BYTES + self.emergency.lock().memory_bytes()
+        let filter = self
+            .filter
+            .as_ref()
+            .map_or(0, AtomicMiceFilter::memory_bytes);
+        let overlay = self.merged.as_ref().map_or(0, |_| {
+            self.array.total_buckets() * crate::config::BUCKET_BYTES
+        });
+        filter
+            + self.array.total_buckets() * ATOMIC_BUCKET_BYTES
+            + overlay
+            + self.emergency.lock().memory_bytes()
     }
 }
 
 impl<K: Key> Algorithm for ConcurrentReliable<K> {
     fn name(&self) -> String {
-        "OursAtomic".into()
+        if self.has_filter() {
+            "OursAtomic".into()
+        } else {
+            "OursAtomic(Raw)".into()
+        }
     }
 }
 
 impl<K: Key> Clear for ConcurrentReliable<K> {
     fn clear(&mut self) {
+        if let Some(f) = &mut self.filter {
+            f.clear();
+        }
         self.array.reset();
         self.failures.store(0, Ordering::Relaxed);
         self.emergency.lock().clear();
+        self.merged = None;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Depth, EmergencyPolicy};
+    use crate::config::{Depth, EmergencyPolicy, MiceFilterConfig};
     use crate::sketch::ReliableSketch;
     use proptest::prelude::*;
 
@@ -571,6 +874,25 @@ mod tests {
         let geometry = LayerGeometry::custom(vec![4], vec![ERR_MAX + 1]).unwrap();
         let r = std::panic::catch_unwind(|| AtomicBucketArray::new(&geometry));
         assert!(r.is_err());
+    }
+
+    fn twin_pair_with(
+        geometry: &LayerGeometry,
+        filter: Option<MiceFilterConfig>,
+        seed: u64,
+    ) -> (ConcurrentReliable<u64>, ReliableSketch<u64>) {
+        let config = ReliableConfig {
+            memory_bytes: geometry.total_buckets() * ATOMIC_BUCKET_BYTES,
+            lambda: geometry.total_lambda().max(1),
+            depth: Depth::Fixed(geometry.depth()),
+            mice_filter: filter,
+            emergency: EmergencyPolicy::ExactTable,
+            seed,
+            ..Default::default()
+        };
+        let atomic = ConcurrentReliable::with_geometry(config.clone(), geometry.clone());
+        let classic = ReliableSketch::with_geometry(config, geometry.clone());
+        (atomic, classic)
     }
 
     fn twin_pair(
@@ -636,9 +958,102 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_inserts_keep_the_guarantee() {
+    fn filtered_single_thread_equals_classic_sketch() {
+        // the acceptance differential: the full filtered variant, one
+        // producer, is query-equivalent to the filtered sequential sketch
+        let geometry = LayerGeometry::derive(2_000, 22, 2.0, 2.5, Depth::Auto, false);
+        let (atomic, mut classic) = twin_pair_with(
+            &geometry,
+            Some(MiceFilterConfig {
+                counter_bits: 8,
+                ..Default::default()
+            }),
+            31,
+        );
+        assert!(atomic.has_filter() && classic.has_filter());
+        // heavy mouse tail plus a few elephants: both sides of the filter
+        // boundary are exercised
+        let items: Vec<(u64, u64)> = (0..60_000u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    (i % 40, 3)
+                } else {
+                    (1_000 + i % 9_000, 1)
+                }
+            })
+            .collect();
+        for &(k, v) in &items {
+            atomic.insert_concurrent(&k, v);
+            classic.insert(&k, v);
+        }
+        for k in (0..40u64).chain(1_000..10_000) {
+            let a = atomic.query_with_error(&k);
+            let c = rsk_api::ErrorSensing::query_with_error(&classic, &k);
+            assert_eq!(
+                (a.value, a.max_possible_error),
+                (c.value, c.max_possible_error),
+                "filtered divergence at key {k}"
+            );
+        }
+        assert_eq!(atomic.insertion_failures(), classic.insertion_failures());
+        assert_eq!(atomic.mpe_ceiling(), classic.mpe_ceiling());
+    }
+
+    #[test]
+    fn filtered_contention_respects_relaxed_bound() {
+        // 8 producers hammer the same mice keys through the shared-`&self`
+        // path: estimates may trail the truth by at most the documented
+        // filter slack, and the MPE ceiling survives any interleaving.
         let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
             memory_bytes: 256 * 1024,
+            emergency: EmergencyPolicy::ExactTable,
+            seed: 41,
+            ..Default::default()
+        });
+        assert!(sk.has_filter());
+        let slack = sk.contention_undershoot_bound();
+        assert!(slack > 0, "default 2-array filter has nonzero slack");
+        let (threads, per_thread, keys) = (8u64, 8_000u64, 500u64);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let sk = &sk;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        sk.insert_concurrent(&((t + i) % keys), 1 + i % 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(sk.insertion_failures(), 0);
+        // every key's true mass: each thread contributes per_thread/keys
+        // values from the 1,2 cycle — recompute exactly
+        let mut truth = vec![0u64; keys as usize];
+        for t in 0..threads {
+            for i in 0..per_thread {
+                truth[((t + i) % keys) as usize] += 1 + i % 2;
+            }
+        }
+        for (k, &f) in truth.iter().enumerate() {
+            let est = sk.query_with_error(&(k as u64));
+            assert!(
+                est.value + slack >= f,
+                "key {k}: {est:?} trails truth {f} beyond the filter slack {slack}"
+            );
+            assert!(
+                est.value <= f + est.max_possible_error,
+                "key {k}: overshoot beyond the certified MPE"
+            );
+            assert!(est.max_possible_error <= sk.mpe_ceiling());
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_keep_the_guarantee() {
+        // raw variant: the bucket CAS path alone is strictly linearizable
+        // — no undershoot under any contention
+        let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+            memory_bytes: 256 * 1024,
+            mice_filter: None,
             emergency: EmergencyPolicy::ExactTable,
             seed: 3,
             ..Default::default()
@@ -691,15 +1106,21 @@ mod tests {
 
         /// Single-threaded, the atomic path is bit-for-bit the classic
         /// sketch (same geometry, seed and emergency policy) on arbitrary
-        /// streams — fingerprint collisions aside, which the key range
-        /// here makes vanishingly unlikely.
+        /// streams, with and without the mice filter — fingerprint
+        /// collisions aside, which the key range here makes vanishingly
+        /// unlikely.
         #[test]
         fn prop_atomic_equals_classic(
             ops in proptest::collection::vec((0u64..300, 1u64..8), 1..1500),
             seed in 0u64..32,
+            filtered in proptest::bool::ANY,
         ) {
             let geometry = LayerGeometry::derive(256, 25, 2.0, 2.5, Depth::Fixed(5), false);
-            let (atomic, mut classic) = twin_pair(&geometry, seed);
+            let filter = filtered.then(|| MiceFilterConfig {
+                counter_bits: 8,
+                ..Default::default()
+            });
+            let (atomic, mut classic) = twin_pair_with(&geometry, filter, seed);
             for &(k, v) in &ops {
                 atomic.insert_concurrent(&k, v);
                 classic.insert(&k, v);

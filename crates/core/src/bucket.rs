@@ -181,8 +181,9 @@ impl<K: Key> EsBucket<K> {
 
     // ---- crate-internal accessors used by the layered sketch's lock ----
 
-    /// Reassemble a bucket from persisted fields (the snapshot module).
-    #[cfg(feature = "serde")]
+    /// Reassemble a bucket from raw fields (the snapshot module and the
+    /// concurrent read-out path, which lifts packed atomic words into
+    /// fingerprint-space buckets).
     #[inline]
     pub(crate) fn from_parts(id: Option<K>, yes: u64, no: u64) -> Self {
         Self { id, yes, no }

@@ -26,6 +26,14 @@
 //! (each generation contributes at most `Λ`), and the reported MPE is
 //! always an honest per-key certificate.
 //!
+//! [`EpochedConcurrent`] is the lock-free twin: the same two-generation
+//! scheme over [`ConcurrentReliable`] sketches, so any number of producer
+//! threads feed the active generation through `&self` while the frozen
+//! generation serves **wait-free reads** — a sealed generation's atomic
+//! words are never CASed again, so window queries against it are plain
+//! loads with no retry loop (and no lock at all unless the generation
+//! recorded insertion failures).
+//!
 //! ```
 //! use rsk_core::epoch::EpochedReliable;
 //! use rsk_api::{ErrorSensing, StreamSummary};
@@ -45,9 +53,13 @@
 //! assert!(window.query_with_error(&7u64).contains(50));
 //! ```
 
+use crate::atomic::ConcurrentReliable;
 use crate::config::{ReliableConfig, ReliableConfigBuilder};
 use crate::sketch::ReliableSketch;
-use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use rsk_api::{
+    Algorithm, Clear, ConcurrentSummary, ErrorSensing, Estimate, Key, MemoryFootprint,
+    StreamSummary,
+};
 
 /// Two-generation rotating window over ReliableSketches.
 #[derive(Debug, Clone)]
@@ -208,6 +220,213 @@ impl ReliableConfigBuilder {
     /// Build an [`EpochedReliable`] window directly.
     pub fn build_epoched<K: Key>(self) -> EpochedReliable<K> {
         EpochedReliable::new(self.build_config())
+    }
+
+    /// Build an [`EpochedConcurrent`] window directly.
+    pub fn build_epoched_concurrent<K: Key>(self) -> EpochedConcurrent<K> {
+        EpochedConcurrent::new(self.build_config())
+    }
+}
+
+/// Two-generation rotating window over lock-free
+/// [`ConcurrentReliable`] sketches: shared-`&self` ingestion into the
+/// active epoch, wait-free reads of the sealed one.
+///
+/// Rotation is the only exclusive (`&mut`) operation — quiesce producers
+/// at the epoch boundary (network pipelines do this anyway: the
+/// measurement interval ends, the readout runs, the next interval
+/// starts). Between rotations the data path is exactly
+/// [`ConcurrentReliable`]'s: CAS-only bucket updates, no mutex, the mice
+/// filter running lock-free in front when configured.
+///
+/// Retired generations can be archived or folded into a long-horizon
+/// roll-up via [`rsk_api::Merge`], mirroring [`EpochedReliable::rotate`].
+///
+/// # Examples
+///
+/// ```
+/// use rsk_core::epoch::EpochedConcurrent;
+/// use rsk_api::{ErrorSensing, StreamSummary};
+///
+/// let mut window = EpochedConcurrent::<u64>::builder()
+///     .memory_bytes(64 * 1024)
+///     .error_tolerance(25)
+///     .build_epoched_concurrent();
+///
+/// // epoch 0: four producers through a shared reference
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let w = &window;
+///         s.spawn(move || {
+///             for _ in 0..25u64 {
+///                 w.insert_shared(&7u64, 1);
+///             }
+///         });
+///     }
+/// });
+/// window.rotate(); // seal epoch 0; reads of it are now wait-free
+/// window.insert_shared(&7u64, 50);
+/// assert!(window.query_with_error(&7u64).contains(150)); // both epochs
+///
+/// let retired = window.rotate(); // epoch 0 leaves the window
+/// assert!(retired.is_some());
+/// assert!(window.query_with_error(&7u64).contains(50));
+/// ```
+#[derive(Debug)]
+pub struct EpochedConcurrent<K: Key> {
+    active: ConcurrentReliable<K>,
+    frozen: Option<ConcurrentReliable<K>>,
+    config: ReliableConfig,
+    epoch: u64,
+}
+
+impl<K: Key> EpochedConcurrent<K> {
+    /// Start building with paper-default parameters (finish with
+    /// [`ReliableConfigBuilder::build_epoched_concurrent`]).
+    pub fn builder() -> ReliableConfigBuilder {
+        ReliableConfig::builder()
+    }
+
+    /// Build from a validated configuration; both generations use it.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation, or if `Λ` exceeds
+    /// the packed atomic error field (see
+    /// [`ConcurrentReliable::new`]).
+    pub fn new(config: ReliableConfig) -> Self {
+        Self {
+            active: ConcurrentReliable::new(config.clone()),
+            frozen: None,
+            config,
+            epoch: 0,
+        }
+    }
+
+    /// Index of the currently active epoch (starts at 0, +1 per rotation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configuration shared by both generations.
+    pub fn config(&self) -> &ReliableConfig {
+        &self.config
+    }
+
+    /// The generation currently absorbing inserts.
+    pub fn active(&self) -> &ConcurrentReliable<K> {
+        &self.active
+    }
+
+    /// The sealed previous epoch, if one exists (wait-free to query).
+    pub fn frozen(&self) -> Option<&ConcurrentReliable<K>> {
+        self.frozen.as_ref()
+    }
+
+    /// Lock-free insert into the active epoch through a shared reference.
+    #[inline]
+    pub fn insert_shared(&self, key: &K, value: u64) {
+        self.active.insert_concurrent(key, value);
+    }
+
+    /// Seal the active epoch and start a new one.
+    ///
+    /// The previously frozen generation — now outside the visible window —
+    /// is returned so callers can archive it or [`rsk_api::Merge`] it
+    /// into a long-horizon roll-up. Exclusive: producers must be
+    /// quiescent across the call (the borrow checker enforces it for
+    /// scoped threads).
+    pub fn rotate(&mut self) -> Option<ConcurrentReliable<K>> {
+        let fresh = ConcurrentReliable::new(self.config.clone());
+        let sealed = core::mem::replace(&mut self.active, fresh);
+        self.epoch += 1;
+        self.frozen.replace(sealed)
+    }
+
+    /// Insertion failures across the visible window (active + frozen).
+    pub fn insertion_failures(&self) -> u64 {
+        self.active.insertion_failures()
+            + self
+                .frozen
+                .as_ref()
+                .map_or(0, ConcurrentReliable::insertion_failures)
+    }
+
+    /// Worst-case MPE over the window: one per-generation ceiling per
+    /// visible generation (data-dependent if a generation was merged).
+    pub fn mpe_ceiling(&self) -> u64 {
+        let per_gen = self.active.mpe_ceiling();
+        if self.frozen.is_some() {
+            2 * per_gen
+        } else {
+            per_gen
+        }
+    }
+}
+
+impl<K: Key> StreamSummary<K> for EpochedConcurrent<K> {
+    #[inline]
+    fn insert(&mut self, key: &K, value: u64) {
+        self.insert_shared(key, value);
+    }
+
+    #[inline]
+    fn query(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+}
+
+impl<K: Key> ErrorSensing<K> for EpochedConcurrent<K> {
+    /// Sum both visible generations' certified answers; each interval is
+    /// certified, so the sum is.
+    fn query_with_error(&self, key: &K) -> Estimate {
+        let mut est = self.active.query_with_error(key);
+        if let Some(frozen) = &self.frozen {
+            let old = frozen.query_with_error(key);
+            est.value += old.value;
+            est.max_possible_error += old.max_possible_error;
+        }
+        est
+    }
+}
+
+impl<K: Key + Send + Sync> ConcurrentSummary<K> for EpochedConcurrent<K> {
+    #[inline]
+    fn insert_concurrent(&self, key: &K, value: u64) {
+        self.insert_shared(key, value);
+    }
+
+    #[inline]
+    fn query_concurrent(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+
+    fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize {
+        self.active.ingest_parallel(items, n_workers)
+    }
+}
+
+impl<K: Key> MemoryFootprint for EpochedConcurrent<K> {
+    fn memory_bytes(&self) -> usize {
+        self.active.memory_bytes()
+            + self
+                .frozen
+                .as_ref()
+                .map_or(0, MemoryFootprint::memory_bytes)
+    }
+}
+
+impl<K: Key> Algorithm for EpochedConcurrent<K> {
+    fn name(&self) -> String {
+        "OursAtomic(Epoched)".into()
+    }
+}
+
+impl<K: Key> Clear for EpochedConcurrent<K> {
+    /// Drop both generations and restart at epoch 0.
+    fn clear(&mut self) {
+        Clear::clear(&mut self.active);
+        self.frozen = None;
+        self.epoch = 0;
     }
 }
 
@@ -375,6 +594,118 @@ mod tests {
             };
             assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
         }
+    }
+
+    fn concurrent_window() -> EpochedConcurrent<u64> {
+        EpochedConcurrent::<u64>::builder()
+            .memory_bytes(64 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(23)
+            .build_epoched_concurrent()
+    }
+
+    #[test]
+    fn concurrent_window_spans_two_epochs() {
+        let mut w = concurrent_window();
+        w.insert_shared(&1, 10);
+        assert!(w.rotate().is_none());
+        w.insert_shared(&1, 20);
+        assert_eq!(w.epoch(), 1);
+        assert!(w.query_with_error(&1).contains(30));
+        let retired = w.rotate().expect("epoch 0 retires");
+        assert!(retired.query_with_error(&1).contains(10));
+        w.insert_shared(&1, 40);
+        assert!(
+            w.query_with_error(&1).contains(60),
+            "epoch 0 left the window"
+        );
+        assert_eq!(w.mpe_ceiling(), 2 * w.active().mpe_ceiling());
+    }
+
+    #[test]
+    fn concurrent_window_multi_producer_epochs() {
+        // four producers per epoch; rotation at each quiescent boundary.
+        // ingest_parallel on the sharded/one-owner path is exact, but here
+        // producers race directly, so allow the documented filter slack.
+        let mut w = concurrent_window();
+        let slack = w.active().contention_undershoot_bound();
+        for epoch in 0..3u64 {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let w = &w;
+                    s.spawn(move || {
+                        for i in 0..5_000u64 {
+                            w.insert_shared(&((i + t) % 200), 1 + epoch);
+                        }
+                    });
+                }
+            });
+            if epoch < 2 {
+                w.rotate();
+            }
+        }
+        // visible window: epochs 1 (frozen) and 2 (active)
+        let mut window_truth: HashMap<u64, u64> = HashMap::new();
+        for t in 0..4u64 {
+            for i in 0..5_000u64 {
+                *window_truth.entry((i + t) % 200).or_insert(0) += 2 + 3;
+            }
+        }
+        assert_eq!(w.insertion_failures(), 0);
+        for (&k, &f) in &window_truth {
+            let est = w.query_with_error(&k);
+            assert!(
+                est.value + 2 * slack >= f,
+                "key {k}: window {est:?} trails truth {f}"
+            );
+            assert!(est.value <= f + est.max_possible_error);
+            assert!(est.max_possible_error <= w.mpe_ceiling());
+        }
+    }
+
+    #[test]
+    fn concurrent_retired_epochs_roll_up_via_merge() {
+        use rsk_api::Merge;
+        let mut w = concurrent_window();
+        let mut rollup: Option<crate::atomic::ConcurrentReliable<u64>> = None;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for round in 0..4u64 {
+            for i in 0..5_000u64 {
+                let k = i % 100;
+                w.insert_shared(&k, 1 + round);
+                *truth.entry(k).or_insert(0) += 1 + round;
+            }
+            if let Some(retired) = w.rotate() {
+                match &mut rollup {
+                    None => rollup = Some(retired),
+                    Some(acc) => acc.merge(&retired).unwrap(),
+                }
+            }
+        }
+        let rollup = rollup.unwrap();
+        assert!(rollup.is_merged());
+        for (&k, &f) in &truth {
+            let win = w.query_with_error(&k);
+            let old = rollup.query_with_error(&k);
+            let total = Estimate {
+                value: win.value + old.value,
+                max_possible_error: win.max_possible_error + old.max_possible_error,
+            };
+            assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_window_clear_restarts() {
+        let mut w = concurrent_window();
+        w.insert_shared(&1, 5);
+        w.rotate();
+        w.insert_shared(&1, 5);
+        Clear::clear(&mut w);
+        assert_eq!(w.epoch(), 0);
+        assert!(w.frozen().is_none());
+        assert_eq!(w.query(&1), 0);
     }
 
     proptest! {

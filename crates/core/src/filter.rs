@@ -1,4 +1,5 @@
-//! The mice filter (paper §3.3, "Accuracy Optimization").
+//! The mice filter (paper §3.3, "Accuracy Optimization") — sequential and
+//! lock-free variants.
 //!
 //! The first layer of ReliableSketch is its largest, and on mouse-heavy
 //! traffic most of its 80-bit buckets end up locked, burned on keys that
@@ -22,9 +23,24 @@
 //! saturation value, the sketch builds its bucket layers against
 //! `Λ − threshold` (see [`crate::config::ReliableConfig::layer_lambda`]),
 //! preserving the end-to-end `≤ Λ` guarantee.
+//!
+//! Two implementations share these semantics:
+//!
+//! * [`MiceFilter`] — the sequential (`&mut self`) filter used by
+//!   [`crate::ReliableSketch`];
+//! * [`AtomicMiceFilter`] — the lock-free (`&self`) twin used by
+//!   [`crate::atomic::ConcurrentReliable`], with counters packed into
+//!   `AtomicU64` lanes and the CU step committed by a single CAS (see its
+//!   type docs for the exact concurrency contract).
 
 use rsk_api::Key;
 use rsk_hash::HashFamily;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed salt separating the mice-filter hash family from the per-layer
+/// families (shared by the sequential and atomic sketch constructors so
+/// identically configured filters are hash-identical).
+pub(crate) const FILTER_SEED_SALT: u64 = 0xf11e_d0f1_1e00;
 
 /// CU filter with saturating counters (the paper's mice filter).
 #[derive(Debug, Clone)]
@@ -181,10 +197,14 @@ impl MiceFilter {
         sat as f64 / total as f64
     }
 
-    /// Raw counter rows (the snapshot module).
-    #[cfg(feature = "serde")]
+    /// Raw counter rows (the snapshot module and cross-variant merges).
     pub(crate) fn rows_raw(&self) -> &[Vec<u64>] {
         &self.counters
+    }
+
+    /// Configured counter width in bits (shape checks in merges).
+    pub(crate) fn counter_bits(&self) -> u32 {
+        self.counter_bits
     }
 
     /// Overwrite counter rows from persisted state (the snapshot module).
@@ -205,6 +225,390 @@ impl MiceFilter {
             min = min.min(row[idx]);
         }
         min
+    }
+}
+
+/// Most CU rows an atomic filter supports (matches
+/// [`crate::config::ReliableConfig::validate`]'s `arrays ≤ 8` bound; lets
+/// the hot path use stack scratch instead of heap allocation).
+const MAX_ATOMIC_ARRAYS: usize = 8;
+
+/// Lock-free CU filter: [`MiceFilter`] semantics through `&self`.
+///
+/// Counters are packed into `AtomicU64` *lanes* (e.g. 32 × 2-bit counters
+/// per word with the paper's §6.1.1 defaults) and every state change is a
+/// single CAS on one lane:
+///
+/// * the CU step scans the key's counters, picks the minimum `m`, and
+///   **claims** the absorption `a = min(threshold − m, v)` with one CAS
+///   raising the min counter `m → m + a` (a failed CAS rescans — another
+///   thread moved the filter forward);
+/// * the conservative update then raises the key's remaining counters to
+///   at least `m + a` with CAS-max loops (monotone, so retries are rare
+///   and ABA-free).
+///
+/// ### Concurrency contract
+///
+/// Uncontended (one thread, or one owner per key range as in
+/// [`crate::concurrent::ShardedReliable::ingest_parallel`]) the filter is
+/// **bit-for-bit identical** to [`MiceFilter`] built with the same
+/// parameters. Under contention the CU minimum is read across several
+/// words, so two racing inserts of one key may both absorb against the
+/// same counter floor; the absorbed mass is then under-represented by the
+/// final minimum. The slack is bounded: per key, the filter's query
+/// contribution trails the truly absorbed mass by at most
+/// `(arrays − 1) × threshold` ([`Self::contention_undershoot_bound`]) —
+/// with the paper's defaults, 3 units. This is the relaxed-semantics
+/// trade of Fast Concurrent Data Sketches (Rinberg et al., PPoPP '20);
+/// the MPE stays an honest *overshoot* bound under any interleaving, and
+/// the saturation rule is exact (a key's counters all reach `threshold`
+/// before any of its mass enters the bucket layers).
+///
+/// ```
+/// use rsk_core::filter::AtomicMiceFilter;
+///
+/// let f = AtomicMiceFilter::new(4096, 2, 8, 3, 42).unwrap();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let f = &f;
+///         s.spawn(move || {
+///             for k in 0..100u64 {
+///                 f.insert(&k, 1); // mice: absorbed, nothing passes
+///             }
+///         });
+///     }
+/// });
+/// let (c, saturated) = f.query(&7u64);
+/// assert!(c >= 3 && saturated, "4 inserts crossed the threshold");
+/// let (c, saturated) = f.query(&0xdead_beefu64);
+/// assert_eq!(saturated, c >= 3); // saturation is exactly "min ≥ threshold"
+/// ```
+#[derive(Debug)]
+pub struct AtomicMiceFilter {
+    lanes: Vec<AtomicU64>,
+    lanes_per_row: usize,
+    /// Physical bits per packed counter: the smallest power of two ≥ the
+    /// configured width. Grows on merge so uncapped counter sums fit.
+    lane_bits: u32,
+    width: usize,
+    arrays: usize,
+    threshold: u64,
+    counter_bits: u32,
+    hashes: HashFamily,
+}
+
+impl AtomicMiceFilter {
+    /// Build a lock-free filter over `memory_bytes` of `counter_bits`-wide
+    /// counters in `arrays` rows, saturating at `threshold`. The logical
+    /// shape (width per row, hash family) is computed exactly like
+    /// [`MiceFilter::new`], so same-parameter filters of either variant
+    /// are interchangeable.
+    ///
+    /// Returns `None` when the budget is too small to host at least one
+    /// counter per row.
+    pub fn new(
+        memory_bytes: usize,
+        arrays: usize,
+        counter_bits: u32,
+        threshold: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        assert!(arrays > 0 && arrays <= MAX_ATOMIC_ARRAYS);
+        assert!(counter_bits > 0 && counter_bits <= 32);
+        assert!(threshold > 0, "a zero-threshold filter filters nothing");
+        debug_assert!(threshold < (1u64 << counter_bits));
+        let total_counters = memory_bytes * 8 / counter_bits as usize;
+        let width = total_counters / arrays;
+        if width == 0 {
+            return None;
+        }
+        let lane_bits = counter_bits.next_power_of_two();
+        let counters_per_lane = (64 / lane_bits) as usize;
+        let lanes_per_row = width.div_ceil(counters_per_lane);
+        let lanes = (0..arrays * lanes_per_row)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Some(Self {
+            lanes,
+            lanes_per_row,
+            lane_bits,
+            width,
+            arrays,
+            threshold,
+            counter_bits,
+            hashes: HashFamily::new(arrays, seed),
+        })
+    }
+
+    /// Saturation value.
+    #[inline]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Counters per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// Modeled memory footprint in bytes, accounted at the *configured*
+    /// counter width like [`MiceFilter::memory_bytes`] (the physical lanes
+    /// round odd widths up to a power of two, and widen after a merge).
+    pub fn memory_bytes(&self) -> usize {
+        self.arrays * self.width * self.counter_bits as usize / 8
+    }
+
+    /// Number of hash evaluations per operation.
+    #[inline]
+    pub fn hash_calls(&self) -> u64 {
+        self.arrays as u64
+    }
+
+    /// Per-key bound on how far the query contribution may trail the
+    /// truly absorbed mass under contended insertion:
+    /// `(arrays − 1) × threshold`. Zero for single-row filters, and not
+    /// paid at all on uncontended or single-owner-per-key paths.
+    #[inline]
+    pub fn contention_undershoot_bound(&self) -> u64 {
+        (self.arrays as u64 - 1) * self.threshold
+    }
+
+    #[inline]
+    fn lane_mask(&self) -> u64 {
+        if self.lane_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.lane_bits) - 1
+        }
+    }
+
+    /// `(lane index, bit shift)` of counter `idx` in row `row`.
+    #[inline]
+    fn locate(&self, row: usize, idx: usize) -> (usize, u32) {
+        let per_lane = (64 / self.lane_bits) as usize;
+        (
+            row * self.lanes_per_row + idx / per_lane,
+            (idx % per_lane) as u32 * self.lane_bits,
+        )
+    }
+
+    #[inline]
+    fn load_counter(&self, lane: usize, shift: u32) -> u64 {
+        (self.lanes[lane].load(Ordering::Acquire) >> shift) & self.lane_mask()
+    }
+
+    /// Raise the counter at `(lane, shift)` to at least `target`
+    /// (CAS-max; monotone, so a lost race only ever means someone raised
+    /// it further).
+    fn raise_to(&self, lane: usize, shift: u32, target: u64) {
+        let mask = self.lane_mask();
+        let cell = &self.lanes[lane];
+        let mut current = cell.load(Ordering::Acquire);
+        loop {
+            if (current >> shift) & mask >= target {
+                return;
+            }
+            let next = (current & !(mask << shift)) | (target << shift);
+            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Insert `⟨key, value⟩` through a shared reference; returns the value
+    /// that passes through to the bucket layers (0 if fully absorbed).
+    pub fn insert<K: Key>(&self, key: &K, value: u64) -> u64 {
+        let mask = self.lane_mask();
+        let mut at = [(0usize, 0u32); MAX_ATOMIC_ARRAYS];
+        for (row, slot) in at.iter_mut().enumerate().take(self.arrays) {
+            *slot = self.locate(row, self.hashes.index(row, key, self.width));
+        }
+        loop {
+            // scan the key's counters, tracking the minimum and the lane
+            // word it was read from (the CAS comparand)
+            let mut min = u64::MAX;
+            let mut min_row = 0usize;
+            let mut min_word = 0u64;
+            for (row, &(lane, shift)) in at.iter().enumerate().take(self.arrays) {
+                let word = self.lanes[lane].load(Ordering::Acquire);
+                let c = (word >> shift) & mask;
+                if c < min {
+                    min = c;
+                    min_row = row;
+                    min_word = word;
+                }
+            }
+            if min >= self.threshold {
+                return value; // saturated: everything descends
+            }
+            let absorbed = (self.threshold - min).min(value);
+            let target = min + absorbed;
+            // claim the absorption with one CAS on the min counter; a
+            // lost race means the filter state moved — rescan
+            let (lane, shift) = at[min_row];
+            let next = (min_word & !(mask << shift)) | (target << shift);
+            if self.lanes[lane]
+                .compare_exchange(min_word, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // conservative update of the remaining rows, then hand back
+            // the leftover (layer mass only ever trails the raises, which
+            // keeps the query's early-stop rule sound)
+            for (row, &(lane, shift)) in at.iter().enumerate().take(self.arrays) {
+                if row != min_row {
+                    self.raise_to(lane, shift, target);
+                }
+            }
+            return value - absorbed;
+        }
+    }
+
+    /// Query the filter's contribution for `key`: `(contribution,
+    /// saturated)`. If not saturated, no completed insert of `key` ever
+    /// reached the bucket layers.
+    pub fn query<K: Key>(&self, key: &K) -> (u64, bool) {
+        let mut min = u64::MAX;
+        for row in 0..self.arrays {
+            let (lane, shift) = self.locate(row, self.hashes.index(row, key, self.width));
+            min = min.min(self.load_counter(lane, shift));
+        }
+        (min, min >= self.threshold)
+    }
+
+    /// All counters as plain rows (merges and diagnostics).
+    pub(crate) fn rows_snapshot(&self) -> Vec<Vec<u64>> {
+        (0..self.arrays)
+            .map(|row| {
+                (0..self.width)
+                    .map(|idx| {
+                        let (lane, shift) = self.locate(row, idx);
+                        self.load_counter(lane, shift)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Shape check shared by the merge entry points.
+    fn check_shape(
+        &self,
+        arrays: usize,
+        width: usize,
+        threshold: u64,
+        counter_bits: u32,
+    ) -> Result<(), String> {
+        if self.width != width
+            || self.arrays != arrays
+            || self.threshold != threshold
+            || self.counter_bits != counter_bits
+        {
+            return Err(format!(
+                "mice filter shape mismatch: {}x{}@{} vs {arrays}x{width}@{threshold}",
+                self.arrays, self.width, self.threshold,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Replace the packed storage with `rows`, widening the physical lanes
+    /// so the largest value fits (merged counter sums are *not* re-capped
+    /// at the threshold — see [`MiceFilter::merge_from`] for why).
+    fn store_rows(&mut self, rows: &[Vec<u64>]) {
+        let max = rows.iter().flatten().copied().max().unwrap_or(0);
+        let needed = (64 - max.leading_zeros()).max(self.counter_bits);
+        self.lane_bits = needed.next_power_of_two().min(64);
+        let counters_per_lane = (64 / self.lane_bits) as usize;
+        self.lanes_per_row = self.width.div_ceil(counters_per_lane);
+        self.lanes = (0..self.arrays * self.lanes_per_row)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let mask = self.lane_mask();
+        for (row, values) in rows.iter().enumerate() {
+            for (idx, &v) in values.iter().enumerate() {
+                let (lane, shift) = self.locate(row, idx);
+                let w = self.lanes[lane].get_mut();
+                *w = (*w & !(mask << shift)) | (v << shift);
+            }
+        }
+    }
+
+    /// Fold counter rows (from a peer filter of identical shape) into this
+    /// one by counter-wise saturating addition, mirroring
+    /// [`MiceFilter::merge_from`]: sums are not re-capped at the
+    /// threshold, so each merged counter stays an upper bound on the mass
+    /// both operands absorbed there, and the saturation rule still
+    /// recognizes every key that reached the bucket layers in either
+    /// operand.
+    pub(crate) fn merge_rows(&mut self, other_rows: &[Vec<u64>]) {
+        let mut rows = self.rows_snapshot();
+        for (row, other_row) in rows.iter_mut().zip(other_rows) {
+            for (c, o) in row.iter_mut().zip(other_row) {
+                *c = c.saturating_add(*o);
+            }
+        }
+        self.store_rows(&rows);
+    }
+
+    /// Fold another atomic filter (same shape, same seeds) into this one —
+    /// the filter half of the concurrent [`rsk_api::Merge`] impls.
+    ///
+    /// # Errors
+    /// Rejects filters of a different shape. The caller is responsible for
+    /// seed equality (checked at the sketch level via the configuration).
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), String> {
+        self.check_shape(
+            other.arrays,
+            other.width,
+            other.threshold,
+            other.counter_bits,
+        )?;
+        self.merge_rows(&other.rows_snapshot());
+        Ok(())
+    }
+
+    /// Fold a *sequential* [`MiceFilter`] of identical shape into this one
+    /// (the mixed sequential→concurrent aggregation path).
+    ///
+    /// # Errors
+    /// Rejects filters of a different shape.
+    pub fn merge_from_sequential(&mut self, other: &MiceFilter) -> Result<(), String> {
+        self.check_shape(
+            other.arrays(),
+            other.width(),
+            other.threshold(),
+            other.counter_bits(),
+        )?;
+        self.merge_rows(other.rows_raw());
+        Ok(())
+    }
+
+    /// Reset all counters (requires exclusive access for a consistent
+    /// result; concurrent readers only ever observe valid lane words).
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            *lane.get_mut() = 0;
+        }
+    }
+
+    /// Fraction of counters at saturation (diagnostics).
+    pub fn saturation_ratio(&self) -> f64 {
+        let sat: usize = self
+            .rows_snapshot()
+            .iter()
+            .flatten()
+            .filter(|&&c| c >= self.threshold)
+            .count();
+        sat as f64 / (self.arrays * self.width) as f64
     }
 }
 
@@ -305,7 +709,133 @@ mod tests {
         assert_eq!(c, 0);
     }
 
+    #[test]
+    fn atomic_matches_sequential_single_thread() {
+        let mut seq = MiceFilter::new(2048, 2, 8, 5, 99).unwrap();
+        let atomic = AtomicMiceFilter::new(2048, 2, 8, 5, 99).unwrap();
+        assert_eq!(seq.width(), atomic.width());
+        assert_eq!(seq.memory_bytes(), atomic.memory_bytes());
+        for i in 0..20_000u64 {
+            let (k, v) = (i % 700, 1 + i % 4);
+            assert_eq!(seq.insert(&k, v), atomic.insert(&k, v), "insert {i}");
+        }
+        for k in 0..700u64 {
+            assert_eq!(seq.query(&k), atomic.query(&k), "key {k}");
+        }
+        assert_eq!(seq.saturation_ratio(), atomic.saturation_ratio());
+    }
+
+    #[test]
+    fn atomic_lane_packing_2bit() {
+        // 2-bit counters: 32 per lane; shape mirrors the sequential filter
+        let f = AtomicMiceFilter::new(1000, 2, 2, 3, 1).unwrap();
+        assert_eq!(f.width(), 2000);
+        assert_eq!(f.memory_bytes(), 1000);
+        assert_eq!(f.hash_calls(), 2);
+        assert_eq!(f.contention_undershoot_bound(), 3);
+        assert!(AtomicMiceFilter::new(0, 2, 8, 3, 1).is_none());
+    }
+
+    #[test]
+    fn atomic_contended_inserts_respect_relaxed_bound() {
+        // 8 threads hammer the same mice keys: per key, contribution may
+        // trail the absorbed mass by at most (arrays−1)·threshold, the
+        // saturation rule stays exact, and value is conserved per call.
+        let f = AtomicMiceFilter::new(4096, 2, 8, 3, 7).unwrap();
+        let absorbed = std::sync::Mutex::new(HashMap::<u64, u64>::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let (f, absorbed) = (&f, &absorbed);
+                s.spawn(move || {
+                    let mut local = HashMap::new();
+                    for i in 0..4_000u64 {
+                        let (k, v) = ((i + t) % 50, 1 + i % 3);
+                        let passed = f.insert(&k, v);
+                        assert!(passed <= v);
+                        *local.entry(k).or_insert(0u64) += v - passed;
+                    }
+                    let mut g = absorbed.lock().unwrap();
+                    for (k, a) in local {
+                        *g.entry(k).or_insert(0) += a;
+                    }
+                });
+            }
+        });
+        let slack = f.contention_undershoot_bound();
+        for (&k, &a) in absorbed.lock().unwrap().iter() {
+            let (c, _) = f.query(&k);
+            assert!(
+                c + slack >= a,
+                "key {k}: contribution {c} trails absorbed {a} beyond the bound {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_merge_widens_lanes_and_adds_uncapped() {
+        // threshold 3 in 2-bit lanes: a merged sum of 6 does not fit the
+        // original width, so the merge must widen the physical lanes
+        let mut a = AtomicMiceFilter::new(256, 2, 2, 3, 5).unwrap();
+        let b = AtomicMiceFilter::new(256, 2, 2, 3, 5).unwrap();
+        let k = 11u64;
+        a.insert(&k, 10);
+        b.insert(&k, 10);
+        a.merge_from(&b).unwrap();
+        let (c, sat) = a.query(&k);
+        assert_eq!(c, 6, "sums must not be re-capped at the threshold");
+        assert!(sat);
+
+        let mismatched = AtomicMiceFilter::new(256, 2, 2, 2, 5).unwrap();
+        assert!(a.merge_from(&mismatched).is_err());
+    }
+
+    #[test]
+    fn atomic_merges_sequential_filter() {
+        let mut atomic = AtomicMiceFilter::new(512, 2, 8, 5, 3).unwrap();
+        let mut seq = MiceFilter::new(512, 2, 8, 5, 3).unwrap();
+        for i in 0..200u64 {
+            atomic.insert(&i, 2);
+            seq.insert(&i, 3);
+        }
+        atomic.merge_from_sequential(&seq).unwrap();
+        for i in 0..200u64 {
+            let (c, _) = atomic.query(&i);
+            assert!(c >= 5, "key {i}: merged contribution {c} lost mass");
+        }
+    }
+
+    #[test]
+    fn atomic_clear_resets() {
+        let mut f = AtomicMiceFilter::new(512, 2, 8, 3, 3).unwrap();
+        f.insert(&1u64, 5);
+        assert!(f.saturation_ratio() > 0.0);
+        f.clear();
+        assert_eq!(f.saturation_ratio(), 0.0);
+        assert_eq!(f.query(&1u64), (0, false));
+    }
+
     proptest! {
+        /// The atomic filter replays any single-threaded operation
+        /// sequence bit-for-bit like the sequential CU filter: same
+        /// pass-through value on every insert, same (contribution,
+        /// saturated) answer for every key.
+        #[test]
+        fn prop_atomic_equals_sequential(
+            ops in proptest::collection::vec((0u64..64, 1u64..6), 1..400),
+            threshold in 1u64..16,
+            arrays in 1usize..4,
+            bits in 5u32..9,
+        ) {
+            let mut seq = MiceFilter::new(256, arrays, bits, threshold, 7).unwrap();
+            let atomic = AtomicMiceFilter::new(256, arrays, bits, threshold, 7).unwrap();
+            for (k, v) in ops {
+                prop_assert_eq!(seq.insert(&k, v), atomic.insert(&k, v));
+            }
+            for k in 0..64u64 {
+                prop_assert_eq!(seq.query(&k), atomic.query(&k), "key {}", k);
+            }
+        }
+
         /// Conservation: passed-through value never exceeds inserted value,
         /// and the filter's per-key contribution is an overestimate of what
         /// it absorbed, capped at the threshold.

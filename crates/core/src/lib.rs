@@ -15,13 +15,28 @@
 //! * [`geometry::LayerGeometry`] — the Double Exponential Control schedule
 //!   (Key Technique II): widths and lock thresholds both decay
 //!   geometrically;
+//! * [`filter::MiceFilter`] / [`filter::AtomicMiceFilter`] — the §3.3 CU
+//!   mice filter, in sequential and lock-free (packed `AtomicU64` lane)
+//!   form;
+//! * [`emergency::EmergencyStore`] — the §3.3 emergency solution for
+//!   insertion failures (exact table or SpaceSaving);
 //! * [`ReliableSketch`] — the full layered structure with the lock
-//!   mechanism, mice filter (§3.3) and emergency store (§3.3);
+//!   mechanism, mice filter and emergency store;
 //! * [`theory`] — the paper's closed-form results (Theorems 4–5, Table 1);
 //! * [`atomic::AtomicBucketArray`] / [`atomic::ConcurrentReliable`] — the
-//!   lock-free multi-core data path (single-word CAS buckets);
+//!   lock-free multi-core data path: fingerprint/count/error packed in one
+//!   `AtomicU64` per bucket, every Algorithm-1 step committed by a single
+//!   CAS, with the atomic mice filter in front when configured (full
+//!   feature parity with the sequential sketch — no mutex, no channel on
+//!   the hot path);
 //! * [`concurrent::ShardedReliable`] — key-partitioned multi-core
-//!   ingestion over lock-free shards.
+//!   ingestion over lock-free shards with a deterministic two-phase
+//!   `ingest_parallel`;
+//! * [`epoch::EpochedReliable`] / [`epoch::EpochedConcurrent`] —
+//!   two-generation rotating windows (sequential and lock-free);
+//! * [`merge`] — distributed aggregation: [`rsk_api::Merge`] for the
+//!   sequential sketch, both concurrent types, and mixed
+//!   sequential→concurrent folds.
 //!
 //! ## Quick start
 //!
@@ -70,7 +85,8 @@ pub use config::{
     Depth, EmergencyPolicy, MiceFilterConfig, ReliableConfig, ReliableConfigBuilder, BUCKET_BYTES,
     DEFAULT_SEED,
 };
-pub use epoch::EpochedReliable;
+pub use epoch::{EpochedConcurrent, EpochedReliable};
+pub use filter::{AtomicMiceFilter, MiceFilter};
 pub use geometry::LayerGeometry;
 pub use merge::merge_all;
 pub use sketch::ReliableSketch;

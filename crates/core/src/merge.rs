@@ -54,6 +54,31 @@
 //! [`MiceFilter::merge_from`](crate::filter::MiceFilter::merge_from) and
 //! [`EmergencyStore::merge_from`](crate::emergency::EmergencyStore::merge_from).
 //!
+//! ## Concurrent operands
+//!
+//! The same machinery serves the lock-free types. A
+//! [`ConcurrentReliable`] *reads out* its packed `AtomicU64` words into
+//! fingerprint-space [`EsBucket<u64>`] layers
+//! ([`AtomicBucketArray::read_out`](crate::atomic::AtomicBucketArray::read_out)),
+//! seals them into a merged overlay (merged `NO` fields can exceed the
+//! packed 12-bit error field, so the union cannot live in the atomic
+//! words), and unions operands with exactly the `union_layers` helper
+//! the sequential impl uses. Post-merge insertions keep flowing lock-free
+//! into the (zeroed) atomic words; queries walk overlay + live words like
+//! two epoch generations. Three aggregation shapes are supported:
+//!
+//! * `conc.merge(&conc)` — [`rsk_api::Merge`] for [`ConcurrentReliable`];
+//! * `sharded.merge(&sharded)` — shard-wise, for
+//!   [`crate::concurrent::ShardedReliable`] pairs built
+//!   from the same configuration;
+//! * [`ConcurrentReliable::merge_from_sequential`] — folds a sequential
+//!   [`ReliableSketch`] twin (same config, same geometry) into a
+//!   concurrent collector, mapping candidate keys to their fingerprints.
+//!
+//! Candidate identity in concurrent operands is the 24-bit fingerprint,
+//! so merging inherits the atomic path's `2⁻²⁴` per-colliding-pair
+//! aliasing caveat; aliasing only ever inflates estimates.
+//!
 //! ## Example
 //!
 //! ```
@@ -79,7 +104,9 @@
 //! assert!(shard_a.is_merged());
 //! ```
 
+use crate::atomic::ConcurrentReliable;
 use crate::bucket::EsBucket;
+use crate::concurrent::ShardedReliable;
 use crate::ReliableSketch;
 use rsk_api::{Key, Merge};
 
@@ -92,6 +119,36 @@ use rsk_api::{Key, Merge};
 #[inline]
 fn may_have_diverted<K: Key>(bucket: &EsBucket<K>, lambda: u64) -> bool {
     bucket.yes() > bucket.no() && bucket.no() >= lambda
+}
+
+/// Union `other_layers` into `layers` bucket-wise, maintaining the divert
+/// hints: a merged bucket is flagged when either operand flagged it or
+/// either operand's bucket [`may_have_diverted`] keys deeper. `hints` is
+/// initialized (all false) on first use; an empty `other_hints` means the
+/// peer never merged. This is the shared layer half of every `Merge`
+/// impl in the workspace — sequential sketches pass their key-space
+/// buckets, concurrent sketches their fingerprint-space read-outs.
+pub(crate) fn union_layers<K: Key>(
+    layers: &mut [Vec<EsBucket<K>>],
+    hints: &mut Vec<Vec<bool>>,
+    other_layers: &[Vec<EsBucket<K>>],
+    other_hints: &[Vec<bool>],
+    lambdas: &[u64],
+) {
+    if hints.is_empty() {
+        *hints = layers.iter().map(|l| vec![false; l.len()]).collect();
+    }
+    for (i, (layer, other_layer)) in layers.iter_mut().zip(other_layers).enumerate() {
+        let lambda = lambdas[i];
+        for (j, (bucket, other_bucket)) in layer.iter_mut().zip(other_layer).enumerate() {
+            let flagged = hints[i][j]
+                || other_hints.get(i).is_some_and(|l| l[j])
+                || may_have_diverted(bucket, lambda)
+                || may_have_diverted(other_bucket, lambda);
+            bucket.merge_union(other_bucket);
+            hints[i][j] = flagged;
+        }
+    }
 }
 
 impl<K: Key> Merge for ReliableSketch<K> {
@@ -118,23 +175,176 @@ impl<K: Key> Merge for ReliableSketch<K> {
             _ => return Err("mice filter presence mismatch".into()),
         }
 
-        if hints.is_empty() {
-            *hints = layers.iter().map(|l| vec![false; l.len()]).collect();
-        }
-        for (i, (layer, other_layer)) in layers.iter_mut().zip(other_layers).enumerate() {
-            let lambda = lambdas[i];
-            for (j, (bucket, other_bucket)) in layer.iter_mut().zip(other_layer).enumerate() {
-                let flagged = hints[i][j]
-                    || other_hints.get(i).is_some_and(|l| l[j])
-                    || may_have_diverted(bucket, lambda)
-                    || may_have_diverted(other_bucket, lambda);
-                bucket.merge_union(other_bucket);
-                hints[i][j] = flagged;
-            }
-        }
+        union_layers(layers, hints, other_layers, other_hints, &lambdas);
 
         emergency.merge_from(other_emergency)?;
         stats.absorb(other_stats);
+        Ok(())
+    }
+}
+
+/// The peer's mice filter, in whichever form the operand carries it.
+enum PeerFilter<'a> {
+    None,
+    Atomic(&'a crate::filter::AtomicMiceFilter),
+    Sequential(&'a crate::filter::MiceFilter),
+}
+
+/// Shared epilogue of both concurrent merge flavors. The caller has
+/// already checked config + geometry equality and materialized the
+/// peer's effective layers. Ordering matters for failure atomicity: all
+/// fallible steps (filter presence + shape, which internally check
+/// before mutating) run *before* [`ConcurrentReliable::seal_into_overlay`]
+/// zeroes the live words, so an error return leaves the sketch
+/// unsealed and `is_merged()` false. (The emergency merge after sealing
+/// can only fail on a policy mismatch, which config equality rules out.)
+fn merge_prepared<K: Key>(
+    me: &mut ConcurrentReliable<K>,
+    other_layers: &[Vec<EsBucket<u64>>],
+    other_hints: &[Vec<bool>],
+    peer_filter: PeerFilter<'_>,
+    other_emergency: &crate::emergency::EmergencyStore<K>,
+    other_failures: u64,
+) -> Result<(), String> {
+    let lambdas: Vec<u64> = me.geometry().lambdas().to_vec();
+    {
+        let (filter, _, _, _) = me.merge_parts();
+        match (filter.as_mut(), peer_filter) {
+            (Some(mine), PeerFilter::Atomic(theirs)) => mine.merge_from(theirs)?,
+            (Some(mine), PeerFilter::Sequential(theirs)) => mine.merge_from_sequential(theirs)?,
+            (None, PeerFilter::None) => {}
+            _ => return Err("mice filter presence mismatch".into()),
+        }
+    }
+    me.seal_into_overlay();
+    let (_, overlay, emergency, failures) = me.merge_parts();
+    let overlay = overlay.as_mut().expect("sealed above");
+    union_layers(
+        &mut overlay.layers,
+        &mut overlay.hints,
+        other_layers,
+        other_hints,
+        &lambdas,
+    );
+    emergency.lock().merge_from(other_emergency)?;
+    failures.fetch_add(other_failures, std::sync::atomic::Ordering::Relaxed);
+    Ok(())
+}
+
+impl<K: Key> Merge for ConcurrentReliable<K> {
+    /// Fold another lock-free sketch (identical configuration, hence
+    /// identical geometry, fingerprint seed and filter shape) into this
+    /// one. Both operands' packed words are read out into fingerprint-
+    /// space [`EsBucket`] unions held in a sealed overlay; this sketch's
+    /// atomic words are zeroed and keep absorbing post-merge insertions
+    /// lock-free. Mice filters add counter-wise (lanes widen so the
+    /// uncapped sums fit), emergency stores merge policy-wise.
+    ///
+    /// Merging is an exclusive (`&mut`) operation: quiesce producers
+    /// first, exactly as for [`crate::epoch::EpochedConcurrent::rotate`].
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.config() != other.config() {
+            return Err(format!(
+                "config mismatch: {:?} vs {:?}",
+                self.config(),
+                other.config()
+            ));
+        }
+        if self.geometry() != other.geometry() {
+            return Err("layer geometry mismatch".into());
+        }
+        let (other_layers, other_hints) = other.effective_layers();
+        let peer_filter = match other.peer_filter() {
+            Some(f) => PeerFilter::Atomic(f),
+            None => PeerFilter::None,
+        };
+        merge_prepared(
+            self,
+            &other_layers,
+            &other_hints,
+            peer_filter,
+            &other.peer_emergency(),
+            other.insertion_failures(),
+        )?;
+        self.array().stats().absorb(other.array().stats());
+        Ok(())
+    }
+}
+
+impl<K: Key> ConcurrentReliable<K> {
+    /// Fold a *sequential* [`ReliableSketch`] twin (same configuration,
+    /// same explicit geometry — build both via `with_geometry`) into this
+    /// concurrent collector: candidate keys map to their 24-bit
+    /// fingerprints, then the ordinary union machinery applies. This is
+    /// the mixed-deployment aggregation path — e.g. edge devices running
+    /// the sequential sketch, a multi-core collector running the atomic
+    /// one.
+    ///
+    /// # Errors
+    /// Rejects mismatched configurations, geometries, or filter shapes.
+    pub fn merge_from_sequential(&mut self, other: &ReliableSketch<K>) -> Result<(), String> {
+        if self.config() != other.config() {
+            return Err(format!(
+                "config mismatch: {:?} vs {:?}",
+                self.config(),
+                other.config()
+            ));
+        }
+        if self.geometry() != other.geometry() {
+            return Err("layer geometry mismatch".into());
+        }
+        let (other_filter, other_layers, other_emergency, other_stats, other_hints) =
+            other.peer_parts();
+        let mapped: Vec<Vec<EsBucket<u64>>> = other_layers
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|b| {
+                        EsBucket::from_parts(b.id().map(|k| self.fingerprint(k)), b.yes(), b.no())
+                    })
+                    .collect()
+            })
+            .collect();
+        let peer_filter = match other_filter.as_ref() {
+            Some(f) => PeerFilter::Sequential(f),
+            None => PeerFilter::None,
+        };
+        let other_hints = other_hints.clone();
+        let other_inserts = other_stats.inserts();
+        merge_prepared(
+            self,
+            &mapped,
+            &other_hints,
+            peer_filter,
+            other_emergency,
+            other.insertion_failures(),
+        )?;
+        self.array().stats().add_items(other_inserts);
+        Ok(())
+    }
+}
+
+impl<K: Key> Merge for ShardedReliable<K> {
+    /// Shard-wise merge: both sketches must have been built from the same
+    /// configuration and shard count (which pins the router seed and every
+    /// per-shard seed, so shard `i` observed the same key population in
+    /// both operands).
+    fn merge(&mut self, other: &Self) -> Result<(), String> {
+        if self.shards() != other.shards() {
+            return Err(format!(
+                "shard count mismatch: {} vs {}",
+                self.shards(),
+                other.shards()
+            ));
+        }
+        if self.router_seed() != other.router_seed() {
+            return Err("shard router seed mismatch".into());
+        }
+        for i in 0..self.shards() {
+            let theirs = other.shard(i);
+            self.shard_mut(i).merge(theirs)?;
+        }
         Ok(())
     }
 }
@@ -358,6 +568,258 @@ mod tests {
         assert!(a.is_merged());
         Clear::clear(&mut a);
         assert!(!a.is_merged());
+    }
+
+    // ---- concurrent operands ----
+
+    fn conc_config(seed: u64) -> ReliableConfig {
+        ReliableConfig {
+            memory_bytes: 32 * 1024,
+            lambda: 25,
+            emergency: EmergencyPolicy::ExactTable,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn conc_shard(seed: u64) -> crate::atomic::ConcurrentReliable<u64> {
+        crate::atomic::ConcurrentReliable::new(conc_config(seed))
+    }
+
+    #[test]
+    fn concurrent_merge_rejects_mismatches() {
+        let mut a = conc_shard(1);
+        assert!(
+            a.merge(&conc_shard(2)).is_err(),
+            "different seeds must fail"
+        );
+        let bigger = crate::atomic::ConcurrentReliable::<u64>::new(ReliableConfig {
+            memory_bytes: 64 * 1024,
+            ..conc_config(1)
+        });
+        assert!(a.merge(&bigger).is_err(), "different memory must fail");
+        let raw = crate::atomic::ConcurrentReliable::<u64>::new(ReliableConfig {
+            mice_filter: None,
+            ..conc_config(1)
+        });
+        assert!(a.merge(&raw).is_err(), "filter presence must fail");
+    }
+
+    #[test]
+    fn concurrent_split_stream_merge_is_sound() {
+        // filtered lock-free shards over a split stream: the merged
+        // intervals must contain the combined truth for every key
+        let mut a = conc_shard(4);
+        let b = conc_shard(4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..30_000u64 {
+            let k = i % 500;
+            let v = 1 + k % 3;
+            if i % 2 == 0 {
+                a.insert_concurrent(&k, v);
+            } else {
+                b.insert_concurrent(&k, v);
+            }
+            *truth.entry(k).or_insert(0) += v;
+        }
+        a.merge(&b).unwrap();
+        assert!(a.is_merged());
+        for (&k, &f) in &truth {
+            let est = a.query_with_error(&k);
+            assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+        }
+        // the combined operation history is reported
+        assert_eq!(a.array().stats().items(), 30_000);
+    }
+
+    #[test]
+    fn concurrent_post_merge_insertion_remains_sound() {
+        let mut a = conc_shard(5);
+        let b = conc_shard(5);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..10_000u64 {
+            let k = i % 300;
+            if i % 2 == 0 {
+                a.insert_concurrent(&k, 1);
+            } else {
+                b.insert_concurrent(&k, 1);
+            }
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        a.merge(&b).unwrap();
+        // keep streaming into the merged sketch — lock-free, from threads
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        a.insert_concurrent(&(i % 300), 2);
+                    }
+                });
+            }
+        });
+        for i in 0..5_000u64 {
+            *truth.entry(i % 300).or_insert(0) += 4;
+        }
+        let slack = a.contention_undershoot_bound();
+        for (&k, &f) in &truth {
+            let est = a.query_with_error(&k);
+            assert!(est.value + slack >= f, "key {k}: {est:?} ≪ {f}");
+            assert!(est.value <= f + est.max_possible_error, "key {k} overshoot");
+        }
+    }
+
+    #[test]
+    fn sequential_folds_into_concurrent_collector() {
+        // the mixed-deployment path: a sequential edge sketch and a
+        // concurrent collector twin (same config, same geometry), merged,
+        // must certify the combined stream — and agree with a single
+        // sketch that replayed everything, up to the union's extra
+        // (honestly reported) ambiguity
+        let config = conc_config(6);
+        let geometry = LayerGeometry::derive(
+            config.layer_bytes() / crate::atomic::ATOMIC_BUCKET_BYTES,
+            config.layer_lambda(),
+            config.r_w,
+            config.r_lambda,
+            config.depth,
+            config.lambda_floor_one,
+        );
+        let mut seq = ReliableSketch::<u64>::with_geometry(config.clone(), geometry.clone());
+        let mut conc = crate::atomic::ConcurrentReliable::<u64>::with_geometry(
+            config.clone(),
+            geometry.clone(),
+        );
+        let replay = crate::atomic::ConcurrentReliable::<u64>::with_geometry(config, geometry);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let k = i % 400;
+            let v = 1 + k % 4;
+            if i % 2 == 0 {
+                seq.insert(&k, v);
+            } else {
+                conc.insert_concurrent(&k, v);
+            }
+            replay.insert_concurrent(&k, v);
+            *truth.entry(k).or_insert(0) += v;
+        }
+        conc.merge_from_sequential(&seq).unwrap();
+        assert!(conc.is_merged());
+        for (&k, &f) in &truth {
+            let est = conc.query_with_error(&k);
+            let rep = replay.query_with_error(&k);
+            assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+            assert!(rep.contains(f), "key {k}: replay lost {f}");
+            assert!(
+                est.value >= rep.lower_bound(),
+                "key {k}: merged answer below the replay's certified floor"
+            );
+        }
+        assert_eq!(conc.insertion_failures(), 0);
+    }
+
+    #[test]
+    fn mixed_merge_orders_agree_and_stay_sound() {
+        // merge "associativity" on the soundness level: folding three
+        // operands (two concurrent, one sequential) in different orders
+        // yields certified intervals for the combined truth either way.
+        // (Bit-identical answers across orders are not promised: divert
+        // hints are computed on intermediate unions, so different fold
+        // orders may report different, equally honest MPEs.)
+        let config = conc_config(7);
+        let geometry = LayerGeometry::derive(
+            config.layer_bytes() / crate::atomic::ATOMIC_BUCKET_BYTES,
+            config.layer_lambda(),
+            config.r_w,
+            config.r_lambda,
+            config.depth,
+            config.lambda_floor_one,
+        );
+        let build_conc = || {
+            crate::atomic::ConcurrentReliable::<u64>::with_geometry(
+                config.clone(),
+                geometry.clone(),
+            )
+        };
+        let build_seq = || ReliableSketch::<u64>::with_geometry(config.clone(), geometry.clone());
+
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let (mut a1, mut a2) = (build_conc(), build_conc());
+        let (b1, b2) = (build_conc(), build_conc());
+        let (mut s1, mut s2) = (build_seq(), build_seq());
+        for i in 0..15_000u64 {
+            let k = i % 350;
+            let v = 1 + k % 2;
+            match i % 3 {
+                0 => {
+                    a1.insert_concurrent(&k, v);
+                    a2.insert_concurrent(&k, v);
+                }
+                1 => {
+                    b1.insert_concurrent(&k, v);
+                    b2.insert_concurrent(&k, v);
+                }
+                _ => {
+                    s1.insert(&k, v);
+                    s2.insert(&k, v);
+                }
+            }
+            *truth.entry(k).or_insert(0) += v;
+        }
+        // order 1: (a ∪ b) ∪ seq ; order 2: (a ∪ seq) ∪ b
+        a1.merge(&b1).unwrap();
+        a1.merge_from_sequential(&s1).unwrap();
+        a2.merge_from_sequential(&s2).unwrap();
+        a2.merge(&b2).unwrap();
+        for (&k, &f) in &truth {
+            let e1 = a1.query_with_error(&k);
+            let e2 = a2.query_with_error(&k);
+            assert!(e1.contains(f), "order 1, key {k}: {f} ∉ {e1:?}");
+            assert!(e2.contains(f), "order 2, key {k}: {f} ∉ {e2:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_is_shard_wise_and_checked() {
+        use crate::concurrent::ShardedReliable;
+        let config = conc_config(8);
+        let mut a = ShardedReliable::<u64>::new(config.clone(), 4);
+        let b = ShardedReliable::<u64>::new(config.clone(), 4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..40_000u64 {
+            let k = i % 900;
+            if i % 2 == 0 {
+                a.insert_shared(&k, 1);
+            } else {
+                b.insert_shared(&k, 1);
+            }
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        a.merge(&b).unwrap();
+        for (&k, &f) in &truth {
+            let est = a.query_shared(&k);
+            assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+        }
+
+        let wrong_count = ShardedReliable::<u64>::new(config, 8);
+        assert!(a.merge(&wrong_count).is_err());
+        let wrong_seed = ShardedReliable::<u64>::new(conc_config(9), 4);
+        assert!(a.merge(&wrong_seed).is_err());
+    }
+
+    #[test]
+    fn concurrent_clear_resets_merged_state() {
+        let mut a = conc_shard(10);
+        for i in 0..2_000u64 {
+            a.insert_concurrent(&(i % 50), 1);
+        }
+        a.merge(&conc_shard(10)).unwrap();
+        assert!(a.is_merged());
+        Clear::clear(&mut a);
+        assert!(!a.is_merged());
+        for k in 0..50u64 {
+            assert_eq!(a.query_with_error(&k).value, 0);
+        }
     }
 
     proptest! {

@@ -93,7 +93,7 @@ impl<K: Key> ReliableSketch<K> {
                 fc.arrays,
                 fc.counter_bits,
                 config.filter_threshold().max(1),
-                config.seed ^ 0xf11e_d0f1_1e00,
+                config.seed ^ crate::filter::FILTER_SEED_SALT,
             )
         });
         let layers = geometry

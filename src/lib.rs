@@ -35,7 +35,8 @@ pub mod prelude {
         Clear, ConcurrentSummary, ErrorSensing, Estimate, MemoryFootprint, Merge, StreamSummary,
     };
     pub use rsk_core::{
-        merge_all, ConcurrentReliable, ReliableConfig, ReliableSketch, ShardedReliable,
+        merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,
+        ReliableSketch, ShardedReliable,
     };
     pub use rsk_stream::{Dataset, GroundTruth, Item};
 }

@@ -1,0 +1,325 @@
+//! Feature-parity suite for the lock-free data path: the concurrent
+//! types run the paper's *full* §3.3 design (mice filter + emergency
+//! store), support epoch windows, and merge — with the sequential
+//! `ReliableSketch` as the differential reference.
+//!
+//! Acceptance pins:
+//!
+//! 1. Filtered `ConcurrentReliable` driven by **one** worker is
+//!    query-equivalent (value *and* MPE) to the filtered sequential
+//!    sketch on the same stream.
+//! 2. `merge(seq, conc)` certifies the combined stream exactly like a
+//!    single-sketch replay of it does.
+//! 3. Mice-filter saturation/promotion boundaries behave identically on
+//!    both paths, and the mouse→elephant crossover under contention
+//!    respects the documented bounded slack.
+
+use reliablesketch::core::atomic::ConcurrentReliable;
+use reliablesketch::core::concurrent::ShardedReliable;
+use reliablesketch::core::{
+    EmergencyPolicy, LayerGeometry, MiceFilterConfig, ReliableConfig, ATOMIC_BUCKET_BYTES,
+};
+use reliablesketch::prelude::*;
+use rsk_api::ConcurrentSummary;
+use std::collections::HashMap;
+
+const SEED: u64 = 4242;
+
+fn filtered_config(counter_bits: u32) -> ReliableConfig {
+    ReliableConfig {
+        memory_bytes: 128 * 1024,
+        lambda: 25,
+        mice_filter: Some(MiceFilterConfig {
+            counter_bits,
+            ..Default::default()
+        }),
+        emergency: EmergencyPolicy::ExactTable,
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+/// The geometry `ConcurrentReliable::new` derives, materialized so a
+/// sequential twin can be built over the *same* layer schedule.
+fn atomic_geometry(config: &ReliableConfig) -> LayerGeometry {
+    LayerGeometry::derive(
+        (config.layer_bytes() / ATOMIC_BUCKET_BYTES).max(1),
+        config.layer_lambda(),
+        config.r_w,
+        config.r_lambda,
+        config.depth,
+        config.lambda_floor_one,
+    )
+}
+
+fn twins(config: &ReliableConfig) -> (ConcurrentReliable<u64>, ReliableSketch<u64>) {
+    let geometry = atomic_geometry(config);
+    (
+        ConcurrentReliable::with_geometry(config.clone(), geometry.clone()),
+        ReliableSketch::with_geometry(config.clone(), geometry),
+    )
+}
+
+/// A mixed stream: heavy elephants, a mouse tail, and weighted values
+/// that straddle the filter threshold.
+fn mixed_items(n: usize, seed: u64) -> (Vec<(u64, u64)>, HashMap<u64, u64>) {
+    let stream = Dataset::Zipf { skew: 1.2 }.generate(n, seed);
+    let items: Vec<(u64, u64)> = stream.iter().map(|it| (it.key, it.value)).collect();
+    let mut truth = HashMap::new();
+    for (k, v) in &items {
+        *truth.entry(*k).or_insert(0u64) += v;
+    }
+    (items, truth)
+}
+
+/// Acceptance pin 1: the filtered concurrent sketch, one worker, answers
+/// bit-for-bit like the filtered sequential sketch — through both the
+/// item loop and the `ingest_parallel(…, 1)` trait path.
+#[test]
+fn filtered_one_worker_equals_filtered_sequential() {
+    for bits in [2u32, 8] {
+        let config = filtered_config(bits);
+        let (atomic, mut classic) = twins(&config);
+        assert!(atomic.has_filter() && classic.has_filter(), "bits={bits}");
+        let (items, truth) = mixed_items(80_000, 11);
+        assert_eq!(atomic.ingest_parallel(&items, 1), items.len());
+        for &(k, v) in &items {
+            classic.insert(&k, v);
+        }
+        for (k, &f) in &truth {
+            let a = atomic.query_with_error(k);
+            let c = rsk_api::ErrorSensing::query_with_error(&classic, k);
+            assert_eq!(
+                (a.value, a.max_possible_error),
+                (c.value, c.max_possible_error),
+                "bits={bits}: filtered divergence at key {k}"
+            );
+            assert!(a.contains(f), "bits={bits} key {k}: {f} ∉ {a:?}");
+        }
+        assert_eq!(atomic.insertion_failures(), classic.insertion_failures());
+        assert_eq!(atomic.mpe_ceiling(), classic.mpe_ceiling());
+    }
+}
+
+/// Mice-filter boundary behavior, pinned value-by-value against the
+/// sequential filter: absorption below the threshold, the exact
+/// saturation crossover, and the split of a value straddling it.
+#[test]
+fn mice_saturation_and_promotion_boundaries_match_sequential() {
+    let config = filtered_config(8); // threshold = min(255, λ₁) = 15
+    let (atomic, mut classic) = twins(&config);
+    let threshold = config.filter_threshold();
+    assert_eq!(threshold, 15);
+
+    let mouse = 7_001u64;
+    // creep up to one unit below the threshold: everything absorbed,
+    // nothing reaches the bucket layers on either path
+    for _ in 0..threshold - 1 {
+        atomic.insert_concurrent(&mouse, 1);
+        classic.insert(&mouse, 1);
+    }
+    let (a, c) = (
+        atomic.query_with_error(&mouse),
+        rsk_api::ErrorSensing::query_with_error(&classic, &mouse),
+    );
+    assert_eq!(
+        (a.value, a.max_possible_error),
+        (c.value, c.max_possible_error)
+    );
+    assert_eq!(
+        a.value,
+        threshold - 1,
+        "unsaturated mouse answers its counter"
+    );
+
+    // the promotion insert: crosses the threshold, from here on the key
+    // lives in the bucket layers of both paths
+    atomic.insert_concurrent(&mouse, 1);
+    classic.insert(&mouse, 1);
+    for _ in 0..500 {
+        atomic.insert_concurrent(&mouse, 1);
+        classic.insert(&mouse, 1);
+    }
+    let (a, c) = (
+        atomic.query_with_error(&mouse),
+        rsk_api::ErrorSensing::query_with_error(&classic, &mouse),
+    );
+    assert_eq!(
+        (a.value, a.max_possible_error),
+        (c.value, c.max_possible_error)
+    );
+    assert!(
+        a.contains(threshold + 500),
+        "promoted elephant lost mass: {a:?}"
+    );
+
+    // a single value straddling the boundary splits: threshold absorbed,
+    // remainder into layer 0 — identically on both paths
+    let straddler = 7_002u64;
+    atomic.insert_concurrent(&straddler, threshold + 9);
+    classic.insert(&straddler, threshold + 9);
+    let (a, c) = (
+        atomic.query_with_error(&straddler),
+        rsk_api::ErrorSensing::query_with_error(&classic, &straddler),
+    );
+    assert_eq!(
+        (a.value, a.max_possible_error),
+        (c.value, c.max_possible_error)
+    );
+    assert!(a.contains(threshold + 9));
+}
+
+/// Mouse→elephant crossover under contention: eight producers promote
+/// the same keys through the atomic filter simultaneously. Estimates may
+/// trail the truth by at most the documented slack, never overshoot past
+/// the certified MPE, and the MPE ceiling holds.
+#[test]
+fn contended_promotion_respects_relaxed_bound() {
+    let config = filtered_config(2);
+    let sketch = ConcurrentReliable::<u64>::new(config);
+    let slack = sketch.contention_undershoot_bound();
+    const PRODUCERS: u64 = 8;
+    const PER_KEY: u64 = 40; // well past the 2-bit threshold of 3
+    const KEYS: u64 = 2_000;
+    std::thread::scope(|s| {
+        for _ in 0..PRODUCERS {
+            let sketch = &sketch;
+            s.spawn(move || {
+                for i in 0..PER_KEY * KEYS {
+                    sketch.insert_concurrent(&(i % KEYS), 1);
+                }
+            });
+        }
+    });
+    assert_eq!(sketch.insertion_failures(), 0);
+    let truth = PRODUCERS * PER_KEY;
+    for k in 0..KEYS {
+        let est = sketch.query_with_error(&k);
+        assert!(
+            est.value + slack >= truth,
+            "key {k}: {est:?} trails {truth} beyond slack {slack}"
+        );
+        assert!(
+            est.value <= truth + est.max_possible_error,
+            "key {k}: overshoot beyond certified MPE"
+        );
+        assert!(est.max_possible_error <= sketch.mpe_ceiling());
+    }
+}
+
+/// Acceptance pin 2: folding a sequential shard into a concurrent
+/// collector certifies the combined stream, exactly as a single sketch
+/// replaying the whole stream does.
+#[test]
+fn merge_seq_into_conc_matches_single_sketch_replay() {
+    let config = filtered_config(2);
+    let geometry = atomic_geometry(&config);
+    let mut seq = ReliableSketch::<u64>::with_geometry(config.clone(), geometry.clone());
+    let mut collector = ConcurrentReliable::<u64>::with_geometry(config.clone(), geometry.clone());
+    let replay = ConcurrentReliable::<u64>::with_geometry(config, geometry);
+
+    let (items, truth) = mixed_items(60_000, 29);
+    for (i, &(k, v)) in items.iter().enumerate() {
+        if i % 2 == 0 {
+            seq.insert(&k, v);
+        } else {
+            collector.insert_concurrent(&k, v);
+        }
+        replay.insert_concurrent(&k, v);
+    }
+    collector.merge_from_sequential(&seq).unwrap();
+    assert!(collector.is_merged());
+
+    for (k, &f) in &truth {
+        let merged = collector.query_with_error(k);
+        let rep = replay.query_with_error(k);
+        // both certify the same combined truth…
+        assert!(merged.contains(f), "key {k}: {f} ∉ merged {merged:?}");
+        assert!(rep.contains(f), "key {k}: {f} ∉ replay {rep:?}");
+        // …and the merged answer never reports less than the replay's
+        // certified floor (it may carry extra, honestly-reported
+        // cross-shard ambiguity in its MPE)
+        assert!(merged.value >= rep.lower_bound(), "key {k}");
+    }
+}
+
+/// Distributed scenario end-to-end: two sites ingest in parallel on
+/// sharded sketches, the collector merges them shard-wise, and every
+/// combined count stays certified.
+#[test]
+fn sharded_sites_merge_after_parallel_ingest() {
+    let config = filtered_config(2);
+    let mut site_a = ShardedReliable::<u64>::new(config.clone(), 4);
+    let site_b = ShardedReliable::<u64>::new(config, 4);
+    let (items, truth) = mixed_items(80_000, 37);
+    let (half_a, half_b) = items.split_at(items.len() / 2);
+    site_a.ingest_parallel(half_a, 4);
+    site_b.ingest_parallel(half_b, 4);
+    site_a.merge(&site_b).unwrap();
+    for (k, &f) in &truth {
+        let est = site_a.query_shared(k);
+        assert!(est.contains(f), "key {k}: {f} ∉ {est:?}");
+    }
+}
+
+/// Epoch windows on the lock-free path: rotate across three measurement
+/// intervals with parallel producers, check the visible window against
+/// the window truth, and roll retired epochs into a long-horizon
+/// aggregate via `Merge`.
+#[test]
+fn epoched_concurrent_windows_and_rollup() {
+    use rsk_api::Merge;
+    let mut window = EpochedConcurrent::<u64>::builder()
+        .memory_bytes(128 * 1024)
+        .error_tolerance(25)
+        .emergency(EmergencyPolicy::ExactTable)
+        .seed(SEED)
+        .build_epoched_concurrent();
+
+    let mut rollup: Option<ConcurrentReliable<u64>> = None;
+    let mut epoch_truth: [HashMap<u64, u64>; 2] = [HashMap::new(), HashMap::new()];
+    let mut all_truth: HashMap<u64, u64> = HashMap::new();
+
+    for epoch in 0..3 {
+        let (items, truth) = mixed_items(30_000, 100 + epoch);
+        // one worker: the filtered window path stays exact
+        window.ingest_parallel(&items, 1);
+        for (k, v) in &truth {
+            *all_truth.entry(*k).or_insert(0) += v;
+        }
+        epoch_truth.swap(0, 1);
+        epoch_truth[1] = truth;
+        if epoch < 2 {
+            if let Some(retired) = window.rotate() {
+                match &mut rollup {
+                    None => rollup = Some(retired),
+                    Some(acc) => acc.merge(&retired).unwrap(),
+                }
+            }
+        }
+    }
+
+    assert_eq!(window.epoch(), 2);
+    assert_eq!(window.insertion_failures(), 0);
+    // visible window = frozen epoch 1 + active epoch 2
+    let mut window_truth = epoch_truth[1].clone();
+    for (k, v) in &epoch_truth[0] {
+        *window_truth.entry(*k).or_insert(0) += v;
+    }
+    for (&k, &f) in &window_truth {
+        let est = window.query_with_error(&k);
+        assert!(est.contains(f), "key {k}: window truth {f} ∉ {est:?}");
+        assert!(est.max_possible_error <= window.mpe_ceiling());
+    }
+    // roll-up (epoch 0) + visible window = the whole history
+    let rollup = rollup.expect("epoch 0 retired");
+    for (&k, &f) in &all_truth {
+        let win = window.query_with_error(&k);
+        let old = rollup.query_with_error(&k);
+        let total = Estimate {
+            value: win.value + old.value,
+            max_possible_error: win.max_possible_error + old.max_possible_error,
+        };
+        assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
+    }
+}
