@@ -1,32 +1,39 @@
 //! `repro` — regenerate every table and figure of the ReliableSketch
-//! evaluation.
+//! evaluation through the contender registry.
 //!
 //! ```text
 //! repro <target> [--items N] [--seed S] [--quick] [--out DIR]
+//!               [--workers W1,W2,..] [--contenders PAT1,PAT2,..]
 //!
 //! targets:
 //!   table1 table3 table4
 //!   fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!   fig15 fig16 fig17 fig18 fig19 fig20 ablation intro delta
-//!   all        every target above
+//!   fig15 fig16 fig17 fig18 fig19 fig20 ablation intro delta concurrent
+//!   all        every target above; also regenerates REPORT.md
 //!   accuracy   fig4 fig5 fig6 fig7 fig8 fig9
 //!   speed      fig10 fig16
 //!   params     fig11 fig12 fig13 fig14 fig15
 //!   hardware   table3 table4 fig20
-//!   beyond     ablation intro delta
+//!   beyond     ablation intro delta concurrent
 //! ```
 //!
 //! Tables print to stdout and are saved as CSV under `--out`
-//! (default `results/`). Defaults run at 1 M items with memory scaled
-//! accordingly; use `--items 10000000` for paper scale.
+//! (default `results/`). `--workers` sets the worker counts the parallel
+//! contenders register at (default 1,2,4); `--contenders` keeps only
+//! registry labels containing one of the comma-separated patterns.
+//! Running the `all` group additionally regenerates
+//! `results/REPORT.md` with a provenance header; CI re-runs
+//! `repro all --quick` and fails on any report diff. Defaults run at 1 M
+//! items with memory scaled accordingly; use `--items 10000000` for
+//! paper scale.
 
-use rsk_exp::*;
+use rsk_exp::{runner, ExpContext};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("{}", USAGE);
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
     let target = args[0].clone();
@@ -62,94 +69,59 @@ fn main() -> ExitCode {
                     .map(std::path::PathBuf::from)
                     .unwrap_or_else(|| die("--out needs a path"));
             }
+            "--workers" => {
+                i += 1;
+                ctx.workers = args
+                    .get(i)
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|w| w.parse::<usize>().ok().filter(|&w| w > 0))
+                            .collect::<Option<Vec<usize>>>()
+                    })
+                    .filter(|w| !w.is_empty())
+                    .unwrap_or_else(|| die("--workers needs a comma-separated list like 1,2,4"));
+            }
+            "--contenders" => {
+                i += 1;
+                ctx.contenders = Some(
+                    args.get(i)
+                        .map(|v| v.split(',').map(str::to_string).collect::<Vec<_>>())
+                        .filter(|p: &Vec<String>| !p.is_empty())
+                        .unwrap_or_else(|| die("--contenders needs a comma-separated list")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
     }
 
-    let targets = expand(&target);
-    if targets.is_empty() {
-        eprintln!("unknown target '{target}'\n{USAGE}");
-        return ExitCode::from(2);
-    }
-
+    let invocation = format!("repro {}", args.join(" "));
     eprintln!(
-        "# repro: {} | items={} seed={} quick={} out={}",
-        targets.join(","),
+        "# repro: {target} | items={} seed={} quick={} workers={:?} out={}",
         ctx.items,
         ctx.seed,
         ctx.quick,
+        ctx.workers,
         ctx.out_dir.display()
     );
 
-    let mut report = format!(
-        "# ReliableSketch reproduction report\n\nitems = {}, seed = {}, quick = {}\n\n",
-        ctx.items, ctx.seed, ctx.quick
-    );
-    for name in targets {
-        let started = std::time::Instant::now();
-        let tables = run_target(name, &ctx);
-        for (idx, t) in tables.iter().enumerate() {
-            println!("{t}");
-            report.push_str(&format!("{t}\n"));
-            let file = ctx.out_dir.join(format!("{name}_{idx}.csv"));
-            if let Err(e) = t.save_csv(&file) {
-                eprintln!("warning: could not write {}: {e}", file.display());
-            }
+    match runner::run_and_write(&target, &ctx, &invocation) {
+        Ok(summary) if summary.targets.is_empty() => {
+            eprintln!("unknown target '{target}'\n{USAGE}");
+            ExitCode::from(2)
         }
-        eprintln!("# {name} done in {:.1}s", started.elapsed().as_secs_f64());
-    }
-    let report_path = ctx.out_dir.join("REPORT.md");
-    match std::fs::create_dir_all(&ctx.out_dir).and_then(|_| std::fs::write(&report_path, report)) {
-        Ok(()) => eprintln!("# combined report: {}", report_path.display()),
-        Err(e) => eprintln!("warning: could not write report: {e}"),
-    }
-    ExitCode::SUCCESS
-}
-
-fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
-    match name {
-        "table1" => tables::table1(ctx),
-        "table3" => tables::table3(ctx),
-        "table4" => tables::table4(ctx),
-        "fig4" => fig_outliers::fig4(ctx),
-        "fig5" => fig_zero_mem::fig5(ctx),
-        "fig6" => fig_outliers::fig6(ctx),
-        "fig7" => fig_elephant::fig7(ctx),
-        "fig8" => fig_error::fig8(ctx),
-        "fig9" => fig_error::fig9(ctx),
-        "fig10" => fig_throughput::fig10(ctx),
-        "fig11" => fig_params::fig11(ctx),
-        "fig12" => fig_params::fig12(ctx),
-        "fig13" => fig_params::fig13(ctx),
-        "fig14" => fig_params::fig14(ctx),
-        "fig15" => fig_params::fig15(ctx),
-        "fig16" => fig_hash_calls::fig16(ctx),
-        "fig17" => fig_sensing::fig17(ctx),
-        "fig18" => fig_sensing::fig18(ctx),
-        "fig19" => fig_layers::fig19(ctx),
-        "fig20" => fig_testbed::fig20(ctx),
-        "ablation" => fig_ablation::ablation(ctx),
-        "intro" => fig_intro::intro(ctx),
-        "delta" => fig_delta::delta(ctx),
-        _ => unreachable!("expand() filtered targets"),
-    }
-}
-
-fn expand(target: &str) -> Vec<&'static str> {
-    const ALL: [&str; 23] = [
-        "table1", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-        "ablation", "intro", "delta",
-    ];
-    match target {
-        "all" => ALL.to_vec(),
-        "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
-        "speed" => vec!["fig10", "fig16"],
-        "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
-        "hardware" => vec!["table3", "table4", "fig20"],
-        "beyond" => vec!["ablation", "intro", "delta"],
-        t => ALL.iter().copied().filter(|&x| x == t).collect(),
+        Ok(summary) => {
+            eprintln!(
+                "# wrote {} CSV file(s) under {}",
+                summary.csv_files.len(),
+                ctx.out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -159,5 +131,6 @@ fn die(msg: &str) -> ! {
 }
 
 const USAGE: &str = "usage: repro <target> [--items N] [--seed S] [--quick] [--out DIR]
-targets: table1 table3 table4 fig4..fig20 ablation intro delta
+                    [--workers W1,W2,..] [--contenders PAT1,PAT2,..]
+targets: table1 table3 table4 fig4..fig20 ablation intro delta concurrent
 groups : all accuracy speed params hardware beyond";

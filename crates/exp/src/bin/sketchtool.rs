@@ -14,6 +14,8 @@
 //!              --trace FILE  [--memory BYTES] [--lambda Λ] [--seed S]
 //!   size       closed-form sizing from Theorems 4–5
 //!              --items N  [--lambda Λ] [--delta Δ] [--rw R] [--rlambda R]
+//!   contenders list the experiment harness's contender registry
+//!              [--lambda Λ] [--workers W1,W2,..] [--contenders PATS]
 //!
 //! BYTES accepts K/M suffixes (e.g. 512K, 2M). Traces are the formats of
 //! `rsk_stream::io`: `bin` (16-byte LE key/value records) or `csv`
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "compare" => compare(&flags),
         "size" => size(&flags),
         "stats" => stats(&flags),
+        "contenders" => contenders(&flags),
         "--help" | "-h" | "help" => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -260,25 +263,29 @@ fn compare(flags: &Flags) -> Result<(), String> {
         memory
     );
     println!(
-        "{:<10}  {:>9}  {:>9}  {:>9}  {:>10}",
-        "algorithm", "outliers", "AAE", "ARE", "ins Mops/s"
+        "{:<20}  {:>7}  {:>9}  {:>9}  {:>9}  {:>10}",
+        "algorithm", "mode", "outliers", "AAE", "ARE", "ins Mops/s"
     );
-    let mut lineup = rsk_exp::lineup(&Baseline::ACCURACY_SET, lambda);
-    lineup.push((
-        "Ours(Raw)".into(),
-        Box::new(move |mem, seed| rsk_exp::build_ours_raw(mem, lambda, seed)),
-    ));
-    for (label, factory) in lineup {
-        let mut sk = factory(memory, seed);
+    let ctx = rsk_exp::ExpContext {
+        seed,
+        ..Default::default()
+    };
+    let mut registry = ctx.registry(&Baseline::ACCURACY_SET, lambda);
+    registry.insert(1, rsk_exp::Contender::ours_raw(lambda));
+    for c in registry {
+        let mut inst = c.build(memory, seed);
         let t0 = std::time::Instant::now();
-        for it in &stream {
-            sk.insert(&it.key, it.value);
-        }
+        inst.ingest(&stream);
         let mops = stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6;
-        let report = rsk_metrics::evaluate(sk.as_ref(), &truth, lambda);
+        let report = rsk_metrics::evaluate_with(|k| inst.query(k), &truth, lambda);
         println!(
-            "{:<10}  {:>9}  {:>9.3}  {:>9.4}  {:>10.1}",
-            label, report.outliers, report.aae, report.are, mops
+            "{:<20}  {:>7}  {:>9}  {:>9.3}  {:>9.4}  {:>10.1}",
+            c.label(),
+            c.meta().mode.describe(),
+            report.outliers,
+            report.aae,
+            report.are,
+            mops
         );
     }
     Ok(())
@@ -313,6 +320,40 @@ fn size(flags: &Flags) -> Result<(), String> {
     println!(
         "\nbuilder: ReliableSketch::builder().error_tolerance({lambda}).confidence({n}, {delta:.1e})"
     );
+    Ok(())
+}
+
+/// List the experiment harness's contender registry — the exact lineup
+/// `repro` races, with each contender's ingest mode and determinism.
+fn contenders(flags: &Flags) -> Result<(), String> {
+    let lambda: u64 = flags.num("lambda", 25)?;
+    let mut ctx = rsk_exp::ExpContext::default();
+    if let Some(w) = flags.get("workers") {
+        ctx.workers = w
+            .split(',')
+            .map(|x| x.parse::<usize>().map_err(|_| format!("bad worker '{x}'")))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(p) = flags.get("contenders") {
+        ctx.contenders = Some(p.split(',').map(str::to_string).collect());
+    }
+    println!(
+        "{:<20} {:<7} {:>6} {:>7} {:>8} {:>8} {:>9}",
+        "label", "mode", "shards", "filter", "sensing", "determ.", "baseline"
+    );
+    for c in ctx.registry(&Baseline::ACCURACY_SET, lambda) {
+        let m = c.meta();
+        println!(
+            "{:<20} {:<7} {:>6} {:>7} {:>8} {:>8} {:>9}",
+            c.label(),
+            m.mode.describe(),
+            m.shards,
+            if m.filtered { "mice" } else { "raw" },
+            m.sensing,
+            m.deterministic,
+            m.baseline
+        );
+    }
     Ok(())
 }
 
@@ -365,12 +406,13 @@ fn stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: sketchtool <generate|analyze|compare|stats|size> [flags]
-  generate --dataset ip|web|dc|hadoop|zipf:<skew> --items N --seed S --out FILE [--format bin|csv]
-  analyze  --trace FILE [--memory BYTES] [--lambda L] [--top K] [--threshold T] [--audit]
-  compare  --trace FILE [--memory BYTES] [--lambda L] [--seed S]
-  stats    --trace FILE
-  size     --items N [--lambda L] [--delta D] [--rw R] [--rlambda R]";
+const USAGE: &str = "usage: sketchtool <generate|analyze|compare|stats|size|contenders> [flags]
+  generate   --dataset ip|web|dc|hadoop|zipf:<skew> --items N --seed S --out FILE [--format bin|csv]
+  analyze    --trace FILE [--memory BYTES] [--lambda L] [--top K] [--threshold T] [--audit]
+  compare    --trace FILE [--memory BYTES] [--lambda L] [--seed S]
+  stats      --trace FILE
+  size       --items N [--lambda L] [--delta D] [--rw R] [--rlambda R]
+  contenders [--lambda L] [--workers W1,W2,..] [--contenders PAT1,PAT2,..]";
 
 #[cfg(test)]
 mod tests {
@@ -413,6 +455,12 @@ mod tests {
         );
         assert!(parse_dataset("zipf:abc").is_err());
         assert!(parse_dataset("nope").is_err());
+    }
+
+    #[test]
+    fn contenders_listing_runs() {
+        contenders(&flags(&["--workers", "1,2", "--contenders", "Ours"])).unwrap();
+        assert!(contenders(&flags(&["--workers", "x"])).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Figure 7: number of outliers among **frequent keys** (`f(e) > T`),
-//! worst case over repeated hash seeds.
+//! worst case over repeated hash seeds — the heavy-hitter scenario.
 //!
 //! The paper uses `T = 100` and `T = 1000`, memory from 200 KB to 4 MB,
 //! Λ = 25, and reports the worst of 100 seeds. Competitors here are the
@@ -7,12 +7,15 @@
 //!
 //! Expected shape (§6.2.2): ReliableSketch reaches zero at the smallest
 //! memory; SS needs ≈1.8× more at T=100 and is comparable at T=1000;
-//! Elastic/HashPipe/PRECISION retain outliers across the sweep.
+//! Elastic/HashPipe/PRECISION retain outliers across the sweep. The
+//! concurrent contenders protect elephants exactly as the sequential
+//! sketch does — worst-case zero in the same memory regime, at every
+//! registered worker count.
 
-use crate::{ingest, lineup, ExpContext};
+use crate::scenario::Scenario;
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
-use rsk_metrics::report::fmt_bytes;
-use rsk_metrics::{evaluate_subset, Table};
+use rsk_metrics::Table;
 use rsk_stream::Dataset;
 
 /// Figure 7: worst-case outliers among frequent keys, T ∈ {100, 1000}.
@@ -24,12 +27,12 @@ pub fn fig7(ctx: &ExpContext) -> Vec<Table> {
 }
 
 fn elephant_table(ctx: &ExpContext, threshold: u64) -> Table {
-    let (stream, truth) = ctx.load(Dataset::IpTrace);
+    let sc = Scenario::new(ctx, Dataset::IpTrace, 25);
     // scale the frequency threshold with the stream so the frequent-key
     // population matches the paper's (12,718 at T=100 / 1,625 at T=1000)
     let scaled_t =
         ((threshold as f64) * ctx.items as f64 / crate::PAPER_ITEMS as f64).max(2.0) as u64;
-    let hot = truth.keys_above(scaled_t);
+    let hot = sc.truth.keys_above(scaled_t);
 
     let sweep = {
         // paper: 200 KB – 4 MB
@@ -40,33 +43,15 @@ fn elephant_table(ctx: &ExpContext, threshold: u64) -> Table {
         pts
     };
     let reps = ctx.repetitions();
-
-    let mut headers: Vec<String> = vec!["algorithm".into()];
-    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        format!(
+    sc.worst_case_subset_table(
+        &ctx.registry(&Baseline::ELEPHANT_SET, 25),
+        &hot,
+        &sweep,
+        &format!(
             "Figure 7 (T={threshold}, scaled {scaled_t}): worst-case outliers among {} frequent keys over {reps} seeds",
             hot.len()
         ),
-        &headers_ref,
-    );
-
-    for (label, factory) in lineup(&Baseline::ELEPHANT_SET, 25) {
-        let mut row = vec![label.clone()];
-        for &mem in &sweep {
-            let mut worst = 0u64;
-            for rep in 0..reps {
-                let mut sk = factory(mem, ctx.seed.wrapping_add(rep * 7919));
-                ingest(&mut sk, &stream);
-                let r = evaluate_subset(sk.as_ref(), &truth, 25, &hot);
-                worst = worst.max(r.outliers);
-            }
-            row.push(worst.to_string());
-        }
-        t.row(row);
-    }
-    t
+    )
 }
 
 #[cfg(test)]
@@ -83,7 +68,9 @@ mod tests {
         let ts = fig7(&ctx);
         assert_eq!(ts.len(), 2);
         for t in &ts {
-            assert_eq!(t.len(), 5); // Ours + 4 competitors
+            // Ours + 4 competitors + concurrent lineup
+            assert_eq!(t.len(), 5 + 4 + crate::DEFAULT_WORKERS.len());
+            assert!(t.to_csv().contains("\nOursMerged,"));
         }
     }
 }

@@ -5,12 +5,16 @@
 //! Expected shape (§6.2.3): at 4 MB ReliableSketch is comparable to
 //! Elastic and CU, ≈1.6–2× better than CM, ≈1.3–1.7× better than Coco and
 //! ≈9–11× better than SS on AAE (18–37× on ARE) — SS pays for answering
-//! `min_count` on the mass of unmonitored mice keys.
+//! `min_count` on the mass of unmonitored mice keys. The registered
+//! concurrent contenders ride the same sweep: the 1-worker atomic rows
+//! reproduce the sequential rows digit-for-digit, sharded rows pay a
+//! small accuracy tax for splitting the budget, and the windowed/merged
+//! rows stay within their documented MPE ceilings.
 
-use crate::{ingest, lineup, ExpContext};
+use crate::scenario::{AccuracyMetric, Scenario};
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
-use rsk_metrics::report::fmt_bytes;
-use rsk_metrics::{evaluate, Table};
+use rsk_metrics::Table;
 use rsk_stream::Dataset;
 
 /// The Figure 8/9 competitor set: single CM/CU variants (accurate).
@@ -28,13 +32,13 @@ pub fn fig8(ctx: &ExpContext) -> Vec<Table> {
         error_table(
             ctx,
             Dataset::IpTrace,
-            Metric::Aae,
+            AccuracyMetric::Aae,
             "Figure 8a: AAE, IP trace",
         ),
         error_table(
             ctx,
             Dataset::Zipf { skew: 3.0 },
-            Metric::Aae,
+            AccuracyMetric::Aae,
             "Figure 8b: AAE, synthetic skew 3.0",
         ),
     ]
@@ -46,46 +50,21 @@ pub fn fig9(ctx: &ExpContext) -> Vec<Table> {
         error_table(
             ctx,
             Dataset::IpTrace,
-            Metric::Are,
+            AccuracyMetric::Are,
             "Figure 9a: ARE, IP trace",
         ),
         error_table(
             ctx,
             Dataset::Zipf { skew: 3.0 },
-            Metric::Are,
+            AccuracyMetric::Are,
             "Figure 9b: ARE, synthetic skew 3.0",
         ),
     ]
 }
 
-#[derive(Clone, Copy)]
-enum Metric {
-    Aae,
-    Are,
-}
-
-fn error_table(ctx: &ExpContext, ds: Dataset, metric: Metric, title: &str) -> Table {
-    let (stream, truth) = ctx.load(ds);
-    let sweep = ctx.memory_sweep();
-    let mut headers: Vec<String> = vec!["algorithm".into()];
-    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(title, &headers_ref);
-
-    for (label, factory) in lineup(&ERROR_SET, 25) {
-        let mut row = vec![label.clone()];
-        for &mem in &sweep {
-            let mut sk = factory(mem, ctx.seed);
-            ingest(&mut sk, &stream);
-            let rep = evaluate(sk.as_ref(), &truth, 25);
-            row.push(match metric {
-                Metric::Aae => format!("{:.3}", rep.aae),
-                Metric::Are => format!("{:.4}", rep.are),
-            });
-        }
-        t.row(row);
-    }
-    t
+fn error_table(ctx: &ExpContext, ds: Dataset, metric: AccuracyMetric, title: &str) -> Table {
+    let sc = Scenario::new(ctx, ds, 25);
+    sc.sweep_table(&ctx.registry(&ERROR_SET, 25), metric, title)
 }
 
 #[cfg(test)]
@@ -103,7 +82,12 @@ mod tests {
         let t9 = fig9(&ctx);
         assert_eq!(t8.len(), 2);
         assert_eq!(t9.len(), 2);
-        assert_eq!(t8[0].len(), 6); // Ours + 5
+        // Ours + 5 baselines + concurrent lineup (2 atomic + 3 sharded +
+        // epoch + merged with the default worker set)
+        assert_eq!(t8[0].len(), 6 + 4 + crate::DEFAULT_WORKERS.len());
+        let csv = t8[0].to_csv();
+        assert!(csv.contains("\nOursAtomic,"));
+        assert!(csv.contains("\nOurs(x4)@2w,"));
     }
 
     #[test]
@@ -117,7 +101,7 @@ mod tests {
         let csv = t.to_csv();
         let ours: Vec<f64> = csv
             .lines()
-            .find(|l| l.starts_with("Ours"))
+            .find(|l| l.starts_with("Ours,"))
             .unwrap()
             .split(',')
             .skip(1)
@@ -127,5 +111,25 @@ mod tests {
             ours.first().unwrap() >= ours.last().unwrap(),
             "AAE should shrink with memory: {ours:?}"
         );
+    }
+
+    #[test]
+    fn atomic_row_equals_sequential_row() {
+        let ctx = ExpContext {
+            items: 30_000,
+            quick: true,
+            ..Default::default()
+        };
+        let csv = fig9(&ctx)[0].to_csv();
+        let row = |p: &str| -> String {
+            csv.lines()
+                .find(|l| l.starts_with(p))
+                .unwrap()
+                .split_once(',')
+                .unwrap()
+                .1
+                .to_string()
+        };
+        assert_eq!(row("Ours,"), row("OursAtomic,"));
     }
 }

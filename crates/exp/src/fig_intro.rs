@@ -18,8 +18,8 @@
 //!   thousands of false positives (high FPR); ReliableSketch stays at
 //!   zero beyond the certified band.
 
-use crate::{ingest, lineup, ExpContext};
-use rsk_api::Sketch;
+use crate::contender::{Contender, ContenderInstance};
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
 use rsk_metrics::report::fmt_bytes;
 use rsk_metrics::Table;
@@ -132,7 +132,7 @@ fn screening_table(ctx: &ExpContext) -> Table {
         ],
     );
 
-    let mut lu = lineup(
+    let mut contenders = ctx.sequential_registry(
         &[
             Baseline::CmFast,
             Baseline::CmAcc,
@@ -142,15 +142,16 @@ fn screening_table(ctx: &ExpContext) -> Table {
         ],
         lambda,
     );
-    lu.push((
-        "Ours(Raw)".into(),
-        Box::new(move |mem, seed| crate::build_ours_raw(mem, lambda, seed)),
-    ));
+    if ctx.keep("Ours(Raw)") {
+        contenders.push(Contender::ours_raw(lambda));
+    }
+    // the screening verdicts must also hold on the lock-free path
+    contenders.extend(ctx.concurrent_registry(lambda));
 
-    for (label, factory) in lu {
-        let mut sk = factory(memory, ctx.seed);
-        ingest(&mut sk, &sc.stream);
-        let (fp, fneg, outliers) = classify(sk.as_ref(), &sc);
+    for c in contenders {
+        let inst = c.run(memory, ctx.seed, &sc.stream);
+        let label = c.label().to_string();
+        let (fp, fneg, outliers) = classify(inst.as_ref(), &sc);
         let tp = sc.heavy_keys - fneg;
         let reported = fp + tp;
         let fpr = if reported == 0 {
@@ -177,7 +178,7 @@ fn screening_table(ctx: &ExpContext) -> Table {
 
 /// Classify every key against the scenario threshold; count false
 /// verdicts and Λ-outliers.
-fn classify(sk: &dyn Sketch<u64>, sc: &Scenario) -> (u64, u64, u64) {
+fn classify(sk: &dyn ContenderInstance, sc: &Scenario) -> (u64, u64, u64) {
     let mut false_pos = 0u64;
     let mut false_neg = 0u64;
     let mut outliers = 0u64;

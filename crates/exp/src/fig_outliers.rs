@@ -7,12 +7,14 @@
 //! Expected shape (paper §6.2.1): ReliableSketch reaches zero outliers at
 //! the smallest memory (≈1 MB at Λ=25 paper scale), while CM/CU-fast stay
 //! in the thousands across the sweep and even CM/CU-acc need multiples of
-//! the memory.
+//! the memory. The lock-free contenders hit zero in the same regime: the
+//! 1-worker atomic rows are identical to `Ours`, and sharded rows reach
+//! zero slightly later (each shard works from a budget slice).
 
-use crate::{ingest, lineup, ExpContext};
+use crate::scenario::{AccuracyMetric, Scenario};
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
-use rsk_metrics::report::fmt_bytes;
-use rsk_metrics::{evaluate, Table};
+use rsk_metrics::Table;
 use rsk_stream::Dataset;
 
 /// Figure 4: outliers vs memory on the IP trace, Λ ∈ {5, 25}.
@@ -52,24 +54,12 @@ pub fn fig6(ctx: &ExpContext) -> Vec<Table> {
 }
 
 fn sweep_table(ctx: &ExpContext, ds: Dataset, lambda: u64, title: &str) -> Table {
-    let (stream, truth) = ctx.load(ds);
-    let sweep = ctx.memory_sweep();
-    let mut headers: Vec<String> = vec!["algorithm".into()];
-    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(title, &headers_ref);
-
-    for (label, factory) in lineup(&Baseline::ACCURACY_SET, lambda) {
-        let mut row = vec![label.clone()];
-        for &mem in &sweep {
-            let mut sk = factory(mem, ctx.seed);
-            ingest(&mut sk, &stream);
-            let rep = evaluate(sk.as_ref(), &truth, lambda);
-            row.push(rep.outliers.to_string());
-        }
-        t.row(row);
-    }
-    t
+    let sc = Scenario::new(ctx, ds, lambda);
+    sc.sweep_table(
+        &ctx.registry(&Baseline::ACCURACY_SET, lambda),
+        AccuracyMetric::Outliers,
+        title,
+    )
 }
 
 #[cfg(test)]
@@ -85,12 +75,14 @@ mod tests {
     }
 
     #[test]
-    fn fig4_produces_two_tables_with_all_algorithms() {
+    fn fig4_produces_two_tables_with_all_contenders() {
         let ts = fig4(&tiny_ctx());
         assert_eq!(ts.len(), 2);
         for t in &ts {
-            assert_eq!(t.len(), 9); // Ours + 8 baselines
+            // Ours + 8 baselines + concurrent lineup
+            assert_eq!(t.len(), 9 + 4 + crate::DEFAULT_WORKERS.len());
         }
+        assert!(ts[1].to_csv().contains("\nOursEpoch,"));
     }
 
     #[test]
@@ -102,7 +94,7 @@ mod tests {
         let csv = t.to_csv();
         let ours_line: Vec<&str> = csv
             .lines()
-            .find(|l| l.starts_with("Ours"))
+            .find(|l| l.starts_with("Ours,"))
             .unwrap()
             .split(',')
             .collect();

@@ -3,12 +3,17 @@
 //! * **Fig 17** — for sampled mice and elephant keys, report the sensed
 //!   interval `[f̂ − MPE, f̂]` and verify it contains the actual value
 //!   (scatter plots in the paper; here a containment census plus sample
-//!   rows).
+//!   rows). The census runs over **every sensing contender** in the
+//!   registry — sequential, atomic, sharded, windowed and merged — so
+//!   the certified-interval guarantee is checked on the lock-free path
+//!   too; expected outcome is zero violations for each while no
+//!   insertion fails.
 //! * **Fig 18a** — bucket keys by actual absolute error; per bucket, the
 //!   mean sensed error tracks the actual error (`y = x`).
 //! * **Fig 18b** — mean sensed vs actual error as memory grows
 //!   (1000–2500 KB paper scale): both shrink with memory.
 
+use crate::contender::Contender;
 use crate::ExpContext;
 use rsk_api::ErrorSensing;
 use rsk_core::ReliableSketch;
@@ -30,68 +35,89 @@ fn build(ctx: &ExpContext, mem: usize) -> (ReliableSketch<u64>, rsk_stream::Grou
     (sk, truth)
 }
 
-/// Figure 17: sensed intervals contain the truth, for mice and elephants.
+/// Figure 17: sensed intervals contain the truth, for mice and elephants,
+/// for every sensing contender in the registry.
 ///
 /// Containment is unconditional as long as no insertion fails (the
 /// deterministic half of the paper's guarantee); the census therefore
 /// also reports the failure count — at the paper's default parameters it
-/// is zero and so are the violations.
+/// is zero and so are the violations, on the sequential *and* lock-free
+/// paths.
 pub fn fig17(ctx: &ExpContext) -> Vec<Table> {
-    let (sk, truth) = build(ctx, ctx.scale_mem(2 << 20));
+    let mem = ctx.scale_mem(2 << 20);
+    let (stream, truth) = ctx.load(Dataset::IpTrace);
 
     let mut census = Table::new(
         "Figure 17: sensed-interval containment census (Λ=25, 2MB paper scale)",
-        &["key class", "keys", "contained", "violations"],
+        &[
+            "contender",
+            "key class",
+            "keys",
+            "contained",
+            "violations",
+            "failures",
+        ],
     );
-    let mut samples = Table::new(
-        "Figure 17 samples: sensed intervals",
-        &["class", "actual", "estimate", "MPE", "interval"],
-    );
-
     // paper's classes: mice = value ≤ 400, elephants = value ∈ [4000, 4400]
     // (scaled to this run)
     let scale = ctx.items as f64 / crate::PAPER_ITEMS as f64;
     let mice_cap = (400.0 * scale).max(4.0) as u64;
     let ele_lo = (4000.0 * scale).max(40.0) as u64;
     let ele_hi = (4400.0 * scale).max(60.0) as u64;
+    let classes = [("mice", 1u64, mice_cap), ("elephant", ele_lo, ele_hi)];
 
-    for (class, lo, hi) in [("mice", 1u64, mice_cap), ("elephant", ele_lo, ele_hi)] {
-        let mut keys = 0u64;
-        let mut contained = 0u64;
-        let mut sampled = 0;
-        for (k, f) in truth.iter() {
-            if f < lo || f > hi {
-                continue;
-            }
-            keys += 1;
-            let est = sk.query_with_error(k);
-            if est.contains(f) {
-                contained += 1;
-            }
-            if sampled < 5 {
-                sampled += 1;
-                samples.row(vec![
-                    class.into(),
-                    f.to_string(),
-                    est.value.to_string(),
-                    est.max_possible_error.to_string(),
-                    format!("[{}, {}]", est.lower_bound(), est.value),
-                ]);
-            }
+    let mut contenders = vec![Contender::ours(25)];
+    contenders.retain(|c| ctx.keep(c.label()));
+    contenders.extend(ctx.concurrent_registry(25));
+
+    // sample rows come from the first contender in the (filtered) lineup
+    let mut samples = Table::new(
+        format!(
+            "Figure 17 samples: sensed intervals ({})",
+            contenders.first().map_or("none", |c| c.label())
+        ),
+        &["class", "actual", "estimate", "MPE", "interval"],
+    );
+
+    for (ci, c) in contenders.iter().enumerate() {
+        if !c.meta().sensing {
+            continue;
         }
-        census.row(vec![
-            class.into(),
-            keys.to_string(),
-            contained.to_string(),
-            (keys - contained).to_string(),
-        ]);
+        let inst = c.run(mem, ctx.seed, &stream);
+        for (class, lo, hi) in classes {
+            let mut keys = 0u64;
+            let mut contained = 0u64;
+            let mut sampled = 0;
+            for (k, f) in truth.iter() {
+                if f < lo || f > hi {
+                    continue;
+                }
+                keys += 1;
+                let est = inst.query_with_error(k).expect("sensing contender");
+                if est.contains(f) {
+                    contained += 1;
+                }
+                if ci == 0 && sampled < 5 {
+                    sampled += 1;
+                    samples.row(vec![
+                        class.into(),
+                        f.to_string(),
+                        est.value.to_string(),
+                        est.max_possible_error.to_string(),
+                        format!("[{}, {}]", est.lower_bound(), est.value),
+                    ]);
+                }
+            }
+            census.row(vec![
+                c.label().to_string(),
+                class.into(),
+                keys.to_string(),
+                contained.to_string(),
+                (keys - contained).to_string(),
+                inst.insertion_failures().to_string(),
+            ]);
+        }
     }
-    census.row(vec![
-        "(insertion failures)".into(),
-        sk.insertion_failures().to_string(),
-        String::new(),
-        String::new(),
-    ]);
     vec![census, samples]
 }
 
@@ -154,18 +180,14 @@ mod tests {
         let ts = fig17(&tiny());
         let census = &ts[0];
         let csv = census.to_csv();
-        let failures: u64 = csv
-            .lines()
-            .find(|l| l.starts_with("(insertion failures)"))
-            .unwrap()
-            .split(',')
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
-        if failures == 0 {
-            for line in csv.lines().skip(1).filter(|l| !l.starts_with('(')) {
-                let violations: u64 = line.split(',').nth(3).unwrap().parse().unwrap();
+        // one row per (sensing contender, class); concurrent rows included
+        assert!(csv.contains("\nOursAtomic,"));
+        assert!(csv.contains(",elephant,"));
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let violations: u64 = cells[4].parse().unwrap();
+            let failures: u64 = cells[5].parse().unwrap();
+            if failures == 0 {
                 assert_eq!(violations, 0, "interval violated: {line}");
             }
         }

@@ -1,38 +1,72 @@
-//! Figure 10: insertion and query throughput (Mpps) of every algorithm at
+//! Figure 10: insertion and query throughput (Mpps) of every contender at
 //! the default 1 MB (paper scale) budget.
 //!
 //! Expected shape (§6.3): Ours(Raw) ≈ 51 Mpps insertion — comparable to
 //! CM_fast/Coco/HashPipe, ≈1.4× over CU_fast and Elastic, several times
 //! over CM_acc/CU_acc/SS; the mice filter halves Ours' raw speed (2 extra
-//! hash calls per op) while buying the Figure 4 accuracy. Absolute Mpps
-//! differ per host; ratios are the result.
+//! hash calls per op) while buying the Figure 4 accuracy. The concurrent
+//! contenders report *ingestion* throughput at their registered worker
+//! counts — the sharded rows are where multi-worker wall-clock wins show
+//! up. Absolute Mpps differ per host; ratios are the result. The table
+//! is volatile: committed reports elide it, CSVs keep the measurements.
 
-use crate::{build_ours, build_ours_raw, ExpContext};
+use crate::contender::Contender;
+use crate::scenario::Scenario;
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
-use rsk_metrics::{measure_insert_mpps, measure_query_mpps, Table};
+use rsk_metrics::throughput::time_mpps;
+use rsk_metrics::Table;
 use rsk_stream::Dataset;
 
-/// Figure 10: throughput of all algorithms.
+/// Figure 10: throughput of all contenders.
 pub fn fig10(ctx: &ExpContext) -> Vec<Table> {
-    let (stream, _) = ctx.load(Dataset::IpTrace);
+    let sc = Scenario::new(ctx, Dataset::IpTrace, 25);
     let mem = ctx.scale_mem(1 << 20);
     let mut t = Table::new(
         "Figure 10: throughput (Mpps), IP trace, 1 MB (paper scale)",
-        &["algorithm", "insert Mpps", "query Mpps"],
-    );
+        &["algorithm", "mode", "insert Mpps", "query Mpps"],
+    )
+    .mark_volatile();
 
-    let mut cases: Vec<(String, Box<dyn rsk_api::Sketch<u64>>)> = vec![
-        ("Ours".into(), build_ours(mem, 25, ctx.seed)),
-        ("Ours(Raw)".into(), build_ours_raw(mem, 25, ctx.seed)),
-    ];
+    let mut contenders: Vec<Contender> = Vec::new();
+    if ctx.keep("Ours") {
+        contenders.push(Contender::ours(25));
+    }
+    if ctx.keep("Ours(Raw)") {
+        contenders.push(Contender::ours_raw(25));
+    }
     for b in Baseline::THROUGHPUT_SET {
-        cases.push((b.label().into(), b.build(mem, ctx.seed)));
+        if ctx.keep(b.label()) {
+            contenders.push(Contender::baseline(b));
+        }
+    }
+    contenders.extend(ctx.concurrent_registry(25));
+    // the truly contended configuration belongs here: wall-clock is what
+    // multi-worker atomic ingestion is for
+    for &w in &ctx.workers {
+        if w > 1 && ctx.keep("OursAtomic") {
+            contenders.push(Contender::atomic(25, false, w));
+        }
     }
 
-    for (label, mut sk) in cases {
-        let ins = measure_insert_mpps(sk.as_mut(), &stream);
-        let qry = measure_query_mpps(sk.as_ref(), &stream);
-        t.row(vec![label, format!("{ins:.2}"), format!("{qry:.2}")]);
+    for c in contenders {
+        let mut inst = c.build(mem, ctx.seed);
+        let ins = time_mpps(sc.stream.len(), || inst.ingest(&sc.stream));
+        let mut sink = 0u64;
+        let qry = time_mpps(sc.stream.len(), || {
+            for it in &sc.stream {
+                sink = sink.wrapping_add(inst.query(&it.key));
+            }
+        });
+        if sink == u64::MAX {
+            eprintln!("improbable checksum {sink}");
+        }
+        t.row(vec![
+            c.label().to_string(),
+            c.meta().mode.describe(),
+            format!("{ins:.2}"),
+            format!("{qry:.2}"),
+        ]);
     }
     vec![t]
 }
@@ -42,16 +76,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fig10_measures_everyone() {
+    fn fig10_measures_everyone_and_is_volatile() {
         let ctx = ExpContext {
             items: 20_000,
             quick: true,
             ..Default::default()
         };
         let t = &fig10(&ctx)[0];
-        assert_eq!(t.len(), 11); // Ours, Ours(Raw), 9 baselines
+        assert!(t.is_volatile());
+        // Ours, Ours(Raw), 9 baselines, concurrent lineup, contended atomic
+        let concurrent = 4 + crate::DEFAULT_WORKERS.len();
+        let contended = crate::DEFAULT_WORKERS.iter().filter(|&&w| w > 1).count();
+        assert_eq!(t.len(), 11 + concurrent + contended);
         for line in t.to_csv().lines().skip(1) {
-            let mpps: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            let mpps: f64 = line.split(',').nth(2).unwrap().parse().unwrap();
             assert!(mpps > 0.0, "non-positive throughput in {line}");
         }
     }

@@ -4,9 +4,12 @@
 //! Expected shape (paper §6.2.1): on the IP trace ReliableSketch needs
 //! 0.91 MB — about 6.07× / 2.69× / 2.01× / 9.32× less than CM_acc /
 //! CU_acc / SS / Elastic; CM_fast, CU_fast and Coco cannot reach zero
-//! outliers within 10 MB at all.
+//! outliers within 10 MB at all. The 1-worker atomic contender bisects
+//! to the byte-identical budget as `Ours` (same elections, same
+//! knee).
 
-use crate::{lineup, ExpContext};
+use crate::contender::Contender;
+use crate::ExpContext;
 use rsk_baselines::factory::Baseline;
 use rsk_metrics::report::fmt_bytes;
 use rsk_metrics::{min_memory_for_zero_outliers, SearchOptions, Table};
@@ -38,23 +41,30 @@ pub fn fig5(ctx: &ExpContext) -> Vec<Table> {
         seeds: 1,
     };
 
+    // Ours + baselines, plus the 1-worker atomic twin to pin its knee
+    let mut contenders = ctx.sequential_registry(&FIG5_SET, 25);
+    if ctx.keep("OursAtomic") {
+        let pos = contenders.len().min(1); // right after Ours when present
+        contenders.insert(pos, Contender::atomic(25, false, 1));
+    }
+
     let mut results: Vec<(String, Vec<Option<usize>>)> = Vec::new();
-    for (label, factory) in lineup(&FIG5_SET, 25) {
+    for c in &contenders {
+        let factory = c.sketch_factory();
         let mut per_ds = Vec::new();
         for ds in datasets {
             let (stream, truth) = ctx.load(ds);
             per_ds.push(min_memory_for_zero_outliers(
-                factory.as_ref(),
-                &stream,
-                &truth,
-                25,
-                opts,
+                &factory, &stream, &truth, 25, opts,
             ));
         }
-        results.push((label, per_ds));
+        results.push((c.label().to_string(), per_ds));
     }
 
-    let ours_ip = results[0].1[0];
+    let ours_ip = results
+        .iter()
+        .find(|(l, _)| l == "Ours")
+        .and_then(|(_, per_ds)| per_ds[0]);
     for (label, per_ds) in &results {
         let fmt = |m: &Option<usize>| match m {
             Some(bytes) => fmt_bytes(*bytes),
@@ -74,15 +84,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fig5_ranks_ours_first_or_close() {
+    fn fig5_ranks_ours_first_and_atomic_matches() {
         let ctx = ExpContext {
             items: 30_000,
             quick: true,
             ..Default::default()
         };
         let t = &fig5(&ctx)[0];
-        assert_eq!(t.len(), 8); // Ours + 7 baselines
+        assert_eq!(t.len(), 9); // Ours + OursAtomic + 7 baselines
         let csv = t.to_csv();
         assert!(csv.lines().nth(1).unwrap().starts_with("Ours,"));
+        // the atomic twin runs the same elections → identical knee
+        let row = |p: &str| -> String {
+            csv.lines()
+                .find(|l| l.starts_with(p))
+                .unwrap()
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(row("Ours,"), row("OursAtomic,"));
     }
 }

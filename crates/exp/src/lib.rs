@@ -1,9 +1,19 @@
 //! # rsk-exp — reproduction harness
 //!
 //! One module per table/figure family of the paper's evaluation (§6).
-//! Every module exposes `run(&ExpContext) -> Vec<Table>`; the `repro`
-//! binary dispatches on target names (`fig4`, `table3`, `all`, …), prints
-//! the tables and writes CSVs under `results/`.
+//! Every module exposes `run(&ExpContext) -> Vec<Table>`; the [`runner`]
+//! module dispatches on target names (`fig4`, `table3`, `all`, …), prints
+//! the tables, writes CSVs under `results/` and — for `all` — regenerates
+//! `results/REPORT.md` with a provenance header.
+//!
+//! Algorithms enter experiments through the [`contender`] **registry**: a
+//! [`contender::Contender`] bundles a label, a build-from-memory-budget
+//! factory, an ingest strategy (sequential, batched, or N-worker
+//! parallel) and configuration metadata, so the lock-free path
+//! (`OursAtomic`, sharded, epoched, merged overlays) is measured in the
+//! same sweeps as the sequential sketch and the nine baselines. The
+//! [`scenario`] module holds the shared sweep runners the `fig_*` modules
+//! build their tables with.
 //!
 //! ## Scaling
 //!
@@ -23,7 +33,9 @@ use rsk_core::{MiceFilterConfig, ReliableConfig, ReliableSketch};
 use rsk_stream::{Dataset, GroundTruth, Item};
 use std::path::PathBuf;
 
+pub mod contender;
 pub mod fig_ablation;
+pub mod fig_concurrent;
 pub mod fig_delta;
 pub mod fig_elephant;
 pub mod fig_error;
@@ -36,8 +48,11 @@ pub mod fig_sensing;
 pub mod fig_testbed;
 pub mod fig_throughput;
 pub mod fig_zero_mem;
+pub mod runner;
+pub mod scenario;
 pub mod tables;
 
+pub use contender::{Contender, ContenderInstance, ContenderMeta, IngestMode};
 pub use rsk_metrics::Table;
 
 /// Item count of every evaluation in the paper (§6.1.2).
@@ -54,6 +69,11 @@ pub struct ExpContext {
     pub quick: bool,
     /// Directory for CSV output.
     pub out_dir: PathBuf,
+    /// Worker counts the parallel contenders register at (`--workers`).
+    pub workers: Vec<usize>,
+    /// Label filters from `--contenders` (comma-separated, substring
+    /// match); `None` keeps every registered contender.
+    pub contenders: Option<Vec<String>>,
 }
 
 impl Default for ExpContext {
@@ -63,9 +83,14 @@ impl Default for ExpContext {
             seed: 1,
             quick: false,
             out_dir: PathBuf::from("results"),
+            workers: DEFAULT_WORKERS.to_vec(),
+            contenders: None,
         }
     }
 }
+
+/// Worker counts registered by default (`--workers` overrides).
+pub const DEFAULT_WORKERS: [usize; 3] = [1, 2, 4];
 
 impl ExpContext {
     /// Scale a paper-scale byte count to this run's stream length.
@@ -107,6 +132,31 @@ impl ExpContext {
         } else {
             20
         }
+    }
+
+    /// Does `label` survive the `--contenders` filter?
+    pub fn keep(&self, label: &str) -> bool {
+        match &self.contenders {
+            None => true,
+            Some(pats) => pats.iter().any(|p| label.contains(p.as_str())),
+        }
+    }
+
+    /// The full registry for accuracy scenarios: `Ours`, the given
+    /// baselines, then the deterministic concurrent lineup (see
+    /// [`contender::full_registry`]).
+    pub fn registry(&self, baselines: &[Baseline], lambda: u64) -> Vec<Contender> {
+        contender::full_registry(self, baselines, lambda)
+    }
+
+    /// `Ours` + baselines only (parameter studies, bisection searches).
+    pub fn sequential_registry(&self, baselines: &[Baseline], lambda: u64) -> Vec<Contender> {
+        contender::sequential_registry(self, baselines, lambda)
+    }
+
+    /// The deterministic concurrent lineup alone.
+    pub fn concurrent_registry(&self, lambda: u64) -> Vec<Contender> {
+        contender::concurrent_contenders(self, lambda)
     }
 }
 
@@ -159,26 +209,6 @@ pub fn ingest(sketch: &mut Box<dyn Sketch<u64>>, stream: &[Item<u64>]) {
     }
 }
 
-/// A named sketch factory, as produced by [`lineup`].
-pub type NamedFactory = (String, Box<dyn Fn(usize, u64) -> Box<dyn Sketch<u64>>>);
-
-/// `(label, factory)` pairs: "Ours" plus the given baseline set, all at
-/// tolerance `lambda`.
-pub fn lineup(baselines: &[Baseline], lambda: u64) -> Vec<NamedFactory> {
-    let mut v: Vec<NamedFactory> = vec![(
-        "Ours".to_string(),
-        Box::new(move |mem, seed| build_ours(mem, lambda, seed)),
-    )];
-    for b in baselines {
-        let b = *b;
-        v.push((
-            b.label().to_string(),
-            Box::new(move |mem, seed| b.build(mem, seed)),
-        ));
-    }
-    v
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,12 +236,32 @@ mod tests {
     }
 
     #[test]
-    fn lineup_contains_ours_first() {
-        let l = lineup(&Baseline::ACCURACY_SET, 25);
-        assert_eq!(l[0].0, "Ours");
-        assert_eq!(l.len(), 9);
-        let sk = (l[0].1)(64 * 1024, 1);
+    fn registry_contains_ours_first_then_baselines_then_concurrent() {
+        let ctx = ExpContext::default();
+        let reg = ctx.registry(&Baseline::ACCURACY_SET, 25);
+        assert_eq!(reg[0].label(), "Ours");
+        // Ours + 8 baselines + (2 atomic + 3 sharded + epoch + merged)
+        assert_eq!(reg.len(), 9 + 4 + DEFAULT_WORKERS.len());
+        let sk = reg[0].sketch_factory()(64 * 1024, 1);
         assert_eq!(sk.name(), "Ours");
+        assert!(reg.iter().any(|c| c.label() == "OursAtomic"));
+        assert!(reg.iter().any(|c| c.label() == "Ours(x4)@2w"));
+    }
+
+    #[test]
+    fn contender_filter_prunes_the_registry() {
+        let ctx = ExpContext {
+            contenders: Some(vec!["Ours".into()]),
+            ..Default::default()
+        };
+        let reg = ctx.registry(&Baseline::ACCURACY_SET, 25);
+        assert!(reg.iter().all(|c| c.label().contains("Ours")));
+        let atomic_only = ExpContext {
+            contenders: Some(vec!["Atomic".into()]),
+            ..Default::default()
+        };
+        let reg = atomic_only.concurrent_registry(25);
+        assert_eq!(reg.len(), 2); // filtered + raw, 1 worker each
     }
 
     #[test]

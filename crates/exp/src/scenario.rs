@@ -1,0 +1,238 @@
+//! The scenario runner — shared sweep machinery every registry-driven
+//! figure builds its tables with.
+//!
+//! A scenario is `(dataset, tolerance Λ)`; the runner generates the
+//! stream once, then drives each [`Contender`] through it at every
+//! memory budget of the sweep and folds the answers into the requested
+//! [`AccuracyMetric`] column. Dataflow, end to end:
+//!
+//! ```text
+//!   Dataset ──generate──▶ stream + GroundTruth
+//!      │                        │
+//!      ▼                        ▼
+//!   Contender::build(mem, seed) ─ingest (seq │ batched │ N workers)─▶ instance
+//!      │                        │
+//!      ▼                        ▼
+//!   evaluate_with(query) ──▶ ErrorReport ──▶ Table row ──▶ CSV / REPORT.md
+//! ```
+//!
+//! # Examples
+//!
+//! A miniature Figure-8-style AAE sweep over a two-contender registry:
+//!
+//! ```
+//! use rsk_exp::scenario::{AccuracyMetric, Scenario};
+//! use rsk_exp::{Contender, ExpContext};
+//! use rsk_stream::Dataset;
+//!
+//! let ctx = ExpContext { items: 5_000, quick: true, ..Default::default() };
+//! let sc = Scenario::new(&ctx, Dataset::Hadoop, 25);
+//! let contenders = vec![Contender::ours(25), Contender::atomic(25, false, 1)];
+//! let t = sc.sweep_table(&contenders, AccuracyMetric::Aae, "demo: AAE vs memory");
+//! assert_eq!(t.len(), 2); // one row per contender
+//! // the 1-worker atomic row is bit-equal to the sequential row
+//! let csv = t.to_csv();
+//! let row = |p: &str| csv.lines().find(|l| l.starts_with(p)).unwrap()
+//!     .split_once(',').unwrap().1.to_string();
+//! assert_eq!(row("Ours,"), row("OursAtomic,"));
+//! ```
+
+use crate::contender::{Contender, ContenderInstance};
+use crate::ExpContext;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::{evaluate_with, ErrorReport, Table};
+use rsk_stream::{Dataset, GroundTruth, Item};
+
+/// Which accuracy column a sweep reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyMetric {
+    /// `# Outliers` — keys with `|f̂ − f| > Λ` (the headline metric).
+    Outliers,
+    /// Average absolute error.
+    Aae,
+    /// Average relative error.
+    Are,
+}
+
+impl AccuracyMetric {
+    /// Extract and format the metric from a report.
+    pub fn cell(&self, rep: &ErrorReport) -> String {
+        match self {
+            AccuracyMetric::Outliers => rep.outliers.to_string(),
+            AccuracyMetric::Aae => format!("{:.3}", rep.aae),
+            AccuracyMetric::Are => format!("{:.4}", rep.are),
+        }
+    }
+}
+
+/// One generated workload: the stream, its oracle, and the tolerance.
+pub struct Scenario<'a> {
+    ctx: &'a ExpContext,
+    /// The generated stream.
+    pub stream: Vec<Item<u64>>,
+    /// Exact oracle for the stream.
+    pub truth: GroundTruth<u64>,
+    /// Error tolerance Λ.
+    pub lambda: u64,
+}
+
+impl<'a> Scenario<'a> {
+    /// Generate the scenario's stream and ground truth once.
+    pub fn new(ctx: &'a ExpContext, dataset: Dataset, lambda: u64) -> Self {
+        let (stream, truth) = ctx.load(dataset);
+        Self {
+            ctx,
+            stream,
+            truth,
+            lambda,
+        }
+    }
+
+    /// Wrap an already-materialized stream (the intro's screening
+    /// population, byte-valued testbed streams, …).
+    pub fn from_stream(ctx: &'a ExpContext, stream: Vec<Item<u64>>, lambda: u64) -> Self {
+        let truth = GroundTruth::from_items(&stream);
+        Self {
+            ctx,
+            stream,
+            truth,
+            lambda,
+        }
+    }
+
+    /// Run one contender at one budget and evaluate every oracle key.
+    pub fn run_one(&self, contender: &Contender, memory: usize) -> ErrorReport {
+        let inst = contender.run(memory, self.ctx.seed, &self.stream);
+        self.evaluate(inst.as_ref())
+    }
+
+    /// Evaluate an already-ingested instance against the oracle.
+    pub fn evaluate(&self, inst: &dyn ContenderInstance) -> ErrorReport {
+        evaluate_with(|k| inst.query(k), &self.truth, self.lambda)
+    }
+
+    /// The standard registry sweep: one row per contender, one column per
+    /// memory budget of [`ExpContext::memory_sweep`], reporting `metric`.
+    pub fn sweep_table(
+        &self,
+        contenders: &[Contender],
+        metric: AccuracyMetric,
+        title: &str,
+    ) -> Table {
+        let sweep = self.ctx.memory_sweep();
+        let mut t = sweep_table_shell(title, &sweep);
+        for c in contenders {
+            let mut row = vec![c.label().to_string()];
+            for &mem in &sweep {
+                row.push(metric.cell(&self.run_one(c, mem)));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Worst case over `ctx.repetitions()` hash seeds, restricted to a
+    /// key subset (Figure 7's frequent keys): one row per contender, one
+    /// column per budget of `sweep`.
+    pub fn worst_case_subset_table(
+        &self,
+        contenders: &[Contender],
+        keys: &[u64],
+        sweep: &[usize],
+        title: &str,
+    ) -> Table {
+        let reps = self.ctx.repetitions();
+        let mut t = sweep_table_shell(title, sweep);
+        for c in contenders {
+            let mut row = vec![c.label().to_string()];
+            for &mem in sweep {
+                let mut worst = 0u64;
+                for rep in 0..reps {
+                    let seed = self.ctx.seed.wrapping_add(rep * 7919);
+                    let inst = c.run(mem, seed, &self.stream);
+                    let r = rsk_metrics::error::evaluate_subset_with(
+                        |k| inst.query(k),
+                        &self.truth,
+                        self.lambda,
+                        keys,
+                    );
+                    worst = worst.max(r.outliers);
+                }
+                row.push(worst.to_string());
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fraction of `ctx.repetitions()` seeds on which a contender answers
+    /// **every** key within Λ — the paper's all-keys ("full correctness")
+    /// confidence, measured per contender at one budget.
+    pub fn full_correctness_rows(
+        &self,
+        contenders: &[Contender],
+        memory: usize,
+    ) -> Vec<(String, u64, u64)> {
+        let reps = self.ctx.repetitions();
+        contenders
+            .iter()
+            .map(|c| {
+                let clean = (0..reps)
+                    .filter(|rep| {
+                        let seed = self.ctx.seed.wrapping_mul(1000).wrapping_add(rep * 31);
+                        let inst = c.run(memory, seed, &self.stream);
+                        self.evaluate(inst.as_ref()).zero_outliers()
+                    })
+                    .count() as u64;
+                (c.label().to_string(), clean, reps)
+            })
+            .collect()
+    }
+}
+
+/// An empty table with the `algorithm` + formatted-byte-column header row
+/// every memory-sweep table shares.
+pub fn sweep_table_shell(title: &str, sweep: &[usize]) -> Table {
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(sweep.iter().map(|&m| fmt_bytes(m)));
+    let refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    Table::new(title, &refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Contender;
+
+    fn tiny() -> ExpContext {
+        ExpContext {
+            items: 20_000,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_table_has_one_row_per_contender() {
+        let ctx = tiny();
+        let sc = Scenario::new(&ctx, Dataset::Hadoop, 25);
+        let contenders = vec![
+            Contender::ours(25),
+            Contender::baseline(rsk_baselines::factory::Baseline::CmFast),
+            Contender::sharded(25, 4, 2),
+        ];
+        let t = sc.sweep_table(&contenders, AccuracyMetric::Outliers, "t");
+        assert_eq!(t.len(), 3);
+        assert!(t.to_csv().lines().nth(1).unwrap().starts_with("Ours,"));
+    }
+
+    #[test]
+    fn full_correctness_counts_clean_seeds() {
+        let ctx = tiny();
+        let sc = Scenario::new(&ctx, Dataset::Hadoop, 25);
+        let rows = sc.full_correctness_rows(&[Contender::ours(25)], 256 * 1024);
+        let (label, clean, reps) = &rows[0];
+        assert_eq!(label, "Ours");
+        assert_eq!(clean, reps, "Ours must be fully correct at 256 KB");
+    }
+}

@@ -30,6 +30,19 @@ impl ErrorReport {
     pub fn zero_outliers(&self) -> bool {
         self.outliers == 0
     }
+
+    /// The report as result-table cells, in the column order the
+    /// contender-registry tables use: `ARE`, `AAE`, `# outliers`,
+    /// `max |error|`. Formatting is fixed here so every per-contender row
+    /// across the harness prints identically.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.4}", self.are),
+            format!("{:.3}", self.aae),
+            self.outliers.to_string(),
+            self.max_abs_error.to_string(),
+        ]
+    }
 }
 
 /// Evaluate `sketch` on every key of the oracle with tolerance `lambda`.
@@ -56,7 +69,31 @@ pub fn evaluate<S>(sketch: &S, truth: &GroundTruth<u64>, lambda: u64) -> ErrorRe
 where
     S: StreamSummary<u64> + ?Sized,
 {
-    evaluate_keys(sketch, truth, lambda, truth.iter().map(|(k, f)| (*k, f)))
+    evaluate_with(|k| sketch.query(k), truth, lambda)
+}
+
+/// Evaluate an arbitrary point-query function on every oracle key.
+///
+/// This is [`evaluate`] for answerers that are not `StreamSummary` trait
+/// objects — the contender registry of `rsk-exp` evaluates lock-free
+/// sketches through their shared-reference query paths this way.
+///
+/// ```
+/// use rsk_metrics::evaluate_with;
+/// use rsk_stream::{GroundTruth, Item};
+///
+/// let stream: Vec<Item<u64>> = (0..100u64).map(Item::unit).collect();
+/// let truth = GroundTruth::from_items(&stream);
+/// let rep = evaluate_with(|k| truth.freq(k) + 3, &truth, 25);
+/// assert_eq!(rep.outliers, 0);
+/// assert!((rep.aae - 3.0).abs() < 1e-12);
+/// ```
+pub fn evaluate_with(
+    query: impl Fn(&u64) -> u64,
+    truth: &GroundTruth<u64>,
+    lambda: u64,
+) -> ErrorReport {
+    evaluate_entries(query, lambda, truth.iter().map(|(k, f)| (*k, f)))
 }
 
 /// Evaluate only the given subset of keys (e.g. the frequent keys of
@@ -70,30 +107,32 @@ pub fn evaluate_subset<S>(
 where
     S: StreamSummary<u64> + ?Sized,
 {
-    evaluate_keys(
-        sketch,
-        truth,
-        lambda,
-        keys.iter().map(|&k| (k, truth.freq(&k))),
-    )
+    evaluate_subset_with(|k| sketch.query(k), truth, lambda, keys)
 }
 
-fn evaluate_keys<S>(
-    sketch: &S,
-    _truth: &GroundTruth<u64>,
+/// [`evaluate_subset`] for an arbitrary point-query function — the
+/// contender registry's frequent-key (heavy-hitter) scenarios.
+pub fn evaluate_subset_with(
+    query: impl Fn(&u64) -> u64,
+    truth: &GroundTruth<u64>,
+    lambda: u64,
+    keys: &[u64],
+) -> ErrorReport {
+    evaluate_entries(query, lambda, keys.iter().map(|&k| (k, truth.freq(&k))))
+}
+
+fn evaluate_entries(
+    query: impl Fn(&u64) -> u64,
     lambda: u64,
     keys: impl Iterator<Item = (u64, u64)>,
-) -> ErrorReport
-where
-    S: StreamSummary<u64> + ?Sized,
-{
+) -> ErrorReport {
     let mut outliers = 0u64;
     let mut abs_sum = 0.0f64;
     let mut rel_sum = 0.0f64;
     let mut max_abs = 0u64;
     let mut n = 0usize;
     for (k, f) in keys {
-        let est = sketch.query(&k);
+        let est = query(&k);
         let abs = est.abs_diff(f);
         if abs > lambda {
             outliers += 1;

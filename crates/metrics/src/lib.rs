@@ -22,7 +22,7 @@ pub mod search;
 pub mod throughput;
 
 pub use confidence::{wilson_interval, zero_event_upper_bound};
-pub use error::{evaluate, evaluate_subset, ErrorReport};
+pub use error::{evaluate, evaluate_subset, evaluate_with, ErrorReport};
 pub use heavy_hitters::HhReport;
 pub use percentile::TailSummary;
 pub use report::Table;

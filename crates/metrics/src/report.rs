@@ -21,6 +21,7 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    volatile: bool,
 }
 
 impl Table {
@@ -30,7 +31,23 @@ impl Table {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            volatile: false,
         }
+    }
+
+    /// Mark the table's cells as wall-clock (or otherwise host-dependent)
+    /// measurements. Volatile tables still print to the terminal and save
+    /// full CSVs, but the regenerated `results/REPORT.md` replaces their
+    /// body with a pointer to the CSV so the committed report stays
+    /// byte-for-byte reproducible (the CI report-rot gate diffs it).
+    pub fn mark_volatile(mut self) -> Self {
+        self.volatile = true;
+        self
+    }
+
+    /// Does this table hold host-dependent (non-reproducible) cells?
+    pub fn is_volatile(&self) -> bool {
+        self.volatile
     }
 
     /// Append a row (must match the header arity).

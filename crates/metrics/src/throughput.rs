@@ -44,6 +44,31 @@ where
     elapsed
 }
 
+/// Time an arbitrary bulk operation over `ops` items and report Mpps.
+///
+/// The closure-based twin of [`measure_insert_mpps`] for ingestion paths
+/// that are not single-item `StreamSummary` loops — the contender registry
+/// times multi-worker `ingest_parallel` and merge-then-ingest pipelines
+/// with this.
+///
+/// ```
+/// use rsk_metrics::throughput::time_mpps;
+///
+/// let mut sum = 0u64;
+/// let mpps = time_mpps(10_000, || {
+///     for i in 0..10_000u64 {
+///         sum = sum.wrapping_add(i);
+///     }
+/// });
+/// assert!(mpps > 0.0 && mpps.is_finite());
+/// ```
+pub fn time_mpps(ops: usize, f: impl FnOnce()) -> f64 {
+    assert!(ops > 0, "cannot time zero operations");
+    let start = Instant::now();
+    f();
+    mpps(ops, start)
+}
+
 fn mpps(ops: usize, start: Instant) -> f64 {
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     ops as f64 / secs / 1e6

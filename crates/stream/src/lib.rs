@@ -70,6 +70,20 @@ pub fn total_value(stream: &[Item<u64>]) -> u64 {
     stream.iter().map(|it| it.value).sum()
 }
 
+/// Materialize a stream as the `(key, value)` pair slice the concurrent
+/// ingestion APIs (`rsk_api::ConcurrentSummary::ingest_parallel`,
+/// `insert_batch`) consume.
+///
+/// ```
+/// use rsk_stream::{to_pairs, Item};
+///
+/// let stream = [Item::new(3u64, 7), Item::unit(9)];
+/// assert_eq!(to_pairs(&stream), vec![(3, 7), (9, 1)]);
+/// ```
+pub fn to_pairs<K: Copy>(stream: &[Item<K>]) -> Vec<(K, u64)> {
+    stream.iter().map(|it| (it.key, it.value)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

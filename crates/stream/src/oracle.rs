@@ -10,6 +10,12 @@ use std::collections::HashMap;
 
 /// Exact per-key value sums (the `f(e)` of the paper).
 ///
+/// Iteration order is **deterministic**: keys enumerate in first-occurrence
+/// (stream) order, not `HashMap` order. Every figure of the `rsk-exp`
+/// harness folds floating-point error sums over this iterator, and the
+/// regenerated `results/REPORT.md` is diffed byte-for-byte in CI — a
+/// run-to-run reshuffle of the fold order would make that gate flaky.
+///
 /// ```
 /// use rsk_stream::{GroundTruth, Item};
 ///
@@ -18,10 +24,15 @@ use std::collections::HashMap;
 /// assert_eq!(truth.freq(&1), 12);
 /// assert_eq!(truth.distinct(), 2);
 /// assert_eq!(truth.keys_above(6), vec![1]);
+/// let order: Vec<u64> = truth.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(order, vec![1, 2]); // first-occurrence order, always
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth<K: Key = u64> {
-    counts: HashMap<K, u64>,
+    /// Key → position in `entries`.
+    index: HashMap<K, usize>,
+    /// `(key, f(key))` in first-occurrence order.
+    entries: Vec<(K, u64)>,
     total: u64,
 }
 
@@ -29,7 +40,8 @@ impl<K: Key> GroundTruth<K> {
     /// Empty oracle.
     pub fn new() -> Self {
         Self {
-            counts: HashMap::new(),
+            index: HashMap::new(),
+            entries: Vec::new(),
             total: 0,
         }
     }
@@ -50,7 +62,7 @@ impl<K: Key> GroundTruth<K> {
     /// Exact sum for `key` (0 if unseen).
     #[inline]
     pub fn freq(&self, key: &K) -> u64 {
-        self.counts.get(key).copied().unwrap_or(0)
+        self.index.get(key).map_or(0, |&i| self.entries[i].1)
     }
 
     /// Total stream value `N = Σ f(e)`.
@@ -62,32 +74,41 @@ impl<K: Key> GroundTruth<K> {
     /// Number of distinct keys.
     #[inline]
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.entries.len()
     }
 
-    /// Iterate over `(key, f(key))`.
+    /// Iterate over `(key, f(key))` in first-occurrence order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
-        self.counts.iter().map(|(k, &v)| (k, v))
+        self.entries.iter().map(|(k, v)| (k, *v))
     }
 
-    /// Keys with `f(e) > threshold` — the paper's "frequent keys" (§6.2.2).
+    /// Keys with `f(e) > threshold` — the paper's "frequent keys" (§6.2.2),
+    /// in first-occurrence order.
     pub fn keys_above(&self, threshold: u64) -> Vec<K> {
-        self.counts
+        self.entries
             .iter()
-            .filter(|(_, &v)| v > threshold)
+            .filter(|(_, v)| *v > threshold)
             .map(|(k, _)| *k)
             .collect()
     }
 
     /// The largest value sum in the stream.
     pub fn max_freq(&self) -> u64 {
-        self.counts.values().copied().max().unwrap_or(0)
+        self.entries.iter().map(|(_, v)| *v).max().unwrap_or(0)
     }
 }
 
 impl<K: Key> StreamSummary<K> for GroundTruth<K> {
     fn insert(&mut self, key: &K, value: u64) {
-        *self.counts.entry(*key).or_insert(0) += value;
+        match self.index.entry(*key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.entries[*e.get()].1 += value;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.entries.len());
+                self.entries.push((*key, value));
+            }
+        }
         self.total += value;
     }
 
@@ -105,7 +126,7 @@ impl<K: Key> ErrorSensing<K> for GroundTruth<K> {
 impl<K: Key> MemoryFootprint for GroundTruth<K> {
     fn memory_bytes(&self) -> usize {
         // model: key + 64-bit counter per entry
-        self.counts.len() * (core::mem::size_of::<K>() + 8)
+        self.entries.len() * (core::mem::size_of::<K>() + 8)
     }
 }
 
@@ -117,7 +138,8 @@ impl<K: Key> Algorithm for GroundTruth<K> {
 
 impl<K: Key> Clear for GroundTruth<K> {
     fn clear(&mut self) {
-        self.counts.clear();
+        self.index.clear();
+        self.entries.clear();
         self.total = 0;
     }
 }
@@ -165,6 +187,31 @@ mod tests {
         let hot = gt.keys_above(90);
         assert_eq!(hot.len(), 9); // 91..=99
         assert!(hot.iter().all(|k| *k > 90));
+    }
+
+    #[test]
+    fn iteration_is_first_occurrence_ordered() {
+        let stream = Dataset::Zipf { skew: 1.2 }.generate(30_000, 7);
+        let gt = GroundTruth::from_items(&stream);
+        // the iterator enumerates each key at the position of its first
+        // stream occurrence — recompute that order independently
+        let mut seen = std::collections::HashSet::new();
+        let mut expected = Vec::new();
+        for it in &stream {
+            if seen.insert(it.key) {
+                expected.push(it.key);
+            }
+        }
+        let got: Vec<u64> = gt.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, expected);
+        // keys_above preserves the same relative order
+        let hot = gt.keys_above(10);
+        let hot_expected: Vec<u64> = expected
+            .iter()
+            .copied()
+            .filter(|k| gt.freq(k) > 10)
+            .collect();
+        assert_eq!(hot, hot_expected);
     }
 
     #[test]
