@@ -20,14 +20,33 @@
 //! * [`ShardedReliable::ingest_parallel`] runs two barrier-free phases
 //!   over scoped threads: workers first partition chunk-affine slices of
 //!   the input into per-shard batch buffers (pure local work, one routing
-//!   hash per item), then claim whole shards from an atomic ticket and
-//!   flush every chunk's buffer for that shard in chunk order via
+//!   hash per item), then apply whole shards — each by exactly one owner,
+//!   flushing every chunk's buffer in chunk order via
 //!   [`ConcurrentReliable::insert_batch`]. No per-item channel send, no
-//!   mutex, and each shard is applied by exactly one owner in stream
-//!   order — which makes the result *bit-for-bit identical* to a
-//!   sequential [`ShardedReliable::insert_shared`] replay of the same
-//!   stream, for every shard and worker count. The root
-//!   `concurrent_ingest` suite pins this equivalence.
+//!   mutex, and each shard is applied in stream order — which makes the
+//!   result *bit-for-bit identical* to a sequential
+//!   [`ShardedReliable::insert_shared`] replay of the same stream, for
+//!   every shard and worker count. The root `concurrent_ingest` suite
+//!   pins this equivalence.
+//!
+//! ### Phase-2 scheduling
+//!
+//! *Which* worker applies which shard is a pluggable
+//! [`IngestPolicy`], exercised through
+//! [`ShardedReliable::ingest_parallel_with`]:
+//!
+//! * `Static` — shards are claimed off a shared ticket in index order
+//!   (the historical behaviour, and the default of `ingest_parallel`);
+//! * `WorkStealing` — shard batches become weighted work units in
+//!   per-worker queues (heaviest first; a [`ShardPlacement`] hint seeds
+//!   owners inside NUMA-ish group bands) and idle workers steal whole
+//!   pending units, so a skew-heated hot shard no longer convoys the
+//!   batch tail. See [`crate::schedule`] for the scheduler and
+//!   `docs/CONCURRENCY.md` for the performance model.
+//!
+//! Because a unit is never split, both policies produce bit-identical
+//! sketches — the root `work_stealing` suite property-tests this across
+//! policies, worker counts, and filtered/raw configurations.
 //!
 //! ### Seeds and memory
 //!
@@ -72,17 +91,21 @@
 
 use crate::atomic::ConcurrentReliable;
 use crate::config::ReliableConfig;
+use crate::schedule::{run_work_stealing, ShardPlacement, WorkUnit};
 use rsk_api::{
-    Algorithm, ConcurrentSummary, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary,
+    Algorithm, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy, Key, MemoryFootprint,
+    StreamSummary,
 };
 use rsk_hash::SplitMix64;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Key-partitioned lock-free ReliableSketch for shared (`&self`)
 /// ingestion from many threads.
 pub struct ShardedReliable<K: Key> {
     shards: Vec<ConcurrentReliable<K>>,
     router_seed: u32,
+    placement: Option<ShardPlacement>,
+    steals: AtomicU64,
 }
 
 impl<K: Key> ShardedReliable<K> {
@@ -109,30 +132,98 @@ impl<K: Key> ShardedReliable<K> {
     /// stores the error in 12 bits, unlike the unbounded `u64` fields of
     /// [`crate::ReliableSketch`].
     pub fn new(config: ReliableConfig, n_shards: usize) -> Self {
-        assert!(n_shards > 0, "need at least one shard");
-        let base = config.memory_bytes / n_shards;
-        let remainder = config.memory_bytes % n_shards;
-        let mut seeds = SplitMix64::new(config.seed);
-        let mut allotted = 0usize;
-        let shards: Vec<_> = (0..n_shards)
-            .map(|i| {
-                let budget = base + usize::from(i < remainder);
-                allotted += budget;
-                ConcurrentReliable::new(ReliableConfig {
-                    memory_bytes: budget,
-                    seed: seeds.next_u64(),
-                    ..config.clone()
-                })
-            })
-            .collect();
-        assert_eq!(
-            allotted, config.memory_bytes,
-            "shard budgets must sum to the configured total"
-        );
+        let (configs, router_seed) = shard_configs(&config, n_shards);
         Self {
-            shards,
-            router_seed: seeds.next_u64() as u32 ^ SHARD_SALT,
+            shards: configs.into_iter().map(ConcurrentReliable::new).collect(),
+            router_seed,
+            placement: None,
+            steals: AtomicU64::new(0),
         }
+    }
+
+    /// Like [`Self::new`], but with a [`ShardPlacement`] topology hint:
+    /// the shard count is `placement.shards()`, each group's shard memory
+    /// is constructed from a dedicated thread of that group (best-effort
+    /// first-touch NUMA locality — no hard pinning, the crate forbids
+    /// `unsafe`), and [`Self::ingest_parallel_with`] seeds each shard's
+    /// phase-2 owner inside the group's worker band.
+    ///
+    /// Per-shard budgets and seeds are derived exactly as in
+    /// [`Self::new`] *before* any thread spawns, so a placed sketch is
+    /// bit-identical to an unplaced one with the same configuration —
+    /// placement only moves memory and work, never answers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsk_core::concurrent::ShardedReliable;
+    /// use rsk_core::schedule::ShardPlacement;
+    /// use rsk_core::ReliableConfig;
+    ///
+    /// let config = ReliableConfig { memory_bytes: 128 * 1024, seed: 5, ..Default::default() };
+    /// let placed = ShardedReliable::<u64>::with_placement(
+    ///     config.clone(),
+    ///     ShardPlacement::contiguous(8, 2), // or ShardPlacement::detect(8)
+    /// );
+    /// let plain = ShardedReliable::<u64>::new(config, 8);
+    /// placed.insert_shared(&7, 3);
+    /// plain.insert_shared(&7, 3);
+    /// assert_eq!(placed.query_shared(&7), plain.query_shared(&7));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`Self::new`].
+    pub fn with_placement(config: ReliableConfig, placement: ShardPlacement) -> Self
+    where
+        K: Send + Sync,
+    {
+        let (configs, router_seed) = shard_configs(&config, placement.shards());
+        // Construct each group's shards from one thread of that group:
+        // with the OS's default local-allocation policy this first-touch
+        // biases a group's bucket pages toward wherever its thread runs.
+        let mut built: Vec<(usize, ConcurrentReliable<K>)> = std::thread::scope(|scope| {
+            let placement = &placement;
+            let handles: Vec<_> = (0..placement.groups())
+                .map(|g| {
+                    let group_configs: Vec<(usize, ReliableConfig)> = configs
+                        .iter()
+                        .enumerate()
+                        .filter(|(s, _)| placement.group_of(*s) == g)
+                        .map(|(s, c)| (s, c.clone()))
+                        .collect();
+                    scope.spawn(move || {
+                        group_configs
+                            .into_iter()
+                            .map(|(s, c)| (s, ConcurrentReliable::new(c)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard construction panicked"))
+                .collect()
+        });
+        built.sort_by_key(|(s, _)| *s);
+        Self {
+            shards: built.into_iter().map(|(_, sh)| sh).collect(),
+            router_seed,
+            placement: Some(placement),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// The topology hint this sketch was built with, if any.
+    pub fn placement(&self) -> Option<&ShardPlacement> {
+        self.placement.as_ref()
+    }
+
+    /// Work units stolen across all [`Self::ingest_parallel_with`] calls
+    /// under [`IngestPolicy::WorkStealing`] — shards applied by a worker
+    /// other than their seeded owner (load-balance gauge; 0 for the
+    /// static policy and for perfectly balanced runs).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Number of shards.
@@ -189,12 +280,84 @@ impl<K: Key> ShardedReliable<K> {
 
     /// Ingest `items` with `n_workers` threads in two barrier-free
     /// phases: parallel shard-affine partitioning, then shard-owned batch
-    /// application in stream order (see the module docs). Deterministic:
-    /// the result is identical to a sequential
-    /// [`Self::insert_shared`] replay for every worker count.
+    /// application in stream order (see the module docs), claiming shards
+    /// under [`IngestPolicy::Static`]. Deterministic: the result is
+    /// identical to a sequential [`Self::insert_shared`] replay for every
+    /// worker count.
     ///
     /// Returns the number of items processed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsk_core::concurrent::ShardedReliable;
+    /// use rsk_core::ReliableConfig;
+    ///
+    /// let config = ReliableConfig { memory_bytes: 128 * 1024, seed: 3, ..Default::default() };
+    /// let items: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 500, 1)).collect();
+    ///
+    /// let parallel = ShardedReliable::<u64>::new(config.clone(), 4);
+    /// assert_eq!(parallel.ingest_parallel(&items, 4), items.len());
+    ///
+    /// // bit-identical to the one-item-at-a-time shared path
+    /// let replay = ShardedReliable::<u64>::new(config, 4);
+    /// items.iter().for_each(|(k, v)| replay.insert_shared(k, *v));
+    /// assert_eq!(parallel.query_shared(&7), replay.query_shared(&7));
+    /// ```
     pub fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize
+    where
+        K: Send + Sync,
+    {
+        self.ingest_parallel_with(items, n_workers, IngestPolicy::Static)
+    }
+
+    /// [`Self::ingest_parallel`] under an explicit scheduling policy.
+    ///
+    /// Both policies apply each shard's sub-stream from exactly one
+    /// worker in stream order, so **the resulting sketch is bit-identical
+    /// across policies and worker counts** — the policy only decides
+    /// which worker applies which shard, i.e. the wall clock:
+    ///
+    /// * [`IngestPolicy::Static`] — workers pull shard indexes off a
+    ///   shared ticket in shard order (the historical behaviour);
+    /// * [`IngestPolicy::WorkStealing`] — shard batches become weighted
+    ///   [work units](crate::schedule::WorkUnit) in per-worker queues
+    ///   (seeded by the [`ShardPlacement`] hint when the sketch has one,
+    ///   heaviest first), and idle workers steal whole pending units of
+    ///   at least `steal_threshold` items. Under skewed shard loads this
+    ///   removes the hot-shard convoy; see [`crate::schedule`] for the
+    ///   makespan model. Steals are counted on [`Self::steals`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsk_api::IngestPolicy;
+    /// use rsk_core::concurrent::ShardedReliable;
+    /// use rsk_core::ReliableConfig;
+    ///
+    /// // a heavily skewed stream: one key (= one shard) carries half the items
+    /// let items: Vec<(u64, u64)> = (0..30_000u64)
+    ///     .map(|i| (if i % 2 == 0 { 42 } else { i % 701 }, 1))
+    ///     .collect();
+    /// let config = ReliableConfig { memory_bytes: 256 * 1024, seed: 11, ..Default::default() };
+    ///
+    /// let stealing = ShardedReliable::<u64>::new(config.clone(), 8);
+    /// stealing.ingest_parallel_with(&items, 4, IngestPolicy::work_stealing());
+    ///
+    /// let static_ = ShardedReliable::<u64>::new(config, 8);
+    /// static_.ingest_parallel_with(&items, 4, IngestPolicy::Static);
+    ///
+    /// // scheduling freedom never changes answers
+    /// for k in 0..701u64 {
+    ///     assert_eq!(stealing.query_shared(&k), static_.query_shared(&k));
+    /// }
+    /// ```
+    pub fn ingest_parallel_with(
+        &self,
+        items: &[(K, u64)],
+        n_workers: usize,
+        policy: IngestPolicy,
+    ) -> usize
     where
         K: Send + Sync,
     {
@@ -227,24 +390,50 @@ impl<K: Key> ShardedReliable<K> {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
 
-        // Phase 2: workers claim whole shards from a ticket counter, so
-        // every shard has exactly one owner and its batches apply in
+        // Phase 2: apply each shard's batches from exactly one worker in
         // chunk (= stream) order; flushes on distinct shards proceed in
-        // parallel with no synchronization beyond the bucket CAS.
-        let ticket = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers.min(n_shards) {
-                scope.spawn(|| loop {
-                    let shard = ticket.fetch_add(1, Ordering::Relaxed);
-                    if shard >= n_shards {
-                        break;
-                    }
-                    for chunk in &partitions {
-                        self.shards[shard].insert_batch(&chunk[shard]);
+        // parallel with no synchronization beyond the bucket CAS. Which
+        // worker applies a shard is the policy's (and only the policy's)
+        // business.
+        let apply_shard = |shard: usize| {
+            for chunk in &partitions {
+                self.shards[shard].insert_batch(&chunk[shard]);
+            }
+        };
+        match policy {
+            IngestPolicy::Static => {
+                let ticket = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..n_workers.min(n_shards) {
+                        scope.spawn(|| loop {
+                            let shard = ticket.fetch_add(1, Ordering::Relaxed);
+                            if shard >= n_shards {
+                                break;
+                            }
+                            apply_shard(shard);
+                        });
                     }
                 });
             }
-        });
+            IngestPolicy::WorkStealing { steal_threshold } => {
+                let units: Vec<WorkUnit> = (0..n_shards)
+                    .map(|shard| WorkUnit {
+                        shard,
+                        weight: partitions.iter().map(|chunk| chunk[shard].len()).sum(),
+                    })
+                    .collect();
+                let owners: Vec<usize> = (0..n_shards)
+                    .map(|shard| match &self.placement {
+                        Some(p) => p.preferred_worker(shard, n_workers),
+                        None => shard % n_workers,
+                    })
+                    .collect();
+                let stats = run_work_stealing(&units, &owners, n_workers, steal_threshold, |u| {
+                    apply_shard(units[u].shard)
+                });
+                self.steals.fetch_add(stats.steals, Ordering::Relaxed);
+            }
+        }
         items.len()
     }
 }
@@ -281,6 +470,15 @@ impl<K: Key + Send + Sync> ConcurrentSummary<K> for ShardedReliable<K> {
 
     fn ingest_parallel(&self, items: &[(K, u64)], n_workers: usize) -> usize {
         ShardedReliable::ingest_parallel(self, items, n_workers)
+    }
+
+    fn ingest_parallel_policy(
+        &self,
+        items: &[(K, u64)],
+        n_workers: usize,
+        policy: IngestPolicy,
+    ) -> usize {
+        ShardedReliable::ingest_parallel_with(self, items, n_workers, policy)
     }
 }
 
@@ -325,6 +523,35 @@ impl<K: Key> Algorithm for ShardedReliable<K> {
 
 /// Salt separating the shard-routing hash from the per-layer families.
 const SHARD_SALT: u32 = 0x05aa_bbcd;
+
+/// Derive the per-shard configurations (budget split with the remainder
+/// spread over leading shards, SplitMix64 seed stream) and the routing
+/// seed — shared by [`ShardedReliable::new`] and
+/// [`ShardedReliable::with_placement`] so placement can never perturb
+/// the shard parameters.
+fn shard_configs(config: &ReliableConfig, n_shards: usize) -> (Vec<ReliableConfig>, u32) {
+    assert!(n_shards > 0, "need at least one shard");
+    let base = config.memory_bytes / n_shards;
+    let remainder = config.memory_bytes % n_shards;
+    let mut seeds = SplitMix64::new(config.seed);
+    let mut allotted = 0usize;
+    let configs: Vec<_> = (0..n_shards)
+        .map(|i| {
+            let budget = base + usize::from(i < remainder);
+            allotted += budget;
+            ReliableConfig {
+                memory_bytes: budget,
+                seed: seeds.next_u64(),
+                ..config.clone()
+            }
+        })
+        .collect();
+    assert_eq!(
+        allotted, config.memory_bytes,
+        "shard budgets must sum to the configured total"
+    );
+    (configs, seeds.next_u64() as u32 ^ SHARD_SALT)
+}
 
 #[cfg(test)]
 mod tests {

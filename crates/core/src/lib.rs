@@ -72,6 +72,7 @@ pub mod epoch;
 pub mod filter;
 pub mod geometry;
 pub mod merge;
+pub mod schedule;
 pub mod sketch;
 #[cfg(feature = "serde")]
 pub mod snapshot;
@@ -89,6 +90,7 @@ pub use epoch::{EpochedConcurrent, EpochedReliable};
 pub use filter::{AtomicMiceFilter, MiceFilter};
 pub use geometry::LayerGeometry;
 pub use merge::merge_all;
+pub use schedule::ShardPlacement;
 pub use sketch::ReliableSketch;
 #[cfg(feature = "serde")]
 pub use snapshot::SketchSnapshot;

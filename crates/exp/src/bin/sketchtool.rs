@@ -338,20 +338,26 @@ fn contenders(flags: &Flags) -> Result<(), String> {
         ctx.contenders = Some(p.split(',').map(str::to_string).collect());
     }
     println!(
-        "{:<20} {:<7} {:>6} {:>7} {:>8} {:>8} {:>9}",
-        "label", "mode", "shards", "filter", "sensing", "determ.", "baseline"
+        "{:<20} {:<7} {:<10} {:>6} {:>7} {:>8} {:>8} {:>9} {:>6}",
+        "label", "mode", "policy", "shards", "filter", "sensing", "determ.", "baseline", "plane"
     );
-    for c in ctx.registry(&Baseline::ACCURACY_SET, lambda) {
+    // CPU registry first, then the read-only dataplane models (whose Λ
+    // is byte-domain in the testbed figure; the listing reuses --lambda)
+    let mut registry = ctx.registry(&Baseline::ACCURACY_SET, lambda);
+    registry.extend(ctx.dataplane_registry(lambda));
+    for c in registry {
         let m = c.meta();
         println!(
-            "{:<20} {:<7} {:>6} {:>7} {:>8} {:>8} {:>9}",
+            "{:<20} {:<7} {:<10} {:>6} {:>7} {:>8} {:>8} {:>9} {:>6}",
             c.label(),
             m.mode.describe(),
+            m.policy.describe(),
             m.shards,
             if m.filtered { "mice" } else { "raw" },
             m.sensing,
             m.deterministic,
-            m.baseline
+            m.baseline,
+            if m.dataplane { "hw" } else { "cpu" }
         );
     }
     Ok(())

@@ -1,0 +1,183 @@
+//! Scaling curves: parallel-ingestion speedup vs worker count — the
+//! first-class wall-clock figure the ROADMAP left open after the
+//! registry rebuild.
+//!
+//! Figure 10 shows *one* throughput number per contender; this target
+//! sweeps `ShardedReliable::ingest_parallel_with` over 1/2/4/8 workers ×
+//! {uniform, skewed} streams × {static, work-stealing} phase-2 policies
+//! and reports Mpps plus the speedup over the same policy's 1-worker
+//! row. Expected shape:
+//!
+//! * **uniform** — shard loads are balanced, so both policies scale
+//!   almost identically (stealing has nothing to steal; its rows should
+//!   show ≈0 steals) and speedup grows until the partition phase or the
+//!   core count saturates;
+//! * **skewed (Zipf 1.5)** — the rank-1 key routes its whole mass to one
+//!   shard, so the static ticket's speedup flattens against the
+//!   hot-shard wall (`T ≥ L_max`); work stealing cannot beat that bound
+//!   either (a unit is never split) but removes the *convoy* — light
+//!   units migrate off the hot owner's queue, so the curve hugs the
+//!   `max(L_max, N/w)` lower bound instead of the ticket's tail. The
+//!   steals column is the direct evidence.
+//!
+//! Like every registry-driven target, the sweep honors the CLI filters:
+//! `--contenders` prunes rows by label (`+ws` keeps just the stealing
+//! policy), and an explicit `--workers` list replaces the default
+//! 1/2/4/8 axis.
+//!
+//! Wall-clock tables are host-dependent by nature, so both tables are
+//! volatile: `REPORT.md` masks them (the CSVs keep the measurements) and
+//! the committed report only pins their existence, never their cells.
+
+use crate::contender::Contender;
+use crate::scenario::Scenario;
+use crate::ExpContext;
+use rsk_api::IngestPolicy;
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::throughput::time_mpps;
+use rsk_metrics::Table;
+use rsk_stream::Dataset;
+
+/// Default worker counts of the scaling sweep (the ROADMAP's 1/2/4/8
+/// curve); an explicit `--workers` override replaces it.
+pub const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The sweep's worker axis: the full 1/2/4/8 curve by default, or the
+/// user's `--workers` list when it was explicitly overridden (the
+/// context default is the registry's 1/2/4, which would silently drop
+/// the 8-worker point this figure exists for).
+fn sweep_workers(ctx: &ExpContext) -> Vec<usize> {
+    if ctx.workers == crate::DEFAULT_WORKERS {
+        SCALING_WORKERS.to_vec()
+    } else {
+        ctx.workers.clone()
+    }
+}
+
+/// Shard count of the scaling sweep: enough shards that every worker
+/// count below has parallelism to claim.
+pub const SCALING_SHARDS: usize = 8;
+
+/// Both phase-2 policies the sweep races.
+fn policies() -> [IngestPolicy; 2] {
+    [IngestPolicy::Static, IngestPolicy::work_stealing()]
+}
+
+/// The `scaling` repro target: one speedup-vs-workers table per workload
+/// shape (uniform and Zipf-skewed).
+pub fn scaling(ctx: &ExpContext) -> Vec<Table> {
+    [
+        (Dataset::Zipf { skew: 0.0 }, "uniform"),
+        (Dataset::Zipf { skew: 1.5 }, "zipf 1.5 (hot shard)"),
+    ]
+    .iter()
+    .map(|&(ds, label)| scaling_table(ctx, ds, label))
+    .collect()
+}
+
+fn scaling_table(ctx: &ExpContext, ds: Dataset, workload: &str) -> Table {
+    let sc = Scenario::new(ctx, ds, 25);
+    // floor the budget so all 8 shards stay constructible at --quick scale
+    let mem = ctx.scale_mem(1 << 20).max(SCALING_SHARDS * 8 * 1024);
+    let mut t = Table::new(
+        format!(
+            "Scaling: ingest speedup vs workers, {workload}, {} over {SCALING_SHARDS} shards",
+            fmt_bytes(mem)
+        ),
+        &[
+            "contender",
+            "policy",
+            "workers",
+            "insert Mpps",
+            "speedup",
+            "steals",
+        ],
+    )
+    .mark_volatile();
+
+    for policy in policies() {
+        // speedup is relative to the first surviving row of the policy
+        // (the 1-worker row unless `--contenders` filtered it away)
+        let mut base_mpps: Option<f64> = None;
+        for &workers in &sweep_workers(ctx) {
+            let c = Contender::sharded_policy(25, SCALING_SHARDS, workers, policy);
+            if !ctx.keep(c.label()) {
+                continue;
+            }
+            let mut inst = c.build(mem, ctx.seed);
+            let mpps = time_mpps(sc.stream.len(), || inst.ingest(&sc.stream));
+            let base = *base_mpps.get_or_insert(mpps);
+            let steals = inst.diagnostic("steals");
+            t.row(vec![
+                c.label().to_string(),
+                c.meta().policy.describe(),
+                workers.to_string(),
+                format!("{mpps:.2}"),
+                format!("{:.2}x", mpps / base.max(1e-12)),
+                steals.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_emits_one_volatile_table_per_workload() {
+        let ctx = ExpContext {
+            items: 20_000,
+            quick: true,
+            ..Default::default()
+        };
+        let ts = scaling(&ctx);
+        assert_eq!(ts.len(), 2, "uniform + skewed");
+        for t in &ts {
+            assert!(t.is_volatile(), "wall-clock tables must be masked");
+            // 2 policies × 4 worker counts
+            assert_eq!(t.len(), 2 * SCALING_WORKERS.len());
+            for line in t.to_csv().lines().skip(1) {
+                let cells: Vec<&str> = line.split(',').collect();
+                let mpps: f64 = cells[3].parse().unwrap();
+                assert!(mpps > 0.0, "non-positive throughput: {line}");
+                let speedup: f64 = cells[4].trim_end_matches('x').parse().unwrap();
+                assert!(speedup > 0.0, "non-positive speedup: {line}");
+            }
+            // static rows never steal; the 1-worker rows are speedup 1.00x
+            let csv = t.to_csv();
+            for line in csv.lines().skip(1) {
+                let cells: Vec<&str> = line.split(',').collect();
+                if cells[1] == "static" {
+                    assert_eq!(cells[5], "0", "static policy stole: {line}");
+                }
+                if cells[2] == "1" {
+                    assert_eq!(cells[4], "1.00x", "1-worker baseline: {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_honors_workers_and_contender_filters() {
+        let ctx = ExpContext {
+            items: 5_000,
+            quick: true,
+            workers: vec![2, 4],
+            contenders: Some(vec!["+ws".into()]),
+            ..Default::default()
+        };
+        for t in scaling(&ctx) {
+            // only the work-stealing policy, only the overridden worker axis
+            assert_eq!(t.len(), 2);
+            for line in t.to_csv().lines().skip(1) {
+                let cells: Vec<&str> = line.split(',').collect();
+                assert!(cells[0].ends_with("+ws"), "static row survived: {line}");
+                assert!(cells[2] == "2" || cells[2] == "4", "worker axis: {line}");
+            }
+            // the first surviving row anchors the speedup column
+            assert!(t.to_csv().lines().nth(1).unwrap().contains("1.00x"));
+        }
+    }
+}

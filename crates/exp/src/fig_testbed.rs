@@ -13,8 +13,6 @@
 //! mirroring the packet-domain Λ = 25 of the CPU experiments.
 
 use crate::ExpContext;
-use rsk_api::StreamSummary;
-use rsk_dataplane::TofinoReliable;
 use rsk_metrics::report::fmt_bytes;
 use rsk_metrics::Table;
 use rsk_stream::packets::{bytes_error_to_kbps, PacketSizeModel};
@@ -59,32 +57,42 @@ fn testbed_table(
 
     let mut t = Table::new(
         format!("{title} (Λ_bytes = {lambda_bytes}, 40 Gbps window)"),
-        &["SRAM", "AAE (Kbps)", "# outliers", "recirculations"],
+        &[
+            "contender",
+            "SRAM",
+            "AAE (Kbps)",
+            "# outliers",
+            "recirculations",
+        ],
     );
-    for &kb in paper_srams_kb {
-        let sram = ctx.scale_mem(kb * 1024);
-        let mut sw = TofinoReliable::<u64>::new(sram, lambda_bytes, ctx.seed);
-        for it in &stream {
-            sw.insert(&it.key, it.value);
-        }
-        let mut abs_sum = 0.0f64;
-        let mut outliers = 0u64;
-        let mut n = 0u64;
-        for (k, f) in truth.iter() {
-            let err = sw.query(k).abs_diff(f);
-            abs_sum += err as f64;
-            if err > lambda_bytes {
-                outliers += 1;
+    // the dataplane models enter through their read-only registry entry,
+    // like every CPU contender enters the accuracy figures
+    for c in ctx.dataplane_registry(lambda_bytes) {
+        for &kb in paper_srams_kb {
+            let sram = ctx.scale_mem(kb * 1024);
+            let mut sw = c.build(sram, ctx.seed);
+            sw.ingest(&stream);
+            let mut abs_sum = 0.0f64;
+            let mut outliers = 0u64;
+            let mut n = 0u64;
+            for (k, f) in truth.iter() {
+                let err = sw.query(k).abs_diff(f);
+                abs_sum += err as f64;
+                if err > lambda_bytes {
+                    outliers += 1;
+                }
+                n += 1;
             }
-            n += 1;
+            let aae_bytes = abs_sum / n as f64;
+            let recirculations = sw.diagnostic("recirculations");
+            t.row(vec![
+                c.label().to_string(),
+                fmt_bytes(sram),
+                format!("{:.2}", bytes_error_to_kbps(aae_bytes, total_bytes, 40.0)),
+                outliers.to_string(),
+                recirculations.to_string(),
+            ]);
         }
-        let aae_bytes = abs_sum / n as f64;
-        t.row(vec![
-            fmt_bytes(sram),
-            format!("{:.2}", bytes_error_to_kbps(aae_bytes, total_bytes, 40.0)),
-            outliers.to_string(),
-            sw.recirculations().to_string(),
-        ]);
     }
     t
 }
@@ -105,17 +113,37 @@ mod tests {
         assert_eq!(ts.len(), 2);
         for t in &ts {
             assert_eq!(t.len(), 4);
+            // every row comes from the registered dataplane contender
+            assert!(t
+                .to_csv()
+                .lines()
+                .skip(1)
+                .all(|l| l.starts_with("Ours(Tofino),")));
             // outliers shrink (weakly) with SRAM
             let outliers: Vec<u64> = t
                 .to_csv()
                 .lines()
                 .skip(1)
-                .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+                .map(|l| l.split(',').nth(3).unwrap().parse().unwrap())
                 .collect();
             assert!(
                 outliers.first().unwrap() >= outliers.last().unwrap(),
                 "outliers should decay with SRAM: {outliers:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fig20_honors_the_contender_filter() {
+        let ctx = ExpContext {
+            items: 5_000,
+            quick: true,
+            contenders: Some(vec!["OursAtomic".into()]),
+            ..Default::default()
+        };
+        // the Tofino entry is filtered out like any other contender
+        for t in fig20(&ctx) {
+            assert_eq!(t.len(), 0);
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod fig_intro;
 pub mod fig_layers;
 pub mod fig_outliers;
 pub mod fig_params;
+pub mod fig_scaling;
 pub mod fig_sensing;
 pub mod fig_testbed;
 pub mod fig_throughput;
@@ -157,6 +158,11 @@ impl ExpContext {
     /// The deterministic concurrent lineup alone.
     pub fn concurrent_registry(&self, lambda: u64) -> Vec<Contender> {
         contender::concurrent_contenders(self, lambda)
+    }
+
+    /// The dataplane models (read-only registrations; byte-domain Λ).
+    pub fn dataplane_registry(&self, lambda_bytes: u64) -> Vec<Contender> {
+        contender::dataplane_contenders(self, lambda_bytes)
     }
 }
 

@@ -35,13 +35,13 @@
 
 use crate::{
     fig_ablation, fig_concurrent, fig_delta, fig_elephant, fig_error, fig_hash_calls, fig_intro,
-    fig_layers, fig_outliers, fig_params, fig_sensing, fig_testbed, fig_throughput, fig_zero_mem,
-    tables, ExpContext, Table,
+    fig_layers, fig_outliers, fig_params, fig_scaling, fig_sensing, fig_testbed, fig_throughput,
+    fig_zero_mem, tables, ExpContext, Table,
 };
 use std::path::PathBuf;
 
 /// Every concrete target, in report order.
-pub const ALL_TARGETS: [&str; 24] = [
+pub const ALL_TARGETS: [&str; 25] = [
     "table1",
     "table3",
     "table4",
@@ -66,6 +66,7 @@ pub const ALL_TARGETS: [&str; 24] = [
     "intro",
     "delta",
     "concurrent",
+    "scaling",
 ];
 
 /// Expand a target or group name; empty means the name is unknown.
@@ -73,10 +74,10 @@ pub fn expand(target: &str) -> Vec<&'static str> {
     match target {
         "all" => ALL_TARGETS.to_vec(),
         "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
-        "speed" => vec!["fig10", "fig16"],
+        "speed" => vec!["fig10", "fig16", "scaling"],
         "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
         "hardware" => vec!["table3", "table4", "fig20"],
-        "beyond" => vec!["ablation", "intro", "delta", "concurrent"],
+        "beyond" => vec!["ablation", "intro", "delta", "concurrent", "scaling"],
         t => ALL_TARGETS.iter().copied().filter(|&x| x == t).collect(),
     }
 }
@@ -108,6 +109,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "intro" => fig_intro::intro(ctx),
         "delta" => fig_delta::delta(ctx),
         "concurrent" => fig_concurrent::concurrent(ctx),
+        "scaling" => fig_scaling::scaling(ctx),
         _ => unreachable!("expand() filtered targets"),
     }
 }

@@ -32,11 +32,12 @@ pub use rsk_stream as stream;
 /// One-stop import for applications.
 pub mod prelude {
     pub use rsk_api::{
-        Clear, ConcurrentSummary, ErrorSensing, Estimate, MemoryFootprint, Merge, StreamSummary,
+        Clear, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy, MemoryFootprint, Merge,
+        StreamSummary,
     };
     pub use rsk_core::{
         merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,
-        ReliableSketch, ShardedReliable,
+        ReliableSketch, ShardPlacement, ShardedReliable,
     };
     pub use rsk_stream::{Dataset, GroundTruth, Item};
 }
