@@ -283,6 +283,118 @@ pub trait ConcurrentSummary<K: Key>: Sync {
     }
 }
 
+/// Certified error sensing through a shared reference — the concurrent
+/// twin of [`ErrorSensing`], and the query surface a served (multi-tenant,
+/// multi-reader) deployment exposes as `QueryCertified`.
+///
+/// Contract: `query_with_error_concurrent(e).value` must equal
+/// [`query_concurrent(e)`](ConcurrentSummary::query_concurrent), and the
+/// certified interval must contain the truth under the same conditions as
+/// the sequential guarantee, relaxed only by the implementation's
+/// *documented, bounded* contention slack (mirroring
+/// [`ConcurrentSummary`]): a filtered concurrent ReliableSketch may trail
+/// the true mass by at most `(arrays − 1) × threshold` while producer
+/// threads race on the same key, so under contention the containment
+/// check is `lower_bound() ≤ truth ≤ value + slack`. Once producers are
+/// quiescent (all insertions returned before the query started), the
+/// slack is not needed and the interval contains the truth exactly as in
+/// the sequential case; uncontended single-writer histories must answer
+/// **bit-for-bit** like their sequential twin.
+///
+/// Reads against a *sealed* structure (a frozen epoch generation whose
+/// atomic words are never CASed again) are wait-free: plain loads, no
+/// retry loop.
+///
+/// The trait is object safe: a service can hold tenants as
+/// `Box<dyn ConcurrentErrorSensing<u64>>` and stay agnostic of the
+/// concrete sketch.
+///
+/// # Examples
+///
+/// ```
+/// use rsk_api::{ConcurrentErrorSensing, ConcurrentSummary, Estimate};
+/// use std::collections::HashMap;
+/// use std::sync::Mutex;
+///
+/// #[derive(Default)]
+/// struct SharedExact(Mutex<HashMap<u64, u64>>);
+///
+/// impl ConcurrentSummary<u64> for SharedExact {
+///     fn insert_concurrent(&self, key: &u64, value: u64) {
+///         *self.0.lock().unwrap().entry(*key).or_insert(0) += value;
+///     }
+///     fn query_concurrent(&self, key: &u64) -> u64 {
+///         self.0.lock().unwrap().get(key).copied().unwrap_or(0)
+///     }
+/// }
+///
+/// impl ConcurrentErrorSensing<u64> for SharedExact {
+///     fn query_with_error_concurrent(&self, key: &u64) -> Estimate {
+///         Estimate::exact(self.query_concurrent(key)) // exact store: MPE = 0
+///     }
+/// }
+///
+/// let store = SharedExact::default();
+/// store.insert_concurrent(&7, 100);
+/// let est = store.query_with_error_concurrent(&7);
+/// assert_eq!(est.value, store.query_concurrent(&7));
+/// assert!(est.contains(100));
+/// // object safety: certified tenants behind one trait object
+/// let boxed: Box<dyn ConcurrentErrorSensing<u64>> = Box::new(store);
+/// assert!(boxed.query_with_error_concurrent(&7).contains(100));
+/// ```
+pub trait ConcurrentErrorSensing<K: Key>: ConcurrentSummary<K> {
+    /// Estimate the value sum of `key` along with its Maximum Possible
+    /// Error, through a shared reference.
+    fn query_with_error_concurrent(&self, key: &K) -> Estimate;
+}
+
+/// Why two sketch instances refused to merge.
+///
+/// Merging requires both operands to have been built with identical
+/// parameters; the variants name the precondition that failed. The enum
+/// is `#[non_exhaustive]` so future preconditions can gain their own
+/// variant without a breaking change — match with a wildcard arm.
+///
+/// # Examples
+///
+/// ```
+/// use rsk_api::MergeError;
+///
+/// let e = MergeError::Incompatible("mice filter presence mismatch".into());
+/// assert_eq!(e.to_string(), "incompatible operands: mice filter presence mismatch");
+/// // it is a real std error, so `?` can cross into Box<dyn Error> code
+/// let boxed: Box<dyn std::error::Error> = Box::new(MergeError::SeedMismatch);
+/// assert!(boxed.to_string().contains("seed"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// The operands' dimensions differ (memory budget, layer geometry,
+    /// filter shape, shard count, width/depth, …): bucket `(i, j)` of one
+    /// operand has no counterpart in the other.
+    ShapeMismatch,
+    /// Same shape, different hash seeds: bucket `(i, j)` observed a
+    /// different key population in each operand, so counters cannot be
+    /// combined soundly.
+    SeedMismatch,
+    /// Any other incompatibility (mixed emergency policies, mixed
+    /// mice-filter presence, an empty merge set, …), described in text.
+    Incompatible(String),
+}
+
+impl core::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MergeError::ShapeMismatch => write!(f, "shape mismatch between merge operands"),
+            MergeError::SeedMismatch => write!(f, "hash seed mismatch between merge operands"),
+            MergeError::Incompatible(why) => write!(f, "incompatible operands: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Sketches that can absorb another instance built with identical
 /// parameters (same shape, same seeds) — the distributed-aggregation
 /// primitive: summarize per shard, merge centrally.
@@ -294,9 +406,10 @@ pub trait Merge {
     /// Fold `other` into `self`.
     ///
     /// # Errors
-    /// Returns a description when the instances are not mergeable
-    /// (mismatched shape or hash seeds).
-    fn merge(&mut self, other: &Self) -> Result<(), String>;
+    /// Returns a [`MergeError`] naming the violated precondition when the
+    /// instances are not mergeable (mismatched shape, hash seeds, or any
+    /// other incompatibility).
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
 }
 
 /// Object-safe bundle used by the evaluation harness.

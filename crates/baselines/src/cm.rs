@@ -116,15 +116,12 @@ impl<K: Key> Clear for CmSketch<K> {
 }
 
 impl<K: Key> rsk_api::Merge for CmSketch<K> {
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.rows != other.rows || self.width != other.width {
-            return Err(format!(
-                "shape mismatch: {}x{} vs {}x{}",
-                self.rows, self.width, other.rows, other.width
-            ));
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         if (0..self.rows).any(|i| self.hashes.seed(i) != other.hashes.seed(i)) {
-            return Err("hash seeds differ".into());
+            return Err(rsk_api::MergeError::SeedMismatch);
         }
         // CM is linear: counters add
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {

@@ -88,12 +88,12 @@ impl<K: Key> Clear for CountSketch<K> {
 }
 
 impl<K: Key> rsk_api::Merge for CountSketch<K> {
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.rows != other.rows || self.width != other.width {
-            return Err("shape mismatch".into());
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         if (0..self.rows).any(|i| self.hashes.seed(i) != other.hashes.seed(i)) {
-            return Err("hash seeds differ".into());
+            return Err(rsk_api::MergeError::SeedMismatch);
         }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;

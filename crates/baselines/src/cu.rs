@@ -125,12 +125,9 @@ impl<K: Key> rsk_api::Merge for CuSketch<K> {
     /// counter is ⩾ that shard's true sum, and `min_i (a_i + b_i) ⩾
     /// min_i a_i + min_i b_i`. The merged estimate is also pointwise ⩽
     /// the merged-CM estimate, preserving CU's advantage.
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.rows != other.rows || self.width != other.width {
-            return Err(format!(
-                "CU shape mismatch: {}x{} vs {}x{}",
-                self.rows, self.width, other.rows, other.width
-            ));
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         for (c, o) in self.counters.iter_mut().zip(&other.counters) {
             *c += o;

@@ -187,15 +187,9 @@ impl<K: Key> rsk_api::Merge for ElasticSketch<K> {
     ///
     /// Both instances must share the bucket layout and hash seeds; only
     /// the layout can be checked here, seeds are the caller's contract.
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.heavy.len() != other.heavy.len() || self.light.len() != other.light.len() {
-            return Err(format!(
-                "Elastic shape mismatch: {}h/{}l vs {}h/{}l",
-                self.heavy.len(),
-                self.light.len(),
-                other.heavy.len(),
-                other.light.len()
-            ));
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         for (c, o) in self.light.iter_mut().zip(&other.light) {
             *c = c.saturating_add(*o);

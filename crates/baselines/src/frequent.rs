@@ -131,12 +131,9 @@ impl<K: Key + Ord> rsk_api::Merge for Frequent<K> {
     /// non-positive remainder. The classic error bound is additive:
     /// undershoot stays ⩽ `(N₁ + N₂)/(capacity + 1)` and estimates still
     /// never overshoot.
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.capacity != other.capacity {
-            return Err(format!(
-                "Frequent capacity mismatch: {} vs {}",
-                self.capacity, other.capacity
-            ));
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         let mut combined: HashMap<K, u64> = self
             .entries

@@ -140,12 +140,9 @@ impl<K: Key + Ord> rsk_api::Merge for SpaceSaving<K> {
     /// `count − error ⩽ f ⩽ count`, and every discarded or never-seen key
     /// stays bounded by the merged `min_count` (every combined count is
     /// ⩾ `min₁ + min₂`).
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), rsk_api::MergeError> {
         if self.capacity != other.capacity {
-            return Err(format!(
-                "SpaceSaving capacity mismatch: {} vs {}",
-                self.capacity, other.capacity
-            ));
+            return Err(rsk_api::MergeError::ShapeMismatch);
         }
         let (min1, min2) = (self.min_count(), other.min_count());
         let mut combined: HashMap<K, (u64, u64)> = HashMap::new();

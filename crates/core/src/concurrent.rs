@@ -93,8 +93,8 @@ use crate::atomic::ConcurrentReliable;
 use crate::config::ReliableConfig;
 use crate::schedule::{run_work_stealing, ShardPlacement, WorkUnit};
 use rsk_api::{
-    Algorithm, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy, Key, MemoryFootprint,
-    StreamSummary,
+    Algorithm, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy,
+    Key, MemoryFootprint, StreamSummary,
 };
 use rsk_hash::SplitMix64;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -457,6 +457,17 @@ impl<K: Key> ErrorSensing<K> for ShardedReliable<K> {
     }
 }
 
+impl<K: Key + Send + Sync> ConcurrentErrorSensing<K> for ShardedReliable<K> {
+    /// Route to the key's shard and answer with its certified interval —
+    /// identical to [`ShardedReliable::query_shared`], exposed through
+    /// the shared-reference trait so served deployments can hold the
+    /// sharded sketch as a `dyn ConcurrentErrorSensing` tenant.
+    #[inline]
+    fn query_with_error_concurrent(&self, key: &K) -> Estimate {
+        self.query_shared(key)
+    }
+}
+
 impl<K: Key + Send + Sync> ConcurrentSummary<K> for ShardedReliable<K> {
     #[inline]
     fn insert_concurrent(&self, key: &K, value: u64) {
@@ -479,6 +490,19 @@ impl<K: Key + Send + Sync> ConcurrentSummary<K> for ShardedReliable<K> {
         policy: IngestPolicy,
     ) -> usize {
         ShardedReliable::ingest_parallel_with(self, items, n_workers, policy)
+    }
+}
+
+impl<K: Key + Send + Sync> ConcurrentErrorSensing<K> for ConcurrentReliable<K> {
+    /// The lock-free certified read: walk the layers with plain atomic
+    /// loads ([`ConcurrentReliable::query_with_error`]) and report the
+    /// Maximum Possible Error alongside the estimate. Uncontended
+    /// single-writer histories answer bit-for-bit like the sequential
+    /// twin; racing writers relax containment by at most the documented
+    /// [`contention_undershoot_bound`](ConcurrentReliable::contention_undershoot_bound).
+    #[inline]
+    fn query_with_error_concurrent(&self, key: &K) -> Estimate {
+        self.query_with_error(key)
     }
 }
 
@@ -518,6 +542,27 @@ impl<K: Key> MemoryFootprint for ShardedReliable<K> {
 impl<K: Key> Algorithm for ShardedReliable<K> {
     fn name(&self) -> String {
         format!("Ours(x{})", self.shards.len())
+    }
+}
+
+impl crate::config::ReliableConfigBuilder {
+    /// Build a lock-free [`ConcurrentReliable`] directly.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation, or if `Λ` exceeds
+    /// the packed atomic error field (see [`ConcurrentReliable::new`]).
+    pub fn build_concurrent<K: Key>(self) -> ConcurrentReliable<K> {
+        ConcurrentReliable::new(self.build_config())
+    }
+
+    /// Build a key-partitioned [`ShardedReliable`] over `n_shards`
+    /// lock-free shards directly.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation or a shard's budget
+    /// slice is too small to construct (see [`ShardedReliable::new`]).
+    pub fn build_sharded<K: Key>(self, n_shards: usize) -> ShardedReliable<K> {
+        ShardedReliable::new(self.build_config(), n_shards)
     }
 }
 

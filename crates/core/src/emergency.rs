@@ -17,7 +17,7 @@
 //!   overwrite-the-minimum rule; its per-key overestimate is bounded by
 //!   the minimum counter, which we surface in the MPE.
 
-use rsk_api::Key;
+use rsk_api::{Key, MergeError};
 use std::collections::HashMap;
 
 /// Side store for insertion-failure remainders.
@@ -162,8 +162,8 @@ impl<K: Key> EmergencyStore<K> {
     ///   overestimate` lower-bound contract.
     ///
     /// # Errors
-    /// Rejects mixed policies.
-    pub fn merge_from(&mut self, other: &Self) -> Result<(), String> {
+    /// [`MergeError::Incompatible`] for mixed policies.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         match (self, other) {
             (
                 Self::Disabled {
@@ -223,7 +223,7 @@ impl<K: Key> EmergencyStore<K> {
                 }
                 Ok(())
             }
-            _ => Err("emergency policy mismatch".into()),
+            _ => Err(MergeError::Incompatible("emergency policy mismatch".into())),
         }
     }
 

@@ -57,8 +57,8 @@ use crate::atomic::ConcurrentReliable;
 use crate::config::{ReliableConfig, ReliableConfigBuilder};
 use crate::sketch::ReliableSketch;
 use rsk_api::{
-    Algorithm, Clear, ConcurrentSummary, ErrorSensing, Estimate, Key, MemoryFootprint,
-    StreamSummary,
+    Algorithm, Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, Key,
+    MemoryFootprint, Merge, MergeError, StreamSummary,
 };
 
 /// Two-generation rotating window over ReliableSketches.
@@ -361,6 +361,40 @@ impl<K: Key> EpochedConcurrent<K> {
             per_gen
         }
     }
+
+    /// Contention slack of the active generation (the documented
+    /// `(arrays − 1) × threshold` undershoot bound of the mice filter
+    /// under racing same-key writers; `0` without a filter). A window
+    /// query can trail the window truth by at most one slack per visible
+    /// generation while producers race — see
+    /// [`rsk_api::ConcurrentErrorSensing`].
+    pub fn contention_undershoot_bound(&self) -> u64 {
+        self.active.contention_undershoot_bound()
+    }
+
+    /// Fold another window's *entire visible mass* (active + frozen
+    /// generations) into this window's active generation — the
+    /// cross-tenant aggregation primitive of a served deployment
+    /// (`Merge` frame): after the call, this window answers for both
+    /// tenants' histories while `other` is left untouched.
+    ///
+    /// Both windows must have been built from the same configuration.
+    /// Exclusive on `self` (`&mut`): quiesce this window's producers, as
+    /// for [`rotate`](Self::rotate). The active generation becomes a
+    /// merged overlay (`is_merged()` on it turns true), so the a-priori
+    /// `MPE ≤ Λ` ceiling relaxes to the data-dependent merged bound —
+    /// every interval stays certified.
+    ///
+    /// # Errors
+    /// Propagates the [`MergeError`] of the underlying
+    /// [`ConcurrentReliable`] merge (mismatched shape or seeds).
+    pub fn merge_window_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.active.merge(&other.active)?;
+        if let Some(frozen) = &other.frozen {
+            self.active.merge(frozen)?;
+        }
+        Ok(())
+    }
 }
 
 impl<K: Key> StreamSummary<K> for EpochedConcurrent<K> {
@@ -386,6 +420,19 @@ impl<K: Key> ErrorSensing<K> for EpochedConcurrent<K> {
             est.max_possible_error += old.max_possible_error;
         }
         est
+    }
+}
+
+impl<K: Key + Send + Sync> ConcurrentErrorSensing<K> for EpochedConcurrent<K> {
+    /// Certified read over the visible window through a shared reference:
+    /// the sealed generation is read **wait-free** (its atomic words are
+    /// never CASed again — plain loads, no retry loop) and the active
+    /// generation lock-free; each generation's interval is certified, so
+    /// their sum is. This is the `QueryCertified` path of a served
+    /// deployment.
+    #[inline]
+    fn query_with_error_concurrent(&self, key: &K) -> Estimate {
+        self.query_with_error(key)
     }
 }
 
@@ -694,6 +741,46 @@ mod tests {
             };
             assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
         }
+    }
+
+    #[test]
+    fn merge_window_from_absorbs_both_generations() {
+        let mut a = concurrent_window();
+        let mut b = concurrent_window();
+        // tenant b spans two generations: 30 frozen + 12 active on key 9
+        b.insert_shared(&9, 30);
+        b.rotate();
+        b.insert_shared(&9, 12);
+        a.insert_shared(&9, 100);
+        a.merge_window_from(&b).unwrap();
+        assert!(a.query_with_error(&9).contains(142));
+        assert!(a.active().is_merged());
+        // the donor window is untouched
+        assert!(b.query_with_error(&9).contains(42));
+
+        // mismatched configurations refuse with a typed error
+        let other_seed = EpochedConcurrent::<u64>::builder()
+            .memory_bytes(64 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(99)
+            .build_epoched_concurrent();
+        assert_eq!(
+            a.merge_window_from(&other_seed),
+            Err(MergeError::SeedMismatch)
+        );
+    }
+
+    #[test]
+    fn concurrent_certified_reads_match_error_sensing() {
+        let mut w = concurrent_window();
+        w.insert_shared(&5, 40);
+        w.rotate();
+        w.insert_shared(&5, 2);
+        let seq = w.query_with_error(&5);
+        let conc = w.query_with_error_concurrent(&5);
+        assert_eq!(seq, conc, "shared-reference read must match &self read");
+        assert!(conc.contains(42));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!   `AtomicU64` lanes and the CU step committed by a single CAS (see its
 //!   type docs for the exact concurrency contract).
 
-use rsk_api::Key;
+use rsk_api::{Key, MergeError};
 use rsk_hash::HashFamily;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -152,23 +152,16 @@ impl MiceFilter {
     /// counters were already at the threshold.
     ///
     /// # Errors
-    /// Rejects filters of a different shape. The caller is responsible for
-    /// seed equality (checked at the sketch level via the configuration).
-    pub fn merge_from(&mut self, other: &Self) -> Result<(), String> {
+    /// [`MergeError::ShapeMismatch`] for filters of a different shape. The
+    /// caller is responsible for seed equality (checked at the sketch
+    /// level via the configuration).
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.width != other.width
             || self.arrays() != other.arrays()
             || self.threshold != other.threshold
             || self.counter_bits != other.counter_bits
         {
-            return Err(format!(
-                "mice filter shape mismatch: {}x{}@{} vs {}x{}@{}",
-                self.arrays(),
-                self.width,
-                self.threshold,
-                other.arrays(),
-                other.width,
-                other.threshold,
-            ));
+            return Err(MergeError::ShapeMismatch);
         }
         for (row, other_row) in self.counters.iter_mut().zip(&other.counters) {
             for (c, o) in row.iter_mut().zip(other_row) {
@@ -506,16 +499,13 @@ impl AtomicMiceFilter {
         width: usize,
         threshold: u64,
         counter_bits: u32,
-    ) -> Result<(), String> {
+    ) -> Result<(), MergeError> {
         if self.width != width
             || self.arrays != arrays
             || self.threshold != threshold
             || self.counter_bits != counter_bits
         {
-            return Err(format!(
-                "mice filter shape mismatch: {}x{}@{} vs {arrays}x{width}@{threshold}",
-                self.arrays, self.width, self.threshold,
-            ));
+            return Err(MergeError::ShapeMismatch);
         }
         Ok(())
     }
@@ -563,9 +553,10 @@ impl AtomicMiceFilter {
     /// the filter half of the concurrent [`rsk_api::Merge`] impls.
     ///
     /// # Errors
-    /// Rejects filters of a different shape. The caller is responsible for
-    /// seed equality (checked at the sketch level via the configuration).
-    pub fn merge_from(&mut self, other: &Self) -> Result<(), String> {
+    /// [`MergeError::ShapeMismatch`] for filters of a different shape. The
+    /// caller is responsible for seed equality (checked at the sketch
+    /// level via the configuration).
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         self.check_shape(
             other.arrays,
             other.width,
@@ -580,8 +571,8 @@ impl AtomicMiceFilter {
     /// (the mixed sequential→concurrent aggregation path).
     ///
     /// # Errors
-    /// Rejects filters of a different shape.
-    pub fn merge_from_sequential(&mut self, other: &MiceFilter) -> Result<(), String> {
+    /// [`MergeError::ShapeMismatch`] for filters of a different shape.
+    pub fn merge_from_sequential(&mut self, other: &MiceFilter) -> Result<(), MergeError> {
         self.check_shape(
             other.arrays(),
             other.width(),

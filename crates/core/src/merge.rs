@@ -107,8 +107,25 @@
 use crate::atomic::ConcurrentReliable;
 use crate::bucket::EsBucket;
 use crate::concurrent::ShardedReliable;
+use crate::config::ReliableConfig;
 use crate::ReliableSketch;
-use rsk_api::{Key, Merge};
+use rsk_api::{Key, Merge, MergeError};
+
+/// Classify a configuration mismatch: identical up to the seed means the
+/// structures are congruent but hashed differently ([`SeedMismatch`]);
+/// anything else changed the geometry or feature set ([`ShapeMismatch`]).
+///
+/// [`SeedMismatch`]: MergeError::SeedMismatch
+/// [`ShapeMismatch`]: MergeError::ShapeMismatch
+fn config_merge_error(mine: &ReliableConfig, theirs: &ReliableConfig) -> MergeError {
+    let mut reseeded = mine.clone();
+    reseeded.seed = theirs.seed;
+    if reseeded == *theirs {
+        MergeError::SeedMismatch
+    } else {
+        MergeError::ShapeMismatch
+    }
+}
 
 /// Conservative "this bucket may have diverted keys deeper" indicator.
 ///
@@ -152,16 +169,12 @@ pub(crate) fn union_layers<K: Key>(
 }
 
 impl<K: Key> Merge for ReliableSketch<K> {
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.config() != other.config() {
-            return Err(format!(
-                "config mismatch: {:?} vs {:?}",
-                self.config(),
-                other.config()
-            ));
+            return Err(config_merge_error(self.config(), other.config()));
         }
         if self.geometry() != other.geometry() {
-            return Err("layer geometry mismatch".into());
+            return Err(MergeError::ShapeMismatch);
         }
         let lambdas: Vec<u64> = self.geometry().lambdas().to_vec();
 
@@ -172,7 +185,11 @@ impl<K: Key> Merge for ReliableSketch<K> {
         match (filter.as_mut(), other_filter.as_ref()) {
             (Some(mine), Some(theirs)) => mine.merge_from(theirs)?,
             (None, None) => {}
-            _ => return Err("mice filter presence mismatch".into()),
+            _ => {
+                return Err(MergeError::Incompatible(
+                    "mice filter presence mismatch".into(),
+                ))
+            }
         }
 
         union_layers(layers, hints, other_layers, other_hints, &lambdas);
@@ -205,7 +222,7 @@ fn merge_prepared<K: Key>(
     peer_filter: PeerFilter<'_>,
     other_emergency: &crate::emergency::EmergencyStore<K>,
     other_failures: u64,
-) -> Result<(), String> {
+) -> Result<(), MergeError> {
     let lambdas: Vec<u64> = me.geometry().lambdas().to_vec();
     {
         let (filter, _, _, _) = me.merge_parts();
@@ -213,7 +230,11 @@ fn merge_prepared<K: Key>(
             (Some(mine), PeerFilter::Atomic(theirs)) => mine.merge_from(theirs)?,
             (Some(mine), PeerFilter::Sequential(theirs)) => mine.merge_from_sequential(theirs)?,
             (None, PeerFilter::None) => {}
-            _ => return Err("mice filter presence mismatch".into()),
+            _ => {
+                return Err(MergeError::Incompatible(
+                    "mice filter presence mismatch".into(),
+                ))
+            }
         }
     }
     me.seal_into_overlay();
@@ -242,16 +263,12 @@ impl<K: Key> Merge for ConcurrentReliable<K> {
     ///
     /// Merging is an exclusive (`&mut`) operation: quiesce producers
     /// first, exactly as for [`crate::epoch::EpochedConcurrent::rotate`].
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.config() != other.config() {
-            return Err(format!(
-                "config mismatch: {:?} vs {:?}",
-                self.config(),
-                other.config()
-            ));
+            return Err(config_merge_error(self.config(), other.config()));
         }
         if self.geometry() != other.geometry() {
-            return Err("layer geometry mismatch".into());
+            return Err(MergeError::ShapeMismatch);
         }
         let (other_layers, other_hints) = other.effective_layers();
         let peer_filter = match other.peer_filter() {
@@ -281,17 +298,14 @@ impl<K: Key> ConcurrentReliable<K> {
     /// one.
     ///
     /// # Errors
-    /// Rejects mismatched configurations, geometries, or filter shapes.
-    pub fn merge_from_sequential(&mut self, other: &ReliableSketch<K>) -> Result<(), String> {
+    /// Rejects mismatched configurations, geometries, or filter shapes
+    /// with the [`MergeError`] naming the violated precondition.
+    pub fn merge_from_sequential(&mut self, other: &ReliableSketch<K>) -> Result<(), MergeError> {
         if self.config() != other.config() {
-            return Err(format!(
-                "config mismatch: {:?} vs {:?}",
-                self.config(),
-                other.config()
-            ));
+            return Err(config_merge_error(self.config(), other.config()));
         }
         if self.geometry() != other.geometry() {
-            return Err("layer geometry mismatch".into());
+            return Err(MergeError::ShapeMismatch);
         }
         let (other_filter, other_layers, other_emergency, other_stats, other_hints) =
             other.peer_parts();
@@ -330,16 +344,12 @@ impl<K: Key> Merge for ShardedReliable<K> {
     /// configuration and shard count (which pins the router seed and every
     /// per-shard seed, so shard `i` observed the same key population in
     /// both operands).
-    fn merge(&mut self, other: &Self) -> Result<(), String> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.shards() != other.shards() {
-            return Err(format!(
-                "shard count mismatch: {} vs {}",
-                self.shards(),
-                other.shards()
-            ));
+            return Err(MergeError::ShapeMismatch);
         }
         if self.router_seed() != other.router_seed() {
-            return Err("shard router seed mismatch".into());
+            return Err(MergeError::SeedMismatch);
         }
         for i in 0..self.shards() {
             let theirs = other.shard(i);
@@ -355,14 +365,15 @@ impl<K: Key> Merge for ShardedReliable<K> {
 /// becomes the accumulator.
 ///
 /// # Errors
-/// Propagates any pairwise merge error, and rejects an empty iterator.
+/// Propagates any pairwise [`MergeError`], and rejects an empty iterator
+/// as [`MergeError::Incompatible`].
 pub fn merge_all<K: Key>(
     shards: impl IntoIterator<Item = ReliableSketch<K>>,
-) -> Result<ReliableSketch<K>, String> {
+) -> Result<ReliableSketch<K>, MergeError> {
     let mut iter = shards.into_iter();
     let mut acc = iter
         .next()
-        .ok_or_else(|| "no shards to merge".to_string())?;
+        .ok_or_else(|| MergeError::Incompatible("no shards to merge".into()))?;
     for shard in iter {
         acc.merge(&shard)?;
     }

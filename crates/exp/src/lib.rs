@@ -46,6 +46,7 @@ pub mod fig_outliers;
 pub mod fig_params;
 pub mod fig_scaling;
 pub mod fig_sensing;
+pub mod fig_serve;
 pub mod fig_testbed;
 pub mod fig_throughput;
 pub mod fig_zero_mem;

@@ -35,13 +35,13 @@
 
 use crate::{
     fig_ablation, fig_concurrent, fig_delta, fig_elephant, fig_error, fig_hash_calls, fig_intro,
-    fig_layers, fig_outliers, fig_params, fig_scaling, fig_sensing, fig_testbed, fig_throughput,
-    fig_zero_mem, tables, ExpContext, Table,
+    fig_layers, fig_outliers, fig_params, fig_scaling, fig_sensing, fig_serve, fig_testbed,
+    fig_throughput, fig_zero_mem, tables, ExpContext, Table,
 };
 use std::path::PathBuf;
 
 /// Every concrete target, in report order.
-pub const ALL_TARGETS: [&str; 25] = [
+pub const ALL_TARGETS: [&str; 26] = [
     "table1",
     "table3",
     "table4",
@@ -67,6 +67,7 @@ pub const ALL_TARGETS: [&str; 25] = [
     "delta",
     "concurrent",
     "scaling",
+    "serve",
 ];
 
 /// Expand a target or group name; empty means the name is unknown.
@@ -74,7 +75,7 @@ pub fn expand(target: &str) -> Vec<&'static str> {
     match target {
         "all" => ALL_TARGETS.to_vec(),
         "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
-        "speed" => vec!["fig10", "fig16", "scaling"],
+        "speed" => vec!["fig10", "fig16", "scaling", "serve"],
         "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
         "hardware" => vec!["table3", "table4", "fig20"],
         "beyond" => vec!["ablation", "intro", "delta", "concurrent", "scaling"],
@@ -110,6 +111,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "delta" => fig_delta::delta(ctx),
         "concurrent" => fig_concurrent::concurrent(ctx),
         "scaling" => fig_scaling::scaling(ctx),
+        "serve" => fig_serve::serve(ctx),
         _ => unreachable!("expand() filtered targets"),
     }
 }

@@ -1,0 +1,146 @@
+//! `rsk-load` — drive a running `rsk-serve` with simulated client flows.
+//!
+//! ```sh
+//! rsk-load --addr 127.0.0.1:4901 --quick --shutdown
+//! ```
+//!
+//! Pushes `tenants × connections × items` Zipf-skewed updates through
+//! pipelined ingest connections, then validates certified queries
+//! against exact ground truth. Exits non-zero if any certified interval
+//! misses the truth or the server undercounts. Flags:
+//!
+//! ```text
+//! --addr A        server address          (default 127.0.0.1:4901)
+//! --quick         CI shape: 4×4×65536 = 1,048,576 updates
+//! --tenants N     distinct tenants        (default 8)
+//! --connections N connections per tenant  (default 8)
+//! --items N       updates per connection  (default 262144)
+//! --batch N       items per ingest frame  (default 2048)
+//! --window N      credit window (batches) (default 8)
+//! --skew S        Zipf skew               (default 1.1)
+//! --universe N    keys per tenant         (default 100000)
+//! --seed N        master seed             (default 42)
+//! --probes N      certified probes/tenant (default 128)
+//! --shutdown      send Shutdown when done
+//! ```
+
+use std::process::exit;
+
+use rsk_serve::{Client, LoadConfig};
+
+fn usage(err: &str) -> ! {
+    eprintln!("rsk-load: {err}");
+    eprintln!("usage: rsk-load [--addr A] [--quick] [--tenants N] [--connections N] [--items N] [--batch N] [--window N] [--skew S] [--universe N] [--seed N] [--probes N] [--shutdown]");
+    exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let raw = value.unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    raw.parse()
+        .unwrap_or_else(|_| usage(&format!("bad value {raw:?} for {flag}")))
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4901".to_string();
+    let mut quick = false;
+    let mut shutdown = false;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&arg, args.next()),
+            "--quick" => quick = true,
+            "--shutdown" => shutdown = true,
+            "--tenants" | "--connections" | "--items" | "--batch" | "--window" | "--skew"
+            | "--universe" | "--seed" | "--probes" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
+                overrides.push((arg, value));
+            }
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let mut cfg = if quick {
+        LoadConfig::quick(addr.clone())
+    } else {
+        LoadConfig {
+            addr: addr.clone(),
+            ..LoadConfig::default()
+        }
+    };
+    for (flag, value) in overrides {
+        match flag.as_str() {
+            "--tenants" => cfg.tenants = parse(&flag, Some(value)),
+            "--connections" => cfg.connections = parse(&flag, Some(value)),
+            "--items" => cfg.items_per_connection = parse(&flag, Some(value)),
+            "--batch" => cfg.batch = parse(&flag, Some(value)),
+            "--window" => cfg.window = parse(&flag, Some(value)),
+            "--skew" => cfg.skew = parse(&flag, Some(value)),
+            "--universe" => cfg.universe = parse(&flag, Some(value)),
+            "--seed" => cfg.seed = parse(&flag, Some(value)),
+            "--probes" => cfg.probes = parse(&flag, Some(value)),
+            _ => unreachable!("vetted above"),
+        }
+    }
+
+    println!(
+        "rsk-load: {} tenants x {} connections x {} items = {} updates -> {}",
+        cfg.tenants,
+        cfg.connections,
+        cfg.items_per_connection,
+        cfg.total_updates(),
+        cfg.addr
+    );
+    let report = match rsk_serve::run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rsk-load: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "ingest:   {} updates in {} batches over {:.2}s ({:.2} M updates/s)",
+        report.total_updates,
+        report.batches,
+        report.elapsed.as_secs_f64(),
+        report.mupdates_per_sec
+    );
+    println!(
+        "latency:  certified p50 {} us, p99 {} us over {} probes",
+        report.p50_us, report.p99_us, report.probes
+    );
+    println!(
+        "pressure: {} client stall events, {} server-refused batches",
+        report.stalls, report.server_rejected_batches
+    );
+    println!(
+        "verify:   {}/{} certified intervals contained the exact truth; server counted {} items",
+        report.probes_contained, report.probes, report.server_items
+    );
+
+    let mut failed = false;
+    if report.probes_contained != report.probes {
+        eprintln!("rsk-load: FAIL — certified interval missed the ground truth");
+        failed = true;
+    }
+    if report.server_items < report.total_updates {
+        eprintln!("rsk-load: FAIL — server counted fewer items than were acknowledged");
+        failed = true;
+    }
+    if shutdown {
+        match Client::connect(&addr as &str).and_then(|mut c| {
+            c.shutdown()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(()) => println!("rsk-load: server shutdown requested"),
+            Err(e) => {
+                eprintln!("rsk-load: shutdown failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    exit(i32::from(failed))
+}

@@ -1,0 +1,77 @@
+//! `rsk-serve` — run the multi-tenant sketch server.
+//!
+//! ```sh
+//! rsk-serve --addr 127.0.0.1:4901 --memory-kb 256 --lambda 25
+//! ```
+//!
+//! The server runs until a wire-level `Shutdown` frame arrives (e.g.
+//! `rsk-load --shutdown`). All flags:
+//!
+//! ```text
+//! --addr A            bind address        (default 127.0.0.1:4901)
+//! --threads N         accept threads      (default: one per core)
+//! --max-connections N connection ceiling  (default 256)
+//! --max-batch N       ingest batch ceiling(default 16384)
+//! --stripes N         tenant-map stripes  (default 16)
+//! --memory-kb N       KB per tenant generation (default 256)
+//! --lambda N          error tolerance Λ   (default 25)
+//! --seed N            sketch hash seed    (default 0x5eed5eed)
+//! ```
+
+use std::process::exit;
+
+use rsk_serve::{ServeConfig, ServerHandle, SketchSpec};
+
+fn usage(err: &str) -> ! {
+    eprintln!("rsk-serve: {err}");
+    eprintln!("usage: rsk-serve [--addr A] [--threads N] [--max-connections N] [--max-batch N] [--stripes N] [--memory-kb N] [--lambda N] [--seed N]");
+    exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let raw = value.unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    raw.parse()
+        .unwrap_or_else(|_| usage(&format!("bad value {raw:?} for {flag}")))
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:4901".into(),
+        ..ServeConfig::default()
+    };
+    let mut spec = SketchSpec::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse(&arg, args.next()),
+            "--threads" => config.accept_threads = parse(&arg, args.next()),
+            "--max-connections" => config.max_connections = parse(&arg, args.next()),
+            "--max-batch" => config.max_batch = parse(&arg, args.next()),
+            "--stripes" => config.stripes = parse(&arg, args.next()),
+            "--memory-kb" => spec.memory_bytes = parse::<usize>(&arg, args.next()) * 1024,
+            "--lambda" => spec.error_tolerance = parse(&arg, args.next()),
+            "--seed" => spec.seed = parse(&arg, args.next()),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    config.spec = spec;
+
+    let server = match ServerHandle::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rsk-serve: failed to bind: {e}");
+            exit(1);
+        }
+    };
+    println!("rsk-serve listening on {}", server.local_addr());
+    let spec = server.spec();
+    println!(
+        "tenant spec: {} KB / generation, lambda {}, seed {:#x}",
+        spec.memory_bytes / 1024,
+        spec.error_tolerance,
+        spec.seed,
+    );
+    server.join();
+    println!("rsk-serve: shutdown complete");
+}

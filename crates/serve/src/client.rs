@@ -1,0 +1,178 @@
+//! Blocking client for the `rsk-serve` wire protocol.
+//!
+//! One request / one response per call, over a buffered `TcpStream`.
+//! The pipelined high-throughput path lives in [`crate::load`]; this
+//! type is the simple correctness-first surface the end-to-end tests
+//! and the control operations (seal, merge, stats, shutdown) use.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsk_serve::{Client, ServeConfig, ServerHandle};
+//!
+//! let server = ServerHandle::start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! client.ingest(1, &[(42, 10), (42, 5)]).unwrap();
+//! let answer = client.query_certified(1, 42).unwrap();
+//! assert!(answer.contains(15));
+//!
+//! drop(client);
+//! server.shutdown();
+//! ```
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, send_request, ErrorCode, ProtocolError, Request, Response, StatsReply,
+};
+pub use crate::tenant::CertifiedAnswer;
+
+/// Anything a request/response exchange can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Protocol(ProtocolError),
+    /// The server answered with an error frame.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a well-formed frame of the wrong kind.
+    Unexpected(Response),
+    /// The connection closed before a response arrived.
+    Disconnected,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+            Self::Unexpected(resp) => write!(f, "unexpected response frame: {resp:?}"),
+            Self::Disconnected => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+/// Blocking request/response client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        send_request(&mut self.writer, req)?;
+        io::Write::flush(&mut self.writer)?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        let resp = Response::decode(&payload)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Fold `items` into `tenant`; returns the accepted count.
+    pub fn ingest(&mut self, tenant: u32, items: &[(u64, u64)]) -> Result<u32, ClientError> {
+        match self.call(&Request::Ingest {
+            tenant,
+            items: items.to_vec(),
+        })? {
+            Response::IngestAck { accepted } => Ok(accepted),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Point estimate for `key` in `tenant`.
+    pub fn query(&mut self, tenant: u32, key: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Query { tenant, key })? {
+            Response::Value { value } => Ok(value),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Certified estimate for `key` in `tenant`.
+    pub fn query_certified(
+        &mut self,
+        tenant: u32,
+        key: u64,
+    ) -> Result<CertifiedAnswer, ClientError> {
+        match self.call(&Request::QueryCertified { tenant, key })? {
+            Response::Certified {
+                value,
+                max_possible_error,
+                slack,
+                epoch,
+            } => Ok(CertifiedAnswer {
+                value,
+                max_possible_error,
+                slack,
+                epoch,
+            }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Rotate `tenant`'s epoch window; returns the new epoch index.
+    pub fn seal(&mut self, tenant: u32) -> Result<u64, ClientError> {
+        match self.call(&Request::Seal { tenant })? {
+            Response::Sealed { epoch } => Ok(epoch),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fold tenant `src`'s window into tenant `dst`.
+    pub fn merge(&mut self, dst: u32, src: u32) -> Result<(), ClientError> {
+        match self.call(&Request::Merge { dst, src })? {
+            Response::Merged => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ask the server to stop accepting and drain.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The sharded multi-tenant sketch map.
+//!
+//! Each tenant owns one [`EpochedConcurrent`] window, constructed
+//! through the umbrella crate's unified [`reliablesketch::builder()`]
+//! facade — the exact construction path applications and the quickstart
+//! use, so a tenant's sketch is configured like any other.
+//!
+//! The map is striped: tenant ids hash across `stripes` independent
+//! `RwLock<HashMap<…>>` buckets so tenant *lookup* never serialises the
+//! data plane. Within a tenant, a second `RwLock` arbitrates the only
+//! two access modes the window has:
+//!
+//! - **shared** (`read()`): batched ingest via `insert_shared` and
+//!   certified queries via `query_with_error_concurrent` — both take
+//!   `&self` and run lock-free inside the sketch, so any number of
+//!   connections proceed in parallel;
+//! - **exclusive** (`write()`): `Seal` (epoch rotation) and `Merge`,
+//!   the two genuinely exclusive operations.
+//!
+//! Merges lock the two tenants in ascending-id order, so concurrent
+//! `Merge {a→b}` / `Merge {b→a}` requests cannot deadlock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rsk_api::{ConcurrentErrorSensing, Estimate, MergeError};
+use rsk_core::EpochedConcurrent;
+
+/// Sketch parameters every tenant is built with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchSpec {
+    /// Memory budget per tenant window generation, in bytes.
+    pub memory_bytes: usize,
+    /// Error tolerance Λ.
+    pub error_tolerance: u64,
+    /// Master hash seed (shared by all tenants so windows stay
+    /// merge-compatible).
+    pub seed: u64,
+}
+
+impl Default for SketchSpec {
+    fn default() -> Self {
+        Self {
+            memory_bytes: 256 * 1024,
+            error_tolerance: 25,
+            seed: 0x5eed_5eed,
+        }
+    }
+}
+
+impl SketchSpec {
+    fn build(&self) -> EpochedConcurrent<u64> {
+        reliablesketch::builder()
+            .memory_bytes(self.memory_bytes)
+            .error_tolerance(self.error_tolerance)
+            .seed(self.seed)
+            .build_epoched_concurrent::<u64>()
+    }
+}
+
+/// A certified answer plus the window metadata a client needs to
+/// interpret it (see `docs/PROTOCOL.md` § Certification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedAnswer {
+    /// Point estimate (never an undercount beyond `slack`).
+    pub value: u64,
+    /// Maximum possible overcount baked into `value`.
+    pub max_possible_error: u64,
+    /// Contention slack: with racing same-key writers the estimate may
+    /// additionally undershoot by up to this much, per the concurrent
+    /// sketch's documented `(arrays − 1) · threshold` bound, summed over
+    /// the window's live generations.
+    pub slack: u64,
+    /// Epoch index the answer was computed at.
+    pub epoch: u64,
+}
+
+impl CertifiedAnswer {
+    /// Does the certified interval (widened by `slack`) contain `truth`?
+    pub fn contains(&self, truth: u64) -> bool {
+        let lower = self
+            .value
+            .saturating_sub(self.max_possible_error + self.slack);
+        lower <= truth && truth <= self.value.saturating_add(self.slack)
+    }
+}
+
+/// One tenant: an id and its epoch window.
+pub struct Tenant {
+    id: u32,
+    window: RwLock<EpochedConcurrent<u64>>,
+}
+
+impl Tenant {
+    /// The tenant id this window serves.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Fold a batch of updates into the active generation (shared lock;
+    /// the inserts themselves are lock-free).
+    pub fn ingest(&self, items: &[(u64, u64)]) {
+        let window = self.window.read();
+        for (key, value) in items {
+            window.insert_shared(key, *value);
+        }
+    }
+
+    /// Point estimate for `key` across the window.
+    pub fn query(&self, key: u64) -> u64 {
+        self.certified(key).value
+    }
+
+    /// Certified estimate for `key`, with the window's current
+    /// contention slack and epoch attached.
+    pub fn certified(&self, key: u64) -> CertifiedAnswer {
+        let window = self.window.read();
+        let est: Estimate = window.query_with_error_concurrent(&key);
+        let generations = 1 + u64::from(window.frozen().is_some());
+        CertifiedAnswer {
+            value: est.value,
+            max_possible_error: est.max_possible_error,
+            slack: window.contention_undershoot_bound() * generations,
+            epoch: window.epoch(),
+        }
+    }
+
+    /// Rotate the epoch window; returns the new active epoch index.
+    pub fn seal(&self) -> u64 {
+        let mut window = self.window.write();
+        window.rotate();
+        window.epoch()
+    }
+
+    /// Insertion failures accumulated across the window's generations.
+    pub fn insertion_failures(&self) -> u64 {
+        self.window.read().insertion_failures()
+    }
+}
+
+/// Striped tenant id → [`Tenant`] map.
+pub struct TenantMap {
+    stripes: Vec<RwLock<HashMap<u32, Arc<Tenant>>>>,
+    spec: SketchSpec,
+}
+
+impl TenantMap {
+    /// Create a map with `stripes` lock stripes (rounded up to 1).
+    pub fn new(stripes: usize, spec: SketchSpec) -> Self {
+        let stripes = stripes.max(1);
+        Self {
+            stripes: (0..stripes).map(|_| RwLock::new(HashMap::new())).collect(),
+            spec,
+        }
+    }
+
+    fn stripe(&self, tenant: u32) -> &RwLock<HashMap<u32, Arc<Tenant>>> {
+        // Tenant ids are small and often sequential; spread them with a
+        // multiplicative mix so neighbouring ids land on distinct stripes.
+        let mixed = (u64::from(tenant)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.stripes[(mixed >> 32) as usize % self.stripes.len()]
+    }
+
+    /// Fetch `tenant`'s window, materialising it on first touch.
+    pub fn get_or_create(&self, tenant: u32) -> Arc<Tenant> {
+        let stripe = self.stripe(tenant);
+        if let Some(t) = stripe.read().get(&tenant) {
+            return Arc::clone(t);
+        }
+        let mut map = stripe.write();
+        Arc::clone(map.entry(tenant).or_insert_with(|| {
+            Arc::new(Tenant {
+                id: tenant,
+                window: RwLock::new(self.spec.build()),
+            })
+        }))
+    }
+
+    /// Fetch `tenant`'s window only if it already exists.
+    pub fn get(&self, tenant: u32) -> Option<Arc<Tenant>> {
+        self.stripe(tenant).read().get(&tenant).cloned()
+    }
+
+    /// Tenants materialised so far.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no tenant has been materialised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spec every tenant window is built from.
+    pub fn spec(&self) -> &SketchSpec {
+        &self.spec
+    }
+
+    /// Fold tenant `src`'s whole window (both generations) into tenant
+    /// `dst`'s active generation. Locks are taken in ascending tenant-id
+    /// order so opposing merges cannot deadlock.
+    pub fn merge(&self, dst: u32, src: u32) -> Result<(), MergeError> {
+        if dst == src {
+            return Err(MergeError::Incompatible(
+                "cannot merge a tenant into itself".into(),
+            ));
+        }
+        let dst_t = self.get_or_create(dst);
+        let src_t = self.get_or_create(src);
+        if dst < src {
+            let mut d = dst_t.window.write();
+            let s = src_t.window.read();
+            d.merge_window_from(&s)
+        } else {
+            let s = src_t.window.read();
+            let mut d = dst_t.window.write();
+            d.merge_window_from(&s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> TenantMap {
+        TenantMap::new(
+            8,
+            SketchSpec {
+                memory_bytes: 64 * 1024,
+                error_tolerance: 25,
+                seed: 99,
+            },
+        )
+    }
+
+    #[test]
+    fn tenants_materialise_once_and_stay_isolated() {
+        let map = map();
+        assert!(map.is_empty());
+        let a = map.get_or_create(1);
+        let b = map.get_or_create(2);
+        assert!(Arc::ptr_eq(&a, &map.get_or_create(1)));
+        assert_eq!(map.len(), 2);
+
+        a.ingest(&[(7, 100)]);
+        assert!(a.certified(7).contains(100));
+        // Tenant 2 never saw key 7.
+        assert!(b.certified(7).contains(0));
+        assert_eq!(b.certified(7).value, 0);
+    }
+
+    #[test]
+    fn seal_freezes_and_queries_span_the_window() {
+        let map = map();
+        let t = map.get_or_create(9);
+        t.ingest(&[(1, 50)]);
+        let e0 = t.certified(1).epoch;
+        assert_eq!(t.seal(), e0 + 1);
+        t.ingest(&[(1, 25)]);
+        let ans = t.certified(1);
+        assert!(ans.contains(75), "window spans both generations: {ans:?}");
+        // A frozen generation doubles the advertised slack.
+        let single = map.get_or_create(10).certified(1).slack;
+        assert_eq!(ans.slack, single * 2);
+    }
+
+    #[test]
+    fn merge_folds_both_generations_and_rejects_self() {
+        let map = map();
+        let a = map.get_or_create(1);
+        let b = map.get_or_create(2);
+        a.ingest(&[(5, 10)]);
+        a.seal();
+        a.ingest(&[(5, 20)]);
+        b.ingest(&[(5, 7)]);
+        map.merge(2, 1).unwrap();
+        assert!(b.certified(5).contains(37));
+        // Donor unchanged.
+        assert!(a.certified(5).contains(30));
+        assert!(matches!(map.merge(3, 3), Err(MergeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn opposing_merges_do_not_deadlock() {
+        let map = Arc::new(map());
+        for t in [1u32, 2] {
+            map.get_or_create(t).ingest(&[(1, 1)]);
+        }
+        let m1 = Arc::clone(&map);
+        let m2 = Arc::clone(&map);
+        let h1 = std::thread::spawn(move || {
+            for _ in 0..200 {
+                m1.merge(1, 2).unwrap();
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            for _ in 0..200 {
+                m2.merge(2, 1).unwrap();
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+}

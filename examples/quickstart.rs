@@ -10,11 +10,13 @@ use reliablesketch::prelude::*;
 fn main() {
     // 1. Configure: 512 KB of memory, tolerate at most Λ = 25 error on
     //    any key. Everything else (R_w = 2, R_λ = 2.5, 20 % mice filter)
-    //    follows the paper's recommended defaults.
-    let mut sketch = ReliableSketch::<u64>::builder()
+    //    follows the paper's recommended defaults. The same builder can
+    //    finish with `build_concurrent()`, `build_sharded(n)`, or
+    //    `build_epoched_concurrent()` for the parallel deployment shapes.
+    let mut sketch = reliablesketch::builder()
         .memory_bytes(512 * 1024)
         .error_tolerance(25)
-        .build::<u64>();
+        .build_sequential::<u64>();
 
     // 2. Stream: two million packets of a synthetic CAIDA-like trace.
     let stream = Dataset::IpTrace.generate(2_000_000, 42);

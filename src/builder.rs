@@ -1,0 +1,235 @@
+//! One fluent entry point for every deployment shape.
+//!
+//! The workspace grew one constructor per execution model — sequential
+//! [`ReliableSketch`], lock-free [`ConcurrentReliable`], key-partitioned
+//! [`ShardedReliable`], and the two-generation windows [`EpochedReliable`]
+//! / [`EpochedConcurrent`] — each reachable through its own builder
+//! chain. [`crate::builder()`] unifies them: configure the *sketch* once
+//! (memory, tolerance, seed, filter, emergency policy), then pick the
+//! *deployment* with the final `build_*` call. Applications, the
+//! quickstart example, and the `rsk-serve` tenant map all construct
+//! through this one path, so a configuration audited in one place holds
+//! everywhere.
+//!
+//! Nothing is deprecated: the facade delegates to the same
+//! [`ReliableConfigBuilder`] the per-type builders use, which stays
+//! re-exported for code that already names a concrete type.
+//!
+//! # Examples
+//!
+//! ```
+//! use reliablesketch::prelude::*;
+//!
+//! // one configuration …
+//! let spec = reliablesketch::builder()
+//!     .memory_bytes(64 * 1024)
+//!     .error_tolerance(25)
+//!     .seed(7);
+//!
+//! // … four deployment shapes
+//! let mut seq = spec.clone().build_sequential::<u64>();
+//! let conc = spec.clone().build_concurrent::<u64>();
+//! let sharded = spec.clone().build_sharded::<u64>(4);
+//! let window = spec.build_epoched_concurrent::<u64>();
+//!
+//! seq.insert(&42u64, 10);
+//! conc.insert_concurrent(&42u64, 10);
+//! sharded.insert_shared(&42u64, 10);
+//! window.insert_shared(&42u64, 10);
+//!
+//! // every shape certifies the same truth
+//! assert!(seq.query_with_error(&42u64).contains(10));
+//! assert!(conc.query_with_error_concurrent(&42u64).contains(10));
+//! assert!(sharded.query_with_error_concurrent(&42u64).contains(10));
+//! assert!(window.query_with_error_concurrent(&42u64).contains(10));
+//! ```
+
+use rsk_api::Key;
+use rsk_core::{
+    ConcurrentReliable, EmergencyPolicy, EpochedConcurrent, EpochedReliable, MiceFilterConfig,
+    ReliableConfig, ReliableConfigBuilder, ReliableSketch, ShardedReliable,
+};
+
+/// Start configuring a sketch with the paper's default parameters.
+///
+/// Finish with one of [`SketchBuilder`]'s `build_*` methods to pick the
+/// deployment shape; the crate-level docs walk through the full tour.
+pub fn builder() -> SketchBuilder {
+    SketchBuilder {
+        inner: ReliableConfig::builder(),
+    }
+}
+
+/// Fluent configuration shared by every deployment shape — obtain via
+/// [`builder()`], finish with a `build_*` call.
+///
+/// The configuration methods mirror [`ReliableConfigBuilder`] (the
+/// facade holds one internally); the terminal methods select sequential,
+/// concurrent, sharded, or epoched construction from the same validated
+/// [`ReliableConfig`].
+#[derive(Debug, Clone)]
+pub struct SketchBuilder {
+    inner: ReliableConfigBuilder,
+}
+
+impl SketchBuilder {
+    /// Total memory budget in bytes (layers + mice filter).
+    #[must_use]
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.inner = self.inner.memory_bytes(bytes);
+        self
+    }
+
+    /// Error tolerance `Λ`: the worst estimation error the sketch may
+    /// make on any key while the guarantee holds.
+    #[must_use]
+    pub fn error_tolerance(mut self, lambda: u64) -> Self {
+        self.inner = self.inner.error_tolerance(lambda);
+        self
+    }
+
+    /// Master hash seed (per-layer and per-shard seeds derive from it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Disable the mice filter (the paper's "raw" ablation).
+    #[must_use]
+    pub fn raw(mut self) -> Self {
+        self.inner = self.inner.raw();
+        self
+    }
+
+    /// Explicit mice-filter configuration.
+    #[must_use]
+    pub fn mice_filter(mut self, cfg: MiceFilterConfig) -> Self {
+        self.inner = self.inner.mice_filter(cfg);
+        self
+    }
+
+    /// Policy for keys that suffer an insertion failure.
+    #[must_use]
+    pub fn emergency(mut self, policy: EmergencyPolicy) -> Self {
+        self.inner = self.inner.emergency(policy);
+        self
+    }
+
+    /// The validated configuration this builder would hand every shape.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn config(self) -> ReliableConfig {
+        self.inner.build_config()
+    }
+
+    /// The underlying per-type builder, for knobs the facade does not
+    /// mirror (`r_w`, `r_lambda`, `depth`, `confidence`, …).
+    pub fn into_config_builder(self) -> ReliableConfigBuilder {
+        self.inner
+    }
+
+    /// Single-threaded [`ReliableSketch`] — the paper's reference
+    /// structure.
+    pub fn build_sequential<K: Key>(self) -> ReliableSketch<K> {
+        self.inner.build()
+    }
+
+    /// Lock-free [`ConcurrentReliable`] for shared-reference ingestion
+    /// from any number of threads.
+    pub fn build_concurrent<K: Key>(self) -> ConcurrentReliable<K> {
+        self.inner.build_concurrent()
+    }
+
+    /// Key-partitioned [`ShardedReliable`] over `n_shards` lock-free
+    /// shards (deterministic parallel ingestion).
+    pub fn build_sharded<K: Key>(self, n_shards: usize) -> ShardedReliable<K> {
+        self.inner.build_sharded(n_shards)
+    }
+
+    /// Two-generation rotating window over sequential sketches.
+    pub fn build_epoched<K: Key>(self) -> EpochedReliable<K> {
+        self.inner.build_epoched()
+    }
+
+    /// Two-generation rotating window over lock-free sketches — the
+    /// multi-tenant serving shape (`rsk-serve` builds one per tenant).
+    pub fn build_epoched_concurrent<K: Key>(self) -> EpochedConcurrent<K> {
+        self.inner.build_epoched_concurrent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rsk_api::{ConcurrentErrorSensing, ErrorSensing, StreamSummary};
+    use rsk_core::EmergencyPolicy;
+
+    fn spec() -> super::SketchBuilder {
+        super::builder()
+            .memory_bytes(64 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(11)
+    }
+
+    #[test]
+    fn facade_config_matches_per_type_builder() {
+        let via_facade = spec().config();
+        let direct = rsk_core::ReliableConfig::builder()
+            .memory_bytes(64 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(11)
+            .build_config();
+        assert_eq!(via_facade, direct, "one construction path, one config");
+    }
+
+    #[test]
+    fn all_shapes_certify_the_same_truth() {
+        let mut seq = spec().build_sequential::<u64>();
+        let conc = spec().build_concurrent::<u64>();
+        let sharded = spec().build_sharded::<u64>(4);
+        for i in 0..20_000u64 {
+            let k = i % 300;
+            seq.insert(&k, 1);
+            conc.insert_concurrent(&k, 1);
+            sharded.insert_shared(&k, 1);
+        }
+        // All shapes share one validated config; layer geometry and
+        // collision patterns differ per execution model (atomic buckets
+        // are wider, shards reseed), so the cross-shape pin is certified
+        // containment — the bit-for-bit differential lives in
+        // tests/concurrent_parity.rs over geometry-matched twins.
+        for k in 0..300u64 {
+            let truth = 20_000 / 300 + u64::from(k < 20_000 % 300);
+            let s = seq.query_with_error(&k);
+            let c = conc.query_with_error_concurrent(&k);
+            let sh = sharded.query_with_error_concurrent(&k);
+            for est in [s, c, sh] {
+                assert!(est.contains(truth), "key {k}: {truth} ∉ {est:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoched_shapes_rotate() {
+        let mut w = spec().build_epoched::<u64>();
+        w.insert(&1, 5);
+        w.rotate();
+        w.insert(&1, 6);
+        assert!(w.query_with_error(&1).contains(11));
+
+        let mut cw = spec().build_epoched_concurrent::<u64>();
+        cw.insert_shared(&1, 5);
+        cw.rotate();
+        cw.insert_shared(&1, 6);
+        assert!(cw.query_with_error_concurrent(&1).contains(11));
+    }
+
+    #[test]
+    fn escape_hatch_reaches_unmirrored_knobs() {
+        let cfg = spec().into_config_builder().r_w(3.0).build_config();
+        assert_eq!(cfg.r_w, 3.0);
+    }
+}

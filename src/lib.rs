@@ -6,14 +6,19 @@
 //! ```
 //! use reliablesketch::prelude::*;
 //!
-//! let mut sk = ReliableSketch::<u64>::builder()
+//! let mut sk = reliablesketch::builder()
 //!     .memory_bytes(64 * 1024)
 //!     .error_tolerance(25)
-//!     .build::<u64>();
+//!     .build_sequential::<u64>();
 //! sk.insert(&42u64, 10);
 //! let est = sk.query_with_error(&42);
 //! assert!(est.value >= 10 && est.value <= 10 + est.max_possible_error);
 //! ```
+//!
+//! [`builder()`] is the unified construction facade: the same
+//! configuration chain ends in `build_sequential`, `build_concurrent`,
+//! `build_sharded`, or `build_epoched_concurrent` depending on the
+//! deployment shape (see [`SketchBuilder`]).
 //!
 //! The workspace crates are also re-exported as modules: [`hash`],
 //! [`api`], [`stream`], [`core`], [`baselines`], [`metrics`], [`dataplane`].
@@ -29,11 +34,16 @@ pub use rsk_hash as hash;
 pub use rsk_metrics as metrics;
 pub use rsk_stream as stream;
 
+mod builder;
+
+pub use builder::{builder, SketchBuilder};
+
 /// One-stop import for applications.
 pub mod prelude {
+    pub use crate::builder::{builder, SketchBuilder};
     pub use rsk_api::{
-        Clear, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy, MemoryFootprint, Merge,
-        StreamSummary,
+        Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy,
+        MemoryFootprint, Merge, MergeError, StreamSummary,
     };
     pub use rsk_core::{
         merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,

@@ -323,3 +323,30 @@ fn epoched_concurrent_windows_and_rollup() {
         assert!(total.contains(f), "key {k}: {f} ∉ {total:?}");
     }
 }
+
+/// The redesigned `ConcurrentErrorSensing` surface — the path `rsk-serve`
+/// answers `QueryCertified` through — is bit-for-bit equal to the
+/// sequential `query_with_error` in the uncontended one-worker
+/// differential, including through a trait object (the trait is
+/// object-safe by design).
+#[test]
+fn concurrent_error_sensing_trait_is_bit_equal_to_sequential() {
+    let config = filtered_config(8);
+    let (atomic, mut classic) = twins(&config);
+    let (items, truth) = mixed_items(60_000, 23);
+    assert_eq!(atomic.ingest_parallel(&items, 1), items.len());
+    for &(k, v) in &items {
+        classic.insert(&k, v);
+    }
+    let certified: &dyn ConcurrentErrorSensing<u64> = &atomic;
+    for (k, &f) in &truth {
+        let a = certified.query_with_error_concurrent(k);
+        let c = rsk_api::ErrorSensing::query_with_error(&classic, k);
+        assert_eq!(
+            (a.value, a.max_possible_error),
+            (c.value, c.max_possible_error),
+            "trait-path divergence at key {k}"
+        );
+        assert!(a.contains(f), "key {k}: {f} ∉ {a:?}");
+    }
+}

@@ -3,8 +3,9 @@
 //! This build environment has no network access to a crates registry, so the
 //! workspace vendors the slice of `proptest` it uses: the `proptest!` macro
 //! over `name in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
-//! `prop_assume!`, range and tuple strategies, `collection::vec`, and
-//! `bool::ANY`.
+//! `prop_assume!`, range and tuple strategies, `collection::vec`,
+//! `bool::ANY`, full-domain `any::<T>()`, the `prop_map` combinator, and
+//! unweighted `prop_oneof!`.
 //!
 //! Semantics: each test runs `Config::cases` deterministic cases (seeded by
 //! case index, so failures reproduce). There is **no shrinking** — a failure
@@ -28,6 +29,69 @@ pub mod strategy {
 
         /// Draw one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every drawn value with `f`, mirroring
+        /// `proptest`'s `Strategy::prop_map`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed same-valued strategies — the engine
+    /// behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// Build from at least one arm.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    /// Box one `prop_oneof!` arm (free function so arm types unify by
+    /// inference without naming the union's value type).
+    pub fn union_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].sample(rng)
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -96,6 +160,54 @@ pub mod strategy {
 
         fn sample(&self, _rng: &mut TestRng) -> T {
             self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Full-domain strategies, mirroring `proptest::prelude::any`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: std::fmt::Debug {
+        /// Draw one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over `T`'s full domain; obtain via [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// The full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
         }
     }
 }
@@ -269,9 +381,23 @@ pub mod test_runner {
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude::*`.
 
+    pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice among strategies producing the same value type,
+/// mirroring `proptest::prop_oneof!` (without upstream's weighted arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm($arm)),+
+        ])
+    };
 }
 
 /// Assert a condition inside a `proptest!` body.
@@ -427,6 +553,22 @@ mod tests {
         fn assume_retries(x in 0u64..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn map_oneof_and_any(
+            v in prop_oneof![
+                (0u64..10).prop_map(|x| x * 2),
+                Just(1u64),
+                any::<u8>().prop_map(u64::from),
+            ],
+            w in any::<u32>(),
+        ) {
+            prop_assert!(v == 1 || v % 2 == 0 || v <= u64::from(u8::MAX));
+            let _ = w;
         }
     }
 
