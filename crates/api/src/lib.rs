@@ -395,6 +395,127 @@ impl core::fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
+/// Why a replication payload was refused.
+///
+/// The replication layer (`rsk_core::replicate`) ships sketch state
+/// between processes as self-describing binary payloads; these variants
+/// name the precondition that failed when producing or applying one.
+/// Like [`MergeError`] the enum is `#[non_exhaustive]` — match with a
+/// wildcard arm.
+///
+/// # Examples
+///
+/// ```
+/// use rsk_api::ReplicateError;
+///
+/// let e = ReplicateError::UnsupportedFormat { version: 9 };
+/// assert_eq!(e.to_string(), "unsupported replication format version 9");
+/// // a real std error, so `?` can cross into Box<dyn Error> code
+/// let boxed: Box<dyn std::error::Error> = Box::new(ReplicateError::Truncated);
+/// assert!(boxed.to_string().contains("truncated"));
+/// // merge preconditions surface directly when applying deltas
+/// let from_merge: ReplicateError = rsk_api::MergeError::SeedMismatch.into();
+/// assert!(matches!(from_merge, ReplicateError::Incompatible(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicateError {
+    /// The payload ended before its declared structure was complete.
+    Truncated,
+    /// The payload's header declares a codec version this build cannot
+    /// read (or the magic/kind byte is not a replication payload at all).
+    UnsupportedFormat {
+        /// The version byte found in the header.
+        version: u8,
+    },
+    /// The payload decoded structurally but its contents are inconsistent
+    /// (bad tag, out-of-range index, shape violation, trailing bytes, …).
+    Corrupt(String),
+    /// The payload is well-formed but cannot be applied to *this* sketch
+    /// (config/seed/geometry mismatch, wrong payload kind, stale epoch).
+    Incompatible(String),
+}
+
+impl core::fmt::Display for ReplicateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplicateError::Truncated => write!(f, "truncated replication payload"),
+            ReplicateError::UnsupportedFormat { version } => {
+                write!(f, "unsupported replication format version {version}")
+            }
+            ReplicateError::Corrupt(why) => write!(f, "corrupt replication payload: {why}"),
+            ReplicateError::Incompatible(why) => {
+                write!(f, "payload incompatible with this sketch: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicateError {}
+
+impl From<MergeError> for ReplicateError {
+    fn from(e: MergeError) -> Self {
+        ReplicateError::Incompatible(e.to_string())
+    }
+}
+
+/// Sketch state that can leave the process: full snapshots, slim
+/// query-only summaries, and dirty-bucket deltas, all as self-describing
+/// binary payloads (see `rsk_core::replicate` for the codec).
+///
+/// The trait is deliberately byte-oriented so it stays object safe and
+/// implementation-agnostic: a replication pipeline can hold
+/// `Box<dyn Replicate>` tenants and ship whatever they emit. Payloads are
+/// self-describing — [`apply_bytes`](Self::apply_bytes) accepts either a
+/// full snapshot (replacing this sketch's state) or a delta (folding in
+/// buckets dirtied since the source's last [`delta_bytes`] call), and
+/// refuses anything incompatible with a typed [`ReplicateError`].
+///
+/// Contract:
+///
+/// * `snapshot_bytes` → `apply_bytes` on a same-config sketch must make
+///   the replica answer `query_with_error` identically to the source at
+///   snapshot time;
+/// * `delta_bytes` emits every bucket touched since the previous
+///   `delta_bytes`/`snapshot_bytes` call **and marks the state clean**
+///   (hence `&mut self`: emission is a cut point, not a pure read);
+/// * applying a snapshot and then every subsequent delta, in order,
+///   keeps the replica equivalent to the source at each cut;
+/// * `slim_bytes` emits a query-only distillate (a `SlimSummary` in
+///   `rsk-core` terms): smaller than a snapshot, answers certified
+///   queries standalone within a documented widening, but cannot be
+///   updated or merged further.
+///
+/// [`delta_bytes`]: Self::delta_bytes
+pub trait Replicate {
+    /// Serialize the complete sketch state.
+    ///
+    /// # Errors
+    /// [`ReplicateError`] if the state cannot be captured (e.g. the
+    /// implementation requires a sealed generation it cannot take here).
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, ReplicateError>;
+
+    /// Serialize a slim query-only summary of the current state.
+    ///
+    /// # Errors
+    /// [`ReplicateError`] if the state cannot be distilled.
+    fn slim_bytes(&self) -> Result<Vec<u8>, ReplicateError>;
+
+    /// Serialize only state dirtied since the last cut, and mark clean.
+    ///
+    /// # Errors
+    /// [`ReplicateError`] if the dirty state cannot be captured.
+    fn delta_bytes(&mut self) -> Result<Vec<u8>, ReplicateError>;
+
+    /// Apply a payload produced by [`Self::snapshot_bytes`] (replaces
+    /// state) or [`Self::delta_bytes`] (folds in dirtied buckets).
+    ///
+    /// # Errors
+    /// [`ReplicateError`] naming why the payload was refused; on error
+    /// the sketch is unchanged.
+    fn apply_bytes(&mut self, payload: &[u8]) -> Result<(), ReplicateError>;
+}
+
 /// Sketches that can absorb another instance built with identical
 /// parameters (same shape, same seeds) — the distributed-aggregation
 /// primitive: summarize per shard, merge centrally.

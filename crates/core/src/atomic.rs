@@ -229,6 +229,12 @@ impl AtomicStats {
 #[derive(Debug)]
 pub struct AtomicBucketArray {
     words: Vec<AtomicU64>,
+    /// One bit per bucket word, set on CAS commit: the replication
+    /// layer's "touched since the last cut" map (see
+    /// [`crate::replicate`]). Kept as its own word array so the hot path
+    /// pays one relaxed load (and a `fetch_or` only on the first touch)
+    /// per committed step.
+    dirty: Vec<AtomicU64>,
     offsets: Vec<usize>,
     widths: Vec<usize>,
     lambdas: Vec<u64>,
@@ -255,8 +261,10 @@ impl AtomicBucketArray {
             total += w;
         }
         let words = (0..total).map(|_| AtomicU64::new(0)).collect();
+        let dirty = (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
         Self {
             words,
+            dirty,
             offsets,
             widths,
             lambdas,
@@ -303,7 +311,8 @@ impl AtomicBucketArray {
     /// CAS loop; returns the leftover value that must descend.
     #[inline]
     pub fn insert_step(&self, layer: usize, index: usize, fingerprint: u64, value: u64) -> u64 {
-        let cell = &self.words[self.offsets[layer] + index];
+        let global = self.offsets[layer] + index;
+        let cell = &self.words[global];
         let lambda = self.lambdas[layer];
         let mut current = cell.load(Ordering::Acquire);
         loop {
@@ -313,6 +322,7 @@ impl AtomicBucketArray {
                     if saturated {
                         self.stats.saturations.fetch_add(1, Ordering::Relaxed);
                     }
+                    self.mark_dirty(global);
                     return leftover;
                 }
                 Err(actual) => {
@@ -320,6 +330,19 @@ impl AtomicBucketArray {
                     current = actual;
                 }
             }
+        }
+    }
+
+    /// Flag bucket `global` as touched since the last replication cut.
+    /// Check-before-or keeps the steady state (bit already set) to one
+    /// relaxed load; losing the `fetch_or` race is harmless — the bit
+    /// only ever turns on between cuts.
+    #[inline]
+    fn mark_dirty(&self, global: usize) {
+        let bit = 1u64 << (global & 63);
+        let word = &self.dirty[global >> 6];
+        if word.load(Ordering::Relaxed) & bit == 0 {
+            word.fetch_or(bit, Ordering::Relaxed);
         }
     }
 
@@ -351,6 +374,51 @@ impl AtomicBucketArray {
             .collect()
     }
 
+    /// Per-layer indices of buckets touched since the last
+    /// [`Self::clear_dirty`] (ascending within each layer). This is the
+    /// work list a replication delta serializes.
+    pub(crate) fn dirty_indices(&self) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = self.widths.iter().map(|_| Vec::new()).collect();
+        for (layer, (&off, &w)) in self.offsets.iter().zip(&self.widths).enumerate() {
+            for j in 0..w {
+                let global = off + j;
+                if self.dirty[global >> 6].load(Ordering::Acquire) & (1u64 << (global & 63)) != 0 {
+                    out[layer].push(j as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Buckets currently flagged dirty (replication diagnostics).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Drop every dirty flag — the replication cut point. Exclusive
+    /// access guarantees no in-flight insertion can race the clear.
+    pub(crate) fn clear_dirty(&mut self) {
+        for w in &mut self.dirty {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Overwrite bucket `(layer, index)` with explicit fields (replica
+    /// restore/apply paths; exclusive access). The fields must fit the
+    /// packed word — the caller validates against [`FP_MASK`],
+    /// [`COUNT_MAX`] and [`ERR_MAX`] before reaching here.
+    pub(crate) fn store_bucket(&mut self, layer: usize, index: usize, fp: u64, yes: u64, no: u64) {
+        let global = self.offsets[layer] + index;
+        *self.words[global].get_mut() = if yes == 0 && no == 0 && fp == 0 {
+            0
+        } else {
+            pack(fp, yes, no)
+        };
+    }
+
     /// Zero every bucket word, keeping the operation statistics (used
     /// when merging seals the live words into an overlay).
     pub(crate) fn zero_words(&mut self) {
@@ -364,6 +432,7 @@ impl AtomicBucketArray {
     /// bucket words).
     pub fn reset(&mut self) {
         self.zero_words();
+        self.clear_dirty();
         self.stats.reset();
     }
 }
@@ -383,6 +452,14 @@ pub(crate) struct MergedOverlay {
 
 /// Salt separating the fingerprint hash from the per-layer index family.
 const FP_SALT: u64 = 0xf19e_5a1e_0ff5_eeda;
+
+/// The fingerprint-hash seed a sketch built from `seed` uses — shared
+/// with [`crate::replicate::SlimSummary`], which must re-derive the same
+/// fingerprints standalone from a configuration alone.
+#[inline]
+pub(crate) fn fp_seed_for(seed: u64) -> u32 {
+    splitmix64(seed ^ FP_SALT) as u32
+}
 
 /// Lock-free ReliableSketch over an [`AtomicBucketArray`]: shared-`&self`
 /// insertion from any number of threads, with the paper's §3.3 mice
@@ -428,6 +505,15 @@ pub struct ConcurrentReliable<K: Key> {
     failures: AtomicU64,
     emergency: Mutex<EmergencyStore<K>>,
     merged: Option<MergedOverlay>,
+    /// Bumped whenever the sealed overlay mutates (every merge funnels
+    /// through [`Self::seal_into_overlay`]); lets a replication cut detect
+    /// that live-word dirty bits no longer tell the whole story and fall
+    /// back to a full snapshot.
+    merge_epoch: u64,
+    /// Baselines recorded at the last replication cut (see
+    /// [`crate::replicate`]); `None` until the sketch first ships a delta.
+    #[cfg(feature = "serde")]
+    cut: Option<crate::replicate::ReplicaCut>,
 }
 
 impl<K: Key> ConcurrentReliable<K> {
@@ -489,6 +575,9 @@ impl<K: Key> ConcurrentReliable<K> {
             failures: AtomicU64::new(0),
             emergency,
             merged: None,
+            merge_epoch: 0,
+            #[cfg(feature = "serde")]
+            cut: None,
         }
     }
 
@@ -704,6 +793,7 @@ impl<K: Key> ConcurrentReliable<K> {
     /// first use) and zero them, so post-merge insertions accumulate in a
     /// fresh generation. Operation statistics survive.
     pub(crate) fn seal_into_overlay(&mut self) {
+        self.merge_epoch += 1;
         let readout = self.array.read_out();
         match &mut self.merged {
             Some(overlay) => {
@@ -754,6 +844,44 @@ impl<K: Key> ConcurrentReliable<K> {
     /// Clone of the peer's emergency store (read under its mutex).
     pub(crate) fn peer_emergency(&self) -> EmergencyStore<K> {
         self.emergency.lock().clone()
+    }
+
+    // ---- crate-internal access for the replication layer ----
+
+    /// The sealed merge overlay, if any (replication capture).
+    pub(crate) fn overlay(&self) -> Option<&MergedOverlay> {
+        self.merged.as_ref()
+    }
+
+    /// Overlay mutation counter (see the `merge_epoch` field).
+    pub(crate) fn merge_epoch(&self) -> u64 {
+        self.merge_epoch
+    }
+
+    /// Exclusive access to the bucket store (replica restore/apply).
+    #[cfg(feature = "serde")]
+    pub(crate) fn array_mut(&mut self) -> &mut AtomicBucketArray {
+        &mut self.array
+    }
+
+    /// Overwrite the failure counter (replica restore/apply).
+    #[cfg(feature = "serde")]
+    pub(crate) fn set_failures(&mut self, failures: u64) {
+        *self.failures.get_mut() = failures;
+    }
+
+    /// The baselines recorded at the last replication cut.
+    #[cfg(feature = "serde")]
+    pub(crate) fn replica_cut(&self) -> Option<&crate::replicate::ReplicaCut> {
+        self.cut.as_ref()
+    }
+
+    /// Record a replication cut: clear the dirty map and remember the
+    /// baselines the next delta diffs against.
+    #[cfg(feature = "serde")]
+    pub(crate) fn set_replica_cut(&mut self, cut: crate::replicate::ReplicaCut) {
+        self.array.clear_dirty();
+        self.cut = Some(cut);
     }
 }
 
@@ -811,6 +939,11 @@ impl<K: Key> Clear for ConcurrentReliable<K> {
         self.failures.store(0, Ordering::Relaxed);
         self.emergency.lock().clear();
         self.merged = None;
+        self.merge_epoch = 0;
+        #[cfg(feature = "serde")]
+        {
+            self.cut = None;
+        }
     }
 }
 

@@ -213,6 +213,23 @@ impl<K: Key> ShardedReliable<K> {
         }
     }
 
+    /// Reassemble a sketch from individually restored shards (the
+    /// replication layer's full-snapshot path). Placement hints and the
+    /// steal gauge do not travel: a replica starts unplaced.
+    #[cfg(feature = "serde")]
+    pub(crate) fn from_restored_shards(
+        shards: Vec<ConcurrentReliable<K>>,
+        router_seed: u32,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a sharded sketch needs ≥ 1 shard");
+        Self {
+            shards,
+            router_seed,
+            placement: None,
+            steals: AtomicU64::new(0),
+        }
+    }
+
     /// The topology hint this sketch was built with, if any.
     pub fn placement(&self) -> Option<&ShardPlacement> {
         self.placement.as_ref()

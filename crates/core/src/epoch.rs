@@ -278,6 +278,11 @@ pub struct EpochedConcurrent<K: Key> {
     frozen: Option<ConcurrentReliable<K>>,
     config: ReliableConfig,
     epoch: u64,
+    /// Epoch index at the last replication cut (see
+    /// [`crate::replicate`]): `None` until the window first ships a
+    /// delta, after which deltas describe "since epoch `cut_epoch`".
+    #[cfg(feature = "serde")]
+    cut_epoch: Option<u64>,
 }
 
 impl<K: Key> EpochedConcurrent<K> {
@@ -299,6 +304,8 @@ impl<K: Key> EpochedConcurrent<K> {
             frozen: None,
             config,
             epoch: 0,
+            #[cfg(feature = "serde")]
+            cut_epoch: None,
         }
     }
 
@@ -320,6 +327,50 @@ impl<K: Key> EpochedConcurrent<K> {
     /// The sealed previous epoch, if one exists (wait-free to query).
     pub fn frozen(&self) -> Option<&ConcurrentReliable<K>> {
         self.frozen.as_ref()
+    }
+
+    // ---- crate-internal access for the replication layer ----
+
+    /// Exclusive access to the active generation (replica apply).
+    #[cfg(feature = "serde")]
+    pub(crate) fn active_mut(&mut self) -> &mut ConcurrentReliable<K> {
+        &mut self.active
+    }
+
+    /// Exclusive access to the frozen generation (replica apply).
+    #[cfg(feature = "serde")]
+    pub(crate) fn frozen_mut(&mut self) -> Option<&mut ConcurrentReliable<K>> {
+        self.frozen.as_mut()
+    }
+
+    /// Replace the whole window state (full-snapshot restore on a
+    /// replica). Resets the replication cut: the installed state is a
+    /// fresh baseline.
+    #[cfg(feature = "serde")]
+    pub(crate) fn install(
+        &mut self,
+        active: ConcurrentReliable<K>,
+        frozen: Option<ConcurrentReliable<K>>,
+        config: ReliableConfig,
+        epoch: u64,
+    ) {
+        self.active = active;
+        self.frozen = frozen;
+        self.config = config;
+        self.epoch = epoch;
+        self.cut_epoch = None;
+    }
+
+    /// Epoch index at the last replication cut.
+    #[cfg(feature = "serde")]
+    pub(crate) fn cut_epoch(&self) -> Option<u64> {
+        self.cut_epoch
+    }
+
+    /// Record the replication cut at the current epoch.
+    #[cfg(feature = "serde")]
+    pub(crate) fn set_cut_epoch(&mut self) {
+        self.cut_epoch = Some(self.epoch);
     }
 
     /// Lock-free insert into the active epoch through a shared reference.
@@ -474,6 +525,10 @@ impl<K: Key> Clear for EpochedConcurrent<K> {
         Clear::clear(&mut self.active);
         self.frozen = None;
         self.epoch = 0;
+        #[cfg(feature = "serde")]
+        {
+            self.cut_epoch = None;
+        }
     }
 }
 

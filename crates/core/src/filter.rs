@@ -492,6 +492,52 @@ impl AtomicMiceFilter {
             .collect()
     }
 
+    /// Overwrite all counters from persisted rows (replication restore).
+    /// [`Self::store_rows`] re-derives the physical lane width, so even
+    /// post-merge counter sums above the configured width restore
+    /// faithfully.
+    ///
+    /// # Errors
+    /// Describes the problem when `rows` does not match this filter's
+    /// logical shape.
+    #[cfg(feature = "serde")]
+    pub(crate) fn restore_rows(&mut self, rows: &[Vec<u64>]) -> Result<(), String> {
+        if rows.len() != self.arrays || rows.iter().any(|r| r.len() != self.width) {
+            return Err("snapshot filter shape mismatch".into());
+        }
+        self.store_rows(rows);
+        Ok(())
+    }
+
+    /// Overwrite individual counters from a replication delta's
+    /// `(row, index, value)` triples. Validates every triple before
+    /// touching state, so an error leaves the filter unchanged.
+    ///
+    /// # Errors
+    /// Describes the offending triple (out-of-range coordinates, or a
+    /// value too wide for the physical lanes — deltas never carry merged
+    /// counter sums, those paths ship full snapshots).
+    #[cfg(feature = "serde")]
+    pub(crate) fn overwrite_counters(&mut self, diffs: &[(u32, u32, u64)]) -> Result<(), String> {
+        let mask = self.lane_mask();
+        for &(row, idx, v) in diffs {
+            if row as usize >= self.arrays || idx as usize >= self.width {
+                return Err(format!(
+                    "filter delta coordinate ({row}, {idx}) out of range"
+                ));
+            }
+            if v > mask {
+                return Err(format!("filter delta counter {v} exceeds the lane width"));
+            }
+        }
+        for &(row, idx, v) in diffs {
+            let (lane, shift) = self.locate(row as usize, idx as usize);
+            let w = self.lanes[lane].get_mut();
+            *w = (*w & !(mask << shift)) | (v << shift);
+        }
+        Ok(())
+    }
+
     /// Shape check shared by the merge entry points.
     fn check_shape(
         &self,

@@ -36,7 +36,12 @@
 //!   two-generation rotating windows (sequential and lock-free);
 //! * [`merge`] — distributed aggregation: [`rsk_api::Merge`] for the
 //!   sequential sketch, both concurrent types, and mixed
-//!   sequential→concurrent folds.
+//!   sequential→concurrent folds;
+//! * [`replicate`] (`serde` feature) — the replication layer: a compact
+//!   binary codec with versioned headers, full snapshots for every
+//!   sketch type, dirty-bitmap deltas that ship only the buckets touched
+//!   since the last cut, and [`replicate::SlimSummary`] query-only
+//!   digests, all behind the uniform [`rsk_api::Replicate`] trait.
 //!
 //! ## Quick start
 //!
@@ -72,10 +77,10 @@ pub mod epoch;
 pub mod filter;
 pub mod geometry;
 pub mod merge;
+#[cfg(feature = "serde")]
+pub mod replicate;
 pub mod schedule;
 pub mod sketch;
-#[cfg(feature = "serde")]
-pub mod snapshot;
 pub mod stats;
 pub mod theory;
 
@@ -90,8 +95,8 @@ pub use epoch::{EpochedConcurrent, EpochedReliable};
 pub use filter::{AtomicMiceFilter, MiceFilter};
 pub use geometry::LayerGeometry;
 pub use merge::merge_all;
+#[cfg(feature = "serde")]
+pub use replicate::{SketchSnapshot, SlimShards, SlimSummary};
 pub use schedule::ShardPlacement;
 pub use sketch::ReliableSketch;
-#[cfg(feature = "serde")]
-pub use snapshot::SketchSnapshot;
 pub use stats::{InsertTrace, QueryTrace, SketchStats, StopLayer};

@@ -1,13 +1,12 @@
-//! Checkpoint / restore (`serde` feature) — persist a ReliableSketch and
-//! resume it elsewhere.
+//! Checkpoint / restore for the sequential [`ReliableSketch`].
 //!
-//! Operational pattern: a measurement process snapshots its sketch at
-//! interval boundaries (for crash recovery, or to ship the interval's
-//! summary to a collector) and restores it on restart. The snapshot is a
-//! plain-data mirror of the sketch — configuration, layer schedule,
-//! bucket fields, mice-filter counters, emergency remainders and merge
-//! hints — independent of the in-memory representation, so it is stable
-//! across versions of this crate that keep the same logical structure.
+//! A snapshot is a plain-data mirror of the sketch — configuration,
+//! layer schedule, bucket fields, mice-filter counters, emergency
+//! remainders and merge hints — independent of the in-memory
+//! representation, so it is stable across versions of this crate that
+//! keep the same logical structure. Snapshots still serialize to JSON
+//! through `serde_json` for human-readable checkpoints, and to the
+//! replication layer's framed binary via [`SketchSnapshot::to_bytes`].
 //!
 //! Operation statistics ([`crate::SketchStats`]) are *not* persisted;
 //! a restored sketch starts with fresh counters, mirroring how a
@@ -25,19 +24,20 @@
 //!     sk.insert(&(i % 100), 1);
 //! }
 //!
-//! let json = serde_json::to_string(&sk.snapshot()).unwrap();
+//! let bytes = sk.snapshot().to_bytes();
 //! let restored = ReliableSketch::<u64>::restore(
-//!     serde_json::from_str(&json).unwrap(),
+//!     rsk_core::replicate::SketchSnapshot::from_bytes(&bytes).unwrap(),
 //! ).unwrap();
 //! assert_eq!(restored.query_with_error(&7u64), sk.query_with_error(&7u64));
 //! ```
 
+use super::codec::{self, PayloadKind};
 use crate::bucket::EsBucket;
 use crate::config::ReliableConfig;
 use crate::emergency::EmergencyStore;
 use crate::geometry::LayerGeometry;
 use crate::sketch::ReliableSketch;
-use rsk_api::Key;
+use rsk_api::{Key, Replicate, ReplicateError};
 use serde::{Deserialize, Serialize};
 
 /// Persisted bucket: `(ID, YES, NO)`.
@@ -77,129 +77,34 @@ pub enum EmergencyState<K> {
     },
 }
 
-/// A complete, self-describing checkpoint of a [`ReliableSketch`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SketchSnapshot<K> {
-    /// The configuration the sketch was built from.
-    pub config: ReliableConfig,
-    /// Materialized layer widths (persisted explicitly so snapshots of
-    /// custom-geometry sketches restore faithfully).
-    pub widths: Vec<usize>,
-    /// Materialized lock thresholds.
-    pub lambdas: Vec<u64>,
-    /// Bucket fields, layer by layer.
-    pub layers: Vec<Vec<BucketState<K>>>,
-    /// Mice-filter counter rows, if the filter exists.
-    pub filter_rows: Option<Vec<Vec<u64>>>,
-    /// Emergency-store contents.
-    pub emergency: EmergencyState<K>,
-    /// Per-bucket merge hints (empty unless the sketch was merged).
-    pub divert_hints: Vec<Vec<bool>>,
-}
-
-impl<K: Key> ReliableSketch<K> {
-    /// Capture a plain-data checkpoint of the sketch's full logical state.
-    pub fn snapshot(&self) -> SketchSnapshot<K> {
-        let (filter, layers, emergency, _stats, hints) = self.peer_parts();
-        SketchSnapshot {
-            config: self.config().clone(),
-            widths: self.geometry().widths().to_vec(),
-            lambdas: self.geometry().lambdas().to_vec(),
-            layers: layers
-                .iter()
-                .map(|layer| {
-                    layer
-                        .iter()
-                        .map(|b| BucketState {
-                            id: b.id().copied(),
-                            yes: b.yes(),
-                            no: b.no(),
-                        })
-                        .collect()
-                })
-                .collect(),
-            filter_rows: filter.as_ref().map(|f| f.rows_raw().to_vec()),
-            emergency: match emergency {
-                EmergencyStore::Disabled {
-                    failures,
-                    dropped_value,
-                } => EmergencyState::Disabled {
-                    failures: *failures,
-                    dropped_value: *dropped_value,
-                },
-                EmergencyStore::Exact { table, failures } => EmergencyState::Exact {
-                    entries: table.iter().map(|(k, v)| (*k, *v)).collect(),
-                    failures: *failures,
-                },
-                EmergencyStore::SpaceSaving {
-                    slots, failures, ..
-                } => EmergencyState::SpaceSaving {
-                    slots: slots.clone(),
-                    failures: *failures,
-                },
+impl<K: Key> EmergencyState<K> {
+    /// Capture the contents of a live store.
+    pub(crate) fn capture(store: &EmergencyStore<K>) -> Self {
+        match store {
+            EmergencyStore::Disabled {
+                failures,
+                dropped_value,
+            } => EmergencyState::Disabled {
+                failures: *failures,
+                dropped_value: *dropped_value,
             },
-            divert_hints: hints.clone(),
+            EmergencyStore::Exact { table, failures } => EmergencyState::Exact {
+                entries: table.iter().map(|(k, v)| (*k, *v)).collect(),
+                failures: *failures,
+            },
+            EmergencyStore::SpaceSaving {
+                slots, failures, ..
+            } => EmergencyState::SpaceSaving {
+                slots: slots.clone(),
+                failures: *failures,
+            },
         }
     }
 
-    /// Rebuild a sketch from a checkpoint.
-    ///
-    /// # Errors
-    /// Rejects snapshots whose configuration fails validation, whose
-    /// schedule is malformed, or whose contents do not match the schedule
-    /// (wrong layer count or width, filter shape mismatch, emergency
-    /// policy mismatch).
-    pub fn restore(snapshot: SketchSnapshot<K>) -> Result<Self, String> {
-        snapshot.config.validate()?;
-        let geometry = LayerGeometry::custom(snapshot.widths, snapshot.lambdas)?;
-        if snapshot.layers.len() != geometry.depth() {
-            return Err(format!(
-                "snapshot has {} layers, schedule {}",
-                snapshot.layers.len(),
-                geometry.depth()
-            ));
-        }
-        for (i, layer) in snapshot.layers.iter().enumerate() {
-            if layer.len() != geometry.width(i) {
-                return Err(format!(
-                    "layer {i} has {} buckets, schedule {}",
-                    layer.len(),
-                    geometry.width(i)
-                ));
-            }
-        }
-        if !snapshot.divert_hints.is_empty()
-            && (snapshot.divert_hints.len() != geometry.depth()
-                || snapshot
-                    .divert_hints
-                    .iter()
-                    .zip(geometry.widths())
-                    .any(|(h, &w)| h.len() != w))
-        {
-            return Err("divert hint shape mismatch".into());
-        }
-
-        let mut sketch = ReliableSketch::with_geometry(snapshot.config, geometry);
-        let (filter, layers, emergency, _stats, hints) = sketch.merge_parts();
-
-        match (filter.as_mut(), snapshot.filter_rows) {
-            (Some(f), Some(rows)) => f.restore_rows(rows)?,
-            (None, None) => {}
-            _ => return Err("snapshot filter presence mismatch".into()),
-        }
-
-        *layers = snapshot
-            .layers
-            .into_iter()
-            .map(|layer| {
-                layer
-                    .into_iter()
-                    .map(|b| EsBucket::from_parts(b.id, b.yes, b.no))
-                    .collect()
-            })
-            .collect();
-
-        match (emergency, snapshot.emergency) {
+    /// Install captured contents into a freshly built store of the same
+    /// policy, rejecting shape mismatches without touching `store`.
+    pub(crate) fn install(self, store: &mut EmergencyStore<K>) -> Result<(), ReplicateError> {
+        match (store, self) {
             (
                 EmergencyStore::Disabled {
                     failures,
@@ -235,20 +140,180 @@ impl<K: Key> ReliableSketch<K> {
                 },
             ) => {
                 if s.len() > *capacity {
-                    return Err(format!(
+                    return Err(ReplicateError::Corrupt(format!(
                         "snapshot carries {} SpaceSaving slots, capacity {}",
                         s.len(),
                         capacity
-                    ));
+                    )));
                 }
                 *slots = s;
                 *failures = f;
             }
-            _ => return Err("snapshot emergency policy mismatch".into()),
+            _ => {
+                return Err(ReplicateError::Incompatible(
+                    "snapshot emergency policy mismatch".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete, self-describing checkpoint of a [`ReliableSketch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchSnapshot<K> {
+    /// The configuration the sketch was built from.
+    pub config: ReliableConfig,
+    /// Materialized layer widths (persisted explicitly so snapshots of
+    /// custom-geometry sketches restore faithfully).
+    pub widths: Vec<usize>,
+    /// Materialized lock thresholds.
+    pub lambdas: Vec<u64>,
+    /// Bucket fields, layer by layer.
+    pub layers: Vec<Vec<BucketState<K>>>,
+    /// Mice-filter counter rows, if the filter exists.
+    pub filter_rows: Option<Vec<Vec<u64>>>,
+    /// Emergency-store contents.
+    pub emergency: EmergencyState<K>,
+    /// Per-bucket merge hints (empty unless the sketch was merged).
+    pub divert_hints: Vec<Vec<bool>>,
+}
+
+impl<K: Key + Serialize + Deserialize> SketchSnapshot<K> {
+    /// Encode with the replication layer's framed binary codec
+    /// ([`PayloadKind::SequentialSnapshot`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        codec::to_bytes(PayloadKind::SequentialSnapshot, self)
+    }
+
+    /// Decode a framed binary payload produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    /// Total over arbitrary input — see [`ReplicateError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReplicateError> {
+        codec::from_bytes(PayloadKind::SequentialSnapshot, bytes)
+    }
+}
+
+impl<K: Key> ReliableSketch<K> {
+    /// Capture a plain-data checkpoint of the sketch's full logical state.
+    pub fn snapshot(&self) -> SketchSnapshot<K> {
+        let (filter, layers, emergency, _stats, hints) = self.peer_parts();
+        SketchSnapshot {
+            config: self.config().clone(),
+            widths: self.geometry().widths().to_vec(),
+            lambdas: self.geometry().lambdas().to_vec(),
+            layers: layers
+                .iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|b| BucketState {
+                            id: b.id().copied(),
+                            yes: b.yes(),
+                            no: b.no(),
+                        })
+                        .collect()
+                })
+                .collect(),
+            filter_rows: filter.as_ref().map(|f| f.rows_raw().to_vec()),
+            emergency: EmergencyState::capture(emergency),
+            divert_hints: hints.clone(),
+        }
+    }
+
+    /// Rebuild a sketch from a checkpoint.
+    ///
+    /// # Errors
+    /// Returns [`ReplicateError::Corrupt`] for snapshots whose
+    /// configuration fails validation, whose schedule is malformed, or
+    /// whose contents do not match the schedule (wrong layer count or
+    /// width, filter shape mismatch), and
+    /// [`ReplicateError::Incompatible`] for an emergency policy mismatch.
+    pub fn restore(snapshot: SketchSnapshot<K>) -> Result<Self, ReplicateError> {
+        snapshot
+            .config
+            .validate()
+            .map_err(ReplicateError::Corrupt)?;
+        let geometry = LayerGeometry::custom(snapshot.widths, snapshot.lambdas)
+            .map_err(ReplicateError::Corrupt)?;
+        if snapshot.layers.len() != geometry.depth() {
+            return Err(ReplicateError::Corrupt(format!(
+                "snapshot has {} layers, schedule {}",
+                snapshot.layers.len(),
+                geometry.depth()
+            )));
+        }
+        for (i, layer) in snapshot.layers.iter().enumerate() {
+            if layer.len() != geometry.width(i) {
+                return Err(ReplicateError::Corrupt(format!(
+                    "layer {i} has {} buckets, schedule {}",
+                    layer.len(),
+                    geometry.width(i)
+                )));
+            }
+        }
+        if !snapshot.divert_hints.is_empty()
+            && (snapshot.divert_hints.len() != geometry.depth()
+                || snapshot
+                    .divert_hints
+                    .iter()
+                    .zip(geometry.widths())
+                    .any(|(h, &w)| h.len() != w))
+        {
+            return Err(ReplicateError::Corrupt("divert hint shape mismatch".into()));
         }
 
+        let mut sketch = ReliableSketch::with_geometry(snapshot.config, geometry);
+        let (filter, layers, emergency, _stats, hints) = sketch.merge_parts();
+
+        match (filter.as_mut(), snapshot.filter_rows) {
+            (Some(f), Some(rows)) => f.restore_rows(rows).map_err(ReplicateError::Corrupt)?,
+            (None, None) => {}
+            _ => {
+                return Err(ReplicateError::Corrupt(
+                    "snapshot filter presence mismatch".into(),
+                ))
+            }
+        }
+
+        *layers = snapshot
+            .layers
+            .into_iter()
+            .map(|layer| {
+                layer
+                    .into_iter()
+                    .map(|b| EsBucket::from_parts(b.id, b.yes, b.no))
+                    .collect()
+            })
+            .collect();
+
+        snapshot.emergency.install(emergency)?;
         *hints = snapshot.divert_hints;
         Ok(sketch)
+    }
+}
+
+impl<K: Key + Serialize + Deserialize> Replicate for ReliableSketch<K> {
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, ReplicateError> {
+        Ok(self.snapshot().to_bytes())
+    }
+
+    fn slim_bytes(&self) -> Result<Vec<u8>, ReplicateError> {
+        Ok(super::SlimSummary::from_sequential(self).to_bytes())
+    }
+
+    /// Sequential sketches track no dirty state, so a "delta" is always
+    /// a full snapshot — a contract-valid (if maximal) superset of the
+    /// changes since the last cut.
+    fn delta_bytes(&mut self) -> Result<Vec<u8>, ReplicateError> {
+        self.snapshot_bytes()
+    }
+
+    fn apply_bytes(&mut self, payload: &[u8]) -> Result<(), ReplicateError> {
+        let snapshot = SketchSnapshot::from_bytes(payload)?;
+        *self = ReliableSketch::restore(snapshot)?;
+        Ok(())
     }
 }
 
@@ -284,6 +349,53 @@ mod tests {
         let restored = ReliableSketch::restore(serde_json::from_str(&json).unwrap()).unwrap();
         answers_match(&sk, &restored, 500);
         assert_eq!(restored.insertion_failures(), sk.insertion_failures());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_every_answer() {
+        let sk = loaded(8);
+        let bytes = sk.snapshot().to_bytes();
+        let restored =
+            ReliableSketch::restore(SketchSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        answers_match(&sk, &restored, 500);
+        assert_eq!(restored.insertion_failures(), sk.insertion_failures());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let sk = loaded(9);
+        let bytes = sk.snapshot().to_bytes();
+        let json = serde_json::to_string(&sk.snapshot()).unwrap();
+        // mostly small LEB128 integers vs short decimal literals, so the
+        // win is real but modest — pin direction and a 10% floor
+        assert!(
+            bytes.len() * 10 < json.len() * 9,
+            "binary {} vs json {}",
+            bytes.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn replicate_trait_ships_sequential_state() {
+        let mut primary = loaded(10);
+        let mut replica = ReliableSketch::<u64>::builder()
+            .memory_bytes(16 * 1024)
+            .error_tolerance(25)
+            .emergency(EmergencyPolicy::ExactTable)
+            .seed(10)
+            .build::<u64>();
+        replica
+            .apply_bytes(&primary.delta_bytes().unwrap())
+            .unwrap();
+        answers_match(&primary, &replica, 500);
+        // a slim payload is not a snapshot: apply must refuse, untouched
+        let slim = primary.slim_bytes().unwrap();
+        assert!(matches!(
+            replica.apply_bytes(&slim),
+            Err(ReplicateError::Incompatible(_))
+        ));
+        answers_match(&primary, &replica, 500);
     }
 
     #[test]
@@ -359,9 +471,10 @@ mod tests {
             tuple[0] = (i % 50) as u8;
             sk.insert(&tuple, 1);
         }
-        let json = serde_json::to_string(&sk.snapshot()).unwrap();
+        let bytes = sk.snapshot().to_bytes();
         let restored =
-            ReliableSketch::<[u8; 13]>::restore(serde_json::from_str(&json).unwrap()).unwrap();
+            ReliableSketch::<[u8; 13]>::restore(SketchSnapshot::from_bytes(&bytes).unwrap())
+                .unwrap();
         for b in 0..50u8 {
             tuple[0] = b;
             assert_eq!(
@@ -392,7 +505,13 @@ mod tests {
             failures: 0,
             dropped_value: 0,
         };
-        assert!(ReliableSketch::restore(s).is_err(), "policy mismatch");
+        assert!(
+            matches!(
+                ReliableSketch::restore(s),
+                Err(ReplicateError::Incompatible(_))
+            ),
+            "policy mismatch"
+        );
 
         let mut s = sk.snapshot();
         s.config.lambda = 0;

@@ -1,0 +1,674 @@
+//! Slim summaries: query-only digests in the spirit of SF-sketch's
+//! "fat insert, slim query" split.
+//!
+//! A [`SlimSummary`] distills a sketch into the minimum a collector
+//! needs to answer point queries with certified intervals: the occupied
+//! buckets of the effective layer union (fingerprint space), the layer
+//! schedule, divert hints, and the emergency remainders. Mice-filter
+//! counters — the bulk of a snapshot at typical configurations — do
+//! *not* travel; the filter's threshold is substituted for the unknown
+//! per-key contribution, which widens every answer by at most
+//! [`SlimSummary::slack`] while keeping the certified-interval
+//! guarantee (`truth ∈ [value − MPE, value]`, modulo the same 2⁻²⁴
+//! fingerprint-aliasing caveat carried by merged concurrent sketches,
+//! which also operate in fingerprint space).
+
+use super::codec::{self, PayloadKind};
+use crate::atomic::{fp_seed_for, ConcurrentReliable, FP_MASK};
+use crate::bucket::EsBucket;
+use crate::concurrent::ShardedReliable;
+use crate::config::ReliableConfig;
+use crate::emergency::EmergencyStore;
+use crate::epoch::EpochedConcurrent;
+use crate::sketch::ReliableSketch;
+use rsk_api::{Estimate, Key, ReplicateError};
+use rsk_hash::HashFamily;
+use serde::{Deserialize, Serialize};
+
+/// A standalone query-only digest of one sketch (or one unioned window).
+///
+/// Built by the `from_*` constructors, shipped via
+/// [`rsk_api::Replicate::slim_bytes`], and queried with
+/// [`Self::query_with_error`] from nothing but the payload — the
+/// receiving side needs no sketch of its own.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlimSummary {
+    /// The source sketch's configuration (hash seeds travel here).
+    pub config: ReliableConfig,
+    /// Materialized layer widths.
+    pub widths: Vec<usize>,
+    /// Materialized lock thresholds.
+    pub lambdas: Vec<u64>,
+    /// Occupied buckets of the effective layer union, ascending by
+    /// index: `(index, fingerprint, yes, no)` — `None` for a bucket
+    /// holding pure collision volume.
+    pub layers: super::SparseBucketRows,
+    /// Divert-hinted bucket indices per layer, ascending.
+    pub hints: Vec<Vec<u32>>,
+    /// Emergency remainders: `(fingerprint, value, overestimate)`,
+    /// fingerprint-collision groups pessimized to `overestimate = value`.
+    pub extras: Vec<(u64, u64, u64)>,
+    /// Σ of the source generations' observed filter counter ceilings,
+    /// substituted for the unknown per-key filter contributions. At most
+    /// the configured threshold per unmerged generation; grows
+    /// counter-wise under merges (filters add without re-capping).
+    pub filter_slack: u64,
+    /// Documented worst-case widening vs the source's certified answer.
+    slack: u64,
+}
+
+impl SlimSummary {
+    /// Distill a sequential [`ReliableSketch`] (keys map to the same
+    /// 24-bit fingerprints [`ConcurrentReliable`] uses, so slim payloads
+    /// from either source are interchangeable on the collector side).
+    pub fn from_sequential<K: Key>(sketch: &ReliableSketch<K>) -> Self {
+        let (filter, layers_k, emergency, _stats, hints) = sketch.peer_parts();
+        let fp_seed = fp_seed_for(sketch.config().seed);
+        let layers: Vec<Vec<EsBucket<u64>>> = layers_k
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|b| {
+                        EsBucket::from_parts(
+                            b.id().map(|k| u64::from(k.hash32(fp_seed)) & FP_MASK),
+                            b.yes(),
+                            b.no(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let hints = normalize_hints(hints.clone(), &layers);
+        distill(
+            sketch.config(),
+            sketch.geometry().widths(),
+            sketch.geometry().lambdas(),
+            &layers,
+            &hints,
+            extras_from(emergency, fp_seed),
+            filter.as_ref().map_or(0, |f| filter_ceiling(f.rows_raw())),
+            1,
+        )
+    }
+
+    /// Distill a [`ConcurrentReliable`] (overlay and live words unioned).
+    pub fn from_concurrent<K: Key>(sketch: &ConcurrentReliable<K>) -> Self {
+        let (layers, hints) = sketch.effective_layers();
+        let hints = normalize_hints(hints, &layers);
+        let fp_seed = fp_seed_for(sketch.config().seed);
+        distill(
+            sketch.config(),
+            sketch.geometry().widths(),
+            sketch.geometry().lambdas(),
+            &layers,
+            &hints,
+            extras_from(&sketch.peer_emergency(), fp_seed),
+            sketch
+                .filter()
+                .map_or(0, |f| filter_ceiling(&f.rows_snapshot())),
+            1,
+        )
+    }
+
+    /// Distill a whole [`EpochedConcurrent`] window: both visible
+    /// generations union into one digest (the same soundness argument as
+    /// [`rsk_api::Merge`]), with the slack accounting for one filter
+    /// threshold and one lambda budget per generation.
+    pub fn from_epoched<K: Key>(window: &EpochedConcurrent<K>) -> Self {
+        let active = window.active();
+        let fp_seed = fp_seed_for(active.config().seed);
+        let (mut layers, hints) = active.effective_layers();
+        let mut hints = normalize_hints(hints, &layers);
+        let mut filter_slack = active
+            .filter()
+            .map_or(0, |f| filter_ceiling(&f.rows_snapshot()));
+        let mut extras = extras_from(&active.peer_emergency(), fp_seed);
+        let mut gens = 1;
+        if let Some(frozen) = window.frozen() {
+            let (f_layers, f_hints) = frozen.effective_layers();
+            crate::merge::union_layers(
+                &mut layers,
+                &mut hints,
+                &f_layers,
+                &f_hints,
+                active.geometry().lambdas(),
+            );
+            filter_slack += frozen
+                .filter()
+                .map_or(0, |f| filter_ceiling(&f.rows_snapshot()));
+            extras.extend(extras_from(&frozen.peer_emergency(), fp_seed));
+            gens += 1;
+        }
+        distill(
+            active.config(),
+            active.geometry().widths(),
+            active.geometry().lambdas(),
+            &layers,
+            &hints,
+            extras,
+            filter_slack,
+            gens,
+        )
+    }
+
+    /// Point query with a certified interval, standalone from the
+    /// payload: the layer walk mirrors the source sketch's
+    /// (`query_with_error`), with the filter threshold substituted for
+    /// the unknown filter contribution.
+    pub fn query_with_error<K: Key>(&self, key: &K) -> Estimate {
+        let hashes = HashFamily::new(self.widths.len(), self.config.seed);
+        let fp = u64::from(key.hash32(fp_seed_for(self.config.seed))) & FP_MASK;
+        let mut est = self.filter_slack;
+        let mut mpe = self.filter_slack;
+        for i in 0..self.widths.len() {
+            let j = hashes.index(i, key, self.widths[i]) as u32;
+            let (id, yes, no) = match self.layers[i].binary_search_by_key(&j, |e| e.0) {
+                Ok(pos) => {
+                    let (_, id, yes, no) = self.layers[i][pos];
+                    (id, yes, no)
+                }
+                Err(_) => (None, 0, 0),
+            };
+            let matches = id == Some(fp);
+            est += if matches { yes } else { no };
+            mpe += no;
+            let hinted = self.hints[i].binary_search(&j).is_ok();
+            if !hinted && (no < self.lambdas[i] || yes == no || matches) {
+                break;
+            }
+        }
+        for &(efp, value, over) in &self.extras {
+            if efp == fp {
+                est += value;
+                mpe += over;
+            }
+        }
+        Estimate {
+            value: est,
+            max_possible_error: mpe,
+        }
+    }
+
+    /// The point estimate alone (an upper bound on the truth).
+    pub fn query<K: Key>(&self, key: &K) -> u64 {
+        self.query_with_error(key).value
+    }
+
+    /// Conservative planning figure for how much wider this digest's
+    /// answers run than the source's certified answers:
+    /// `Σ filter ceilings + generations × Σ λ_i`, fixed at distill time.
+    ///
+    /// For a single-generation source, any key that descends past the
+    /// mice filter gets the *identical* layer walk, so its answer exceeds
+    /// the source's by at most the filter substitution (≤ the first
+    /// term); the `generations × Σ λ_i` term budgets the walk a mouse key
+    /// (answered from the filter alone at the source) performs here.
+    /// Union digests — epoched windows with a frozen generation, merged
+    /// sources — additionally inherit the same data-dependent pessimism
+    /// as [`rsk_api::Merge`]. The certified interval returned by
+    /// [`Self::query_with_error`] holds in every case; `slack` only
+    /// calibrates expectations against the primary.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
+    /// Encode with the replication layer's framed binary codec
+    /// ([`PayloadKind::SlimSummary`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        codec::to_bytes(PayloadKind::SlimSummary, self)
+    }
+
+    /// Decode and shape-check a framed payload produced by
+    /// [`Self::to_bytes`].
+    ///
+    /// # Errors
+    /// Total over arbitrary input — see [`ReplicateError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReplicateError> {
+        let mut slim: SlimSummary = codec::from_bytes(PayloadKind::SlimSummary, bytes)?;
+        slim.validate()?;
+        // queries binary-search these — normalize hostile orderings
+        // instead of trusting the wire
+        for layer in &mut slim.layers {
+            layer.sort_unstable_by_key(|e| e.0);
+        }
+        for layer in &mut slim.hints {
+            layer.sort_unstable();
+        }
+        Ok(slim)
+    }
+
+    fn validate(&self) -> Result<(), ReplicateError> {
+        let depth = self.widths.len();
+        if depth == 0 || self.widths.contains(&0) {
+            return Err(ReplicateError::Corrupt("degenerate layer schedule".into()));
+        }
+        if self.lambdas.len() != depth || self.layers.len() != depth || self.hints.len() != depth {
+            return Err(ReplicateError::Corrupt(
+                "slim summary row counts disagree with the schedule".into(),
+            ));
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.iter().any(|&(j, ..)| j as usize >= self.widths[i]) {
+                return Err(ReplicateError::Corrupt(format!(
+                    "slim bucket index out of range in layer {i}"
+                )));
+            }
+        }
+        for (i, layer) in self.hints.iter().enumerate() {
+            if layer.iter().any(|&j| j as usize >= self.widths[i]) {
+                return Err(ReplicateError::Corrupt(format!(
+                    "slim hint index out of range in layer {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard slim digests plus the routing seed, so a collector answers
+/// for a [`ShardedReliable`] by routing each query exactly like the
+/// source did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlimShards {
+    /// The routing-hash seed.
+    pub router_seed: u32,
+    /// One digest per shard, in shard order.
+    pub shards: Vec<SlimSummary>,
+}
+
+impl SlimShards {
+    /// Distill every shard of a [`ShardedReliable`].
+    pub fn from_sharded<K: Key>(sketch: &ShardedReliable<K>) -> Self {
+        SlimShards {
+            router_seed: sketch.router_seed(),
+            shards: (0..sketch.shards())
+                .map(|i| SlimSummary::from_concurrent(sketch.shard(i)))
+                .collect(),
+        }
+    }
+
+    /// Point query with a certified interval, routed to the owning
+    /// shard's digest.
+    pub fn query_with_error<K: Key>(&self, key: &K) -> Estimate {
+        let shard =
+            ((u64::from(key.hash32(self.router_seed)) * self.shards.len() as u64) >> 32) as usize;
+        self.shards[shard].query_with_error(key)
+    }
+
+    /// Worst-case per-answer widening: the maximum of the shard slacks
+    /// (each query consults exactly one shard).
+    pub fn slack(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(SlimSummary::slack)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Encode with the replication layer's framed binary codec
+    /// ([`PayloadKind::ShardedSlim`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        codec::to_bytes(PayloadKind::ShardedSlim, self)
+    }
+
+    /// Decode and shape-check a framed payload produced by
+    /// [`Self::to_bytes`].
+    ///
+    /// # Errors
+    /// Total over arbitrary input — see [`ReplicateError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReplicateError> {
+        let shards: SlimShards = codec::from_bytes(PayloadKind::ShardedSlim, bytes)?;
+        if shards.shards.is_empty() {
+            return Err(ReplicateError::Corrupt(
+                "sharded slim summary carries no shards".into(),
+            ));
+        }
+        for shard in &shards.shards {
+            shard.validate()?;
+        }
+        Ok(shards)
+    }
+}
+
+/// The largest value any one key's filter contribution can reach: the
+/// maximum counter across all rows (a key's query is a min over its
+/// lanes). At most the configured threshold for an unmerged filter.
+fn filter_ceiling(rows: &[Vec<u64>]) -> u64 {
+    rows.iter().flatten().copied().max().unwrap_or(0)
+}
+
+/// Full-grid hints for sources that report none (unmerged sketches).
+fn normalize_hints(hints: Vec<Vec<bool>>, layers: &[Vec<EsBucket<u64>>]) -> Vec<Vec<bool>> {
+    if hints.is_empty() {
+        layers.iter().map(|l| vec![false; l.len()]).collect()
+    } else {
+        hints
+    }
+}
+
+/// Emergency remainders as `(fingerprint, value, overestimate)` triples
+/// (keys are unique within one store; cross-store and cross-key
+/// fingerprint collisions are coalesced pessimistically by [`distill`]).
+fn extras_from<K: Key>(store: &EmergencyStore<K>, fp_seed: u32) -> Vec<(u64, u64, u64)> {
+    let fp = |k: &K| u64::from(k.hash32(fp_seed)) & FP_MASK;
+    match store {
+        EmergencyStore::Disabled { .. } => Vec::new(),
+        EmergencyStore::Exact { table, .. } => table.iter().map(|(k, &v)| (fp(k), v, 0)).collect(),
+        EmergencyStore::SpaceSaving { slots, .. } => slots
+            .iter()
+            .map(|(k, v, over)| (fp(k), *v, *over))
+            .collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn distill(
+    config: &ReliableConfig,
+    widths: &[usize],
+    lambdas: &[u64],
+    layers: &[Vec<EsBucket<u64>>],
+    hints: &[Vec<bool>],
+    mut extras: Vec<(u64, u64, u64)>,
+    filter_slack: u64,
+    gens: u64,
+) -> SlimSummary {
+    let slim_layers = layers
+        .iter()
+        .map(|layer| {
+            layer
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(j, b)| (j as u32, b.id().copied(), b.yes(), b.no()))
+                .collect()
+        })
+        .collect();
+    let slim_hints = hints
+        .iter()
+        .map(|layer| {
+            layer
+                .iter()
+                .enumerate()
+                .filter(|(_, &h)| h)
+                .map(|(j, _)| j as u32)
+                .collect()
+        })
+        .collect();
+
+    // Coalesce extras sharing a fingerprint: the digest cannot tell the
+    // colliding keys apart, so the group answers with its total value
+    // and an overestimate of that same total (interval stays certified).
+    extras.sort_unstable_by_key(|e| e.0);
+    let mut coalesced: Vec<(u64, u64, u64)> = Vec::with_capacity(extras.len());
+    for (fp, value, over) in extras {
+        match coalesced.last_mut() {
+            Some(last) if last.0 == fp => {
+                last.1 += value;
+                last.2 = last.1;
+            }
+            _ => coalesced.push((fp, value, over.min(value))),
+        }
+    }
+
+    let total_lambda: u64 = lambdas.iter().sum();
+    SlimSummary {
+        config: config.clone(),
+        widths: widths.to_vec(),
+        lambdas: lambdas.to_vec(),
+        layers: slim_layers,
+        hints: slim_hints,
+        extras: coalesced,
+        filter_slack,
+        slack: filter_slack + gens * total_lambda,
+    }
+}
+
+#[cfg(test)]
+impl<K: Key> ConcurrentReliable<K> {
+    /// Snapshot bytes without the `Serialize` bound `Replicate` needs
+    /// (test convenience for size/kind comparisons with `u64` keys).
+    fn snapshot_bytes_for_test(&self) -> Vec<u8>
+    where
+        K: Serialize + Deserialize,
+    {
+        codec::to_bytes(PayloadKind::ConcurrentSnapshot, &self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmergencyPolicy;
+    use rsk_api::{ErrorSensing, Merge, StreamSummary};
+    use rsk_stream::zipf::ZipfSampler;
+
+    fn config(seed: u64) -> ReliableConfig {
+        ReliableConfig {
+            memory_bytes: 32 * 1024,
+            emergency: EmergencyPolicy::ExactTable,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// `truth ∈ [value − MPE, value]` and `value ≤ source + slack`.
+    fn assert_certified(est: Estimate, source: Estimate, truth: u64, slack: u64, key: u64) {
+        assert!(
+            est.value >= truth,
+            "key {key}: {} < truth {truth}",
+            est.value
+        );
+        assert!(
+            est.value.saturating_sub(est.max_possible_error) <= truth,
+            "key {key}: lower bound {} above truth {truth}",
+            est.value - est.max_possible_error
+        );
+        assert!(
+            est.value <= source.value + slack,
+            "key {key}: slim {} vs source {} + slack {slack}",
+            est.value,
+            source.value
+        );
+    }
+
+    fn zipf_truth(seed: u64, n: usize) -> (Vec<(u64, u64)>, std::collections::HashMap<u64, u64>) {
+        let mut zipf = ZipfSampler::new(2_000, 1.1, seed);
+        let items: Vec<(u64, u64)> = (0..n).map(|_| (zipf.sample(), 1)).collect();
+        let mut truth = std::collections::HashMap::new();
+        for (k, v) in &items {
+            *truth.entry(*k).or_insert(0) += v;
+        }
+        (items, truth)
+    }
+
+    #[test]
+    fn slim_concurrent_stays_certified() {
+        let (items, truth) = zipf_truth(11, 60_000);
+        let sk = ConcurrentReliable::<u64>::new(config(11));
+        for (k, v) in &items {
+            sk.insert_concurrent(k, *v);
+        }
+        let slim = SlimSummary::from_concurrent(&sk);
+        for k in 0..2_000u64 {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            assert_certified(
+                slim.query_with_error(&k),
+                sk.query_with_error(&k),
+                t,
+                slim.slack(),
+                k,
+            );
+        }
+    }
+
+    #[test]
+    fn slim_sequential_matches_concurrent_distillation() {
+        let (items, truth) = zipf_truth(12, 40_000);
+        let mut sk = ReliableSketch::<u64>::new(config(12));
+        for (k, v) in &items {
+            sk.insert(k, *v);
+        }
+        let slim = SlimSummary::from_sequential(&sk);
+        for k in 0..2_000u64 {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            assert_certified(
+                slim.query_with_error(&k),
+                sk.query_with_error(&k),
+                t,
+                slim.slack(),
+                k,
+            );
+        }
+    }
+
+    #[test]
+    fn slim_epoched_covers_both_generations() {
+        let (items, truth) = zipf_truth(13, 40_000);
+        let mut window = EpochedConcurrent::<u64>::new(config(13));
+        let (first, second) = items.split_at(items.len() / 2);
+        for (k, v) in first {
+            window.insert_shared(k, *v);
+        }
+        window.rotate();
+        for (k, v) in second {
+            window.insert_shared(k, *v);
+        }
+        let slim = SlimSummary::from_epoched(&window);
+        // a window digest is a union of two generations, so it inherits
+        // merge-grade pessimism — assert the certified interval, not the
+        // single-generation slack bound
+        for k in 0..2_000u64 {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            let est = slim.query_with_error(&k);
+            assert!(est.value >= t, "key {k}");
+            assert!(
+                est.value.saturating_sub(est.max_possible_error) <= t,
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_merged_sketch_stays_certified() {
+        let (items, truth) = zipf_truth(14, 40_000);
+        let (left, right) = items.split_at(items.len() / 2);
+        let a = ConcurrentReliable::<u64>::new(config(14));
+        let b = ConcurrentReliable::<u64>::new(config(14));
+        for (k, v) in left {
+            a.insert_concurrent(k, *v);
+        }
+        for (k, v) in right {
+            b.insert_concurrent(k, *v);
+        }
+        let mut a = a;
+        a.merge(&b).unwrap();
+        let slim = SlimSummary::from_concurrent(&a);
+        for k in 0..2_000u64 {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            let est = slim.query_with_error(&k);
+            assert!(est.value >= t, "key {k}");
+            assert!(
+                est.value.saturating_sub(est.max_possible_error) <= t,
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_sharded_routes_like_the_source() {
+        let (items, truth) = zipf_truth(15, 40_000);
+        let sk = ShardedReliable::<u64>::new(config(15), 4);
+        for (k, v) in &items {
+            sk.insert_shared(k, *v);
+        }
+        let slim = SlimShards::from_sharded(&sk);
+        let bytes = slim.to_bytes();
+        let back = SlimShards::from_bytes(&bytes).unwrap();
+        for k in 0..2_000u64 {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            let est = back.query_with_error(&k);
+            assert!(est.value >= t, "key {k}");
+            assert!(
+                est.value.saturating_sub(est.max_possible_error) <= t,
+                "key {k}"
+            );
+            assert!(
+                est.value <= sk.query_shared(&k).value + back.slack(),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_extras_cover_emergency_remainders() {
+        let tight = ReliableConfig {
+            memory_bytes: 4 * crate::config::BUCKET_BYTES,
+            lambda: 2,
+            depth: crate::config::Depth::Fixed(2),
+            mice_filter: None,
+            emergency: EmergencyPolicy::ExactTable,
+            lambda_floor_one: true,
+            seed: 16,
+            ..Default::default()
+        };
+        let sk = ConcurrentReliable::<u64>::new(tight);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..2_000u64 {
+            sk.insert_concurrent(&(i % 7), 1);
+            *truth.entry(i % 7).or_insert(0) += 1;
+        }
+        assert!(sk.insertion_failures() > 0, "must exercise the store");
+        let slim = SlimSummary::from_concurrent(&sk);
+        assert!(!slim.extras.is_empty());
+        for k in 0..7u64 {
+            let est = slim.query_with_error(&k);
+            assert!(est.value >= truth[&k], "key {k}");
+            assert!(est.value.saturating_sub(est.max_possible_error) <= truth[&k]);
+        }
+    }
+
+    #[test]
+    fn slim_bytes_roundtrip_and_reject_garbage() {
+        let sk = ConcurrentReliable::<u64>::new(config(17));
+        for i in 0..10_000u64 {
+            sk.insert_concurrent(&(i % 100), 1);
+        }
+        let slim = SlimSummary::from_concurrent(&sk);
+        let bytes = slim.to_bytes();
+        let back = SlimSummary::from_bytes(&bytes).unwrap();
+        for k in 0..150u64 {
+            assert_eq!(back.query_with_error(&k), slim.query_with_error(&k));
+        }
+        assert_eq!(back.slack(), slim.slack());
+
+        assert!(SlimSummary::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(SlimSummary::from_bytes(b"not a payload").is_err());
+        // a snapshot payload is not a slim summary
+        let snap = sk.snapshot_bytes_for_test();
+        assert!(matches!(
+            SlimSummary::from_bytes(&snap),
+            Err(ReplicateError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn slim_is_much_smaller_than_a_snapshot() {
+        let sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+            memory_bytes: 256 * 1024,
+            seed: 18,
+            ..Default::default()
+        });
+        for i in 0..50_000u64 {
+            sk.insert_concurrent(&(i % 500), 1);
+        }
+        let slim = SlimSummary::from_concurrent(&sk).to_bytes();
+        let snap = sk.snapshot_bytes_for_test();
+        assert!(
+            slim.len() * 3 < snap.len(),
+            "slim {} bytes vs snapshot {} bytes",
+            slim.len(),
+            snap.len()
+        );
+    }
+}

@@ -134,4 +134,5 @@ fn die(msg: &str) -> ! {
 const USAGE: &str = "usage: repro <target> [--items N] [--seed S] [--quick] [--out DIR]
                     [--workers W1,W2,..] [--contenders PAT1,PAT2,..]
 targets: table1 table3 table4 fig4..fig20 ablation intro delta concurrent scaling
+         serve replicate
 groups : all accuracy speed params hardware beyond";

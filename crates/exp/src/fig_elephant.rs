@@ -68,8 +68,8 @@ mod tests {
         let ts = fig7(&ctx);
         assert_eq!(ts.len(), 2);
         for t in &ts {
-            // Ours + 4 competitors + concurrent lineup
-            assert_eq!(t.len(), 5 + 4 + crate::DEFAULT_WORKERS.len());
+            // Ours + 4 competitors + concurrent lineup + slim digest
+            assert_eq!(t.len(), 5 + 5 + crate::DEFAULT_WORKERS.len());
             assert!(t.to_csv().contains("\nOursMerged,"));
         }
     }

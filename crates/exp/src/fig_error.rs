@@ -83,8 +83,8 @@ mod tests {
         assert_eq!(t8.len(), 2);
         assert_eq!(t9.len(), 2);
         // Ours + 5 baselines + concurrent lineup (2 atomic + 3 sharded +
-        // epoch + merged with the default worker set)
-        assert_eq!(t8[0].len(), 6 + 4 + crate::DEFAULT_WORKERS.len());
+        // epoch + merged with the default worker set) + slim digest
+        assert_eq!(t8[0].len(), 6 + 5 + crate::DEFAULT_WORKERS.len());
         let csv = t8[0].to_csv();
         assert!(csv.contains("\nOursAtomic,"));
         assert!(csv.contains("\nOurs(x4)@2w,"));

@@ -79,8 +79,8 @@ mod tests {
         let ts = fig4(&tiny_ctx());
         assert_eq!(ts.len(), 2);
         for t in &ts {
-            // Ours + 8 baselines + concurrent lineup
-            assert_eq!(t.len(), 9 + 4 + crate::DEFAULT_WORKERS.len());
+            // Ours + 8 baselines + concurrent lineup + slim digest
+            assert_eq!(t.len(), 9 + 5 + crate::DEFAULT_WORKERS.len());
         }
         assert!(ts[1].to_csv().contains("\nOursEpoch,"));
     }

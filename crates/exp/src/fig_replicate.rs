@@ -1,0 +1,184 @@
+//! Replication bytes-on-wire — what each payload of the replication
+//! layer costs to ship (beyond-paper; SF-sketch-style slim summaries).
+//!
+//! Three payload families leave a sketch through `rsk_api::Replicate`:
+//! **full snapshots** (every bucket, filter row, and emergency entry —
+//! measured both as human-readable JSON and through the framed binary
+//! codec), **slim digests** (query-only: occupied buckets and the
+//! filter ceiling, enough to answer `query_with_error` standalone), and
+//! **dirty-bitmap deltas** (only buckets touched since the last cut).
+//!
+//! Expected shape: binary ≪ JSON, slim ≪ binary full, and delta bytes
+//! scaling with the dirty fraction — at low fractions a delta is a tiny
+//! sliver of the full snapshot, which is the whole case for delta
+//! shipping between seals.
+
+use crate::ExpContext;
+use rsk_api::Replicate;
+use rsk_core::{ConcurrentReliable, ReliableConfig};
+use rsk_metrics::report::fmt_bytes;
+use rsk_metrics::Table;
+use rsk_stream::Dataset;
+
+/// Fraction of distinct keys re-touched between delta cuts.
+fn dirty_fractions(ctx: &ExpContext) -> &'static [f64] {
+    if ctx.quick {
+        &[0.01, 0.10, 0.50]
+    } else {
+        &[0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0]
+    }
+}
+
+/// The bytes-on-wire tables: payload catalogue, then the delta sweep.
+pub fn replicate(ctx: &ExpContext) -> Vec<Table> {
+    let (stream, truth) = ctx.load(Dataset::IpTrace);
+    let mem = ctx.scale_mem(1 << 20);
+    let lambda = 25u64;
+    let mut sk = ConcurrentReliable::<u64>::new(ReliableConfig {
+        memory_bytes: mem,
+        lambda,
+        seed: ctx.seed,
+        ..Default::default()
+    });
+    for it in &stream {
+        sk.insert_concurrent(&it.key, it.value);
+    }
+
+    let json = serde_json::to_string(&sk.snapshot())
+        .expect("snapshot serializes")
+        .len();
+    let full = sk.snapshot_bytes().expect("same-process snapshot").len();
+    let slim = sk.slim_bytes().expect("same-process digest").len();
+
+    let pct = |bytes: usize, of: usize| format!("{:.1}%", 100.0 * bytes as f64 / of as f64);
+
+    let mut t1 = Table::new(
+        format!(
+            "Replication payloads: one {} sketch, {} items (IP trace, Λ={lambda})",
+            fmt_bytes(mem),
+            ctx.items
+        ),
+        &["payload", "bytes", "vs JSON full"],
+    );
+    t1.row(vec![
+        "full snapshot (JSON)".into(),
+        json.to_string(),
+        "100.0%".into(),
+    ]);
+    t1.row(vec![
+        "full snapshot (binary)".into(),
+        full.to_string(),
+        pct(full, json),
+    ]);
+    t1.row(vec![
+        "slim digest (binary)".into(),
+        slim.to_string(),
+        pct(slim, json),
+    ]);
+
+    // Delta sweep: establish the dirty-bitmap baseline, then for each
+    // fraction re-touch that share of the distinct keys (stream order,
+    // so the set is deterministic) and cut a delta.
+    let keys = truth.to_pairs();
+    let _baseline = sk.delta_bytes().expect("first cut is the full baseline");
+
+    let fractions = dirty_fractions(ctx);
+    let mut headers: Vec<String> = vec!["measurement".into()];
+    headers.extend(fractions.iter().map(|f| format!("{:.1}%", f * 100.0)));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t2 = Table::new(
+        format!(
+            "Delta ship size by dirty fraction ({} distinct keys; full binary snapshot = {full} B)",
+            keys.len()
+        ),
+        &headers_ref,
+    );
+    let mut dirty_row = vec!["keys re-touched".to_string()];
+    let mut bytes_row = vec!["delta bytes".to_string()];
+    let mut ratio_row = vec!["vs full snapshot".to_string()];
+    for &f in fractions {
+        let n = (((keys.len() as f64) * f).round() as usize).max(1);
+        for (k, _) in keys.iter().take(n) {
+            sk.insert_concurrent(k, 1);
+        }
+        let delta = sk.delta_bytes().expect("incremental cut").len();
+        dirty_row.push(n.to_string());
+        bytes_row.push(delta.to_string());
+        ratio_row.push(pct(delta, full));
+    }
+    t2.row(dirty_row);
+    t2.row(bytes_row);
+    t2.row(ratio_row);
+
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExpContext {
+        ExpContext {
+            items: 60_000,
+            quick: true,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn payload_catalogue_orders_json_binary_slim() {
+        let ts = replicate(&tiny_ctx());
+        assert_eq!(ts.len(), 2);
+        let csv = ts[0].to_csv();
+        let bytes: Vec<usize> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        let (json, full, slim) = (bytes[0], bytes[1], bytes[2]);
+        assert!(full < json, "binary codec must undercut JSON");
+        // At CI's saturated mini-budgets the digest is ~45% of a full
+        // snapshot (dropping the filter rows and empty buckets); the
+        // factor widens with budget — see OursSlim's 3× bound at 256 KB
+        // in the contender tests.
+        assert!(
+            slim * 2 < full,
+            "slim digest ({slim} B) must be under half a full snapshot ({full} B)"
+        );
+    }
+
+    #[test]
+    fn delta_bytes_shrink_with_the_dirty_fraction() {
+        let ctx = tiny_ctx();
+        let ts = replicate(&ctx);
+        let csv = ts[1].to_csv();
+        let deltas: Vec<usize> = csv
+            .lines()
+            .find(|l| l.starts_with("delta bytes,"))
+            .expect("delta row")
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(
+            deltas.windows(2).all(|w| w[0] <= w[1]),
+            "delta size must be monotone in the dirty fraction: {deltas:?}"
+        );
+        // the acceptance claim: at the lowest fraction a delta is a
+        // sliver of the full snapshot
+        let full: usize = ts[1]
+            .title()
+            .split("snapshot = ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("full size in the title");
+        assert!(
+            deltas[0] * 4 < full,
+            "low-dirty delta ({} B) should be ≪ full snapshot ({} B)",
+            deltas[0],
+            full
+        );
+    }
+}

@@ -44,6 +44,7 @@ pub mod fig_intro;
 pub mod fig_layers;
 pub mod fig_outliers;
 pub mod fig_params;
+pub mod fig_replicate;
 pub mod fig_scaling;
 pub mod fig_sensing;
 pub mod fig_serve;
@@ -248,7 +249,9 @@ mod tests {
         let reg = ctx.registry(&Baseline::ACCURACY_SET, 25);
         assert_eq!(reg[0].label(), "Ours");
         // Ours + 8 baselines + (2 atomic + 3 sharded + epoch + merged)
-        assert_eq!(reg.len(), 9 + 4 + DEFAULT_WORKERS.len());
+        // + the OursSlim query-only digest
+        assert_eq!(reg.len(), 9 + 5 + DEFAULT_WORKERS.len());
+        assert_eq!(reg.last().unwrap().label(), "OursSlim");
         let sk = reg[0].sketch_factory()(64 * 1024, 1);
         assert_eq!(sk.name(), "Ours");
         assert!(reg.iter().any(|c| c.label() == "OursAtomic"));

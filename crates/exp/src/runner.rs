@@ -35,13 +35,13 @@
 
 use crate::{
     fig_ablation, fig_concurrent, fig_delta, fig_elephant, fig_error, fig_hash_calls, fig_intro,
-    fig_layers, fig_outliers, fig_params, fig_scaling, fig_sensing, fig_serve, fig_testbed,
-    fig_throughput, fig_zero_mem, tables, ExpContext, Table,
+    fig_layers, fig_outliers, fig_params, fig_replicate, fig_scaling, fig_sensing, fig_serve,
+    fig_testbed, fig_throughput, fig_zero_mem, tables, ExpContext, Table,
 };
 use std::path::PathBuf;
 
 /// Every concrete target, in report order.
-pub const ALL_TARGETS: [&str; 26] = [
+pub const ALL_TARGETS: [&str; 27] = [
     "table1",
     "table3",
     "table4",
@@ -68,6 +68,7 @@ pub const ALL_TARGETS: [&str; 26] = [
     "concurrent",
     "scaling",
     "serve",
+    "replicate",
 ];
 
 /// Expand a target or group name; empty means the name is unknown.
@@ -78,7 +79,14 @@ pub fn expand(target: &str) -> Vec<&'static str> {
         "speed" => vec!["fig10", "fig16", "scaling", "serve"],
         "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
         "hardware" => vec!["table3", "table4", "fig20"],
-        "beyond" => vec!["ablation", "intro", "delta", "concurrent", "scaling"],
+        "beyond" => vec![
+            "ablation",
+            "intro",
+            "delta",
+            "concurrent",
+            "scaling",
+            "replicate",
+        ],
         t => ALL_TARGETS.iter().copied().filter(|&x| x == t).collect(),
     }
 }
@@ -112,6 +120,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "concurrent" => fig_concurrent::concurrent(ctx),
         "scaling" => fig_scaling::scaling(ctx),
         "serve" => fig_serve::serve(ctx),
+        "replicate" => fig_replicate::replicate(ctx),
         _ => unreachable!("expand() filtered targets"),
     }
 }

@@ -6,8 +6,11 @@
 //!
 //! Pushes `tenants × connections × items` Zipf-skewed updates through
 //! pipelined ingest connections, then validates certified queries
-//! against exact ground truth. Exits non-zero if any certified interval
-//! misses the truth or the server undercounts. Flags:
+//! against exact ground truth. With `--replicate`, additionally ships
+//! every tenant to a second server (full snapshot, then delta cuts
+//! across a seal) and holds the replica to the same certified contract.
+//! Exits non-zero if any certified interval misses the truth, the
+//! server undercounts, or a replica probe misses. Flags:
 //!
 //! ```text
 //! --addr A        server address          (default 127.0.0.1:4901)
@@ -21,7 +24,8 @@
 //! --universe N    keys per tenant         (default 100000)
 //! --seed N        master seed             (default 42)
 //! --probes N      certified probes/tenant (default 128)
-//! --shutdown      send Shutdown when done
+//! --replicate A   replicate tenants to a second server and probe it
+//! --shutdown      send Shutdown when done (to the replica too)
 //! ```
 
 use std::process::exit;
@@ -30,7 +34,7 @@ use rsk_serve::{Client, LoadConfig};
 
 fn usage(err: &str) -> ! {
     eprintln!("rsk-load: {err}");
-    eprintln!("usage: rsk-load [--addr A] [--quick] [--tenants N] [--connections N] [--items N] [--batch N] [--window N] [--skew S] [--universe N] [--seed N] [--probes N] [--shutdown]");
+    eprintln!("usage: rsk-load [--addr A] [--quick] [--tenants N] [--connections N] [--items N] [--batch N] [--window N] [--skew S] [--universe N] [--seed N] [--probes N] [--replicate A] [--shutdown]");
     exit(2)
 }
 
@@ -42,6 +46,7 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 
 fn main() {
     let mut addr = "127.0.0.1:4901".to_string();
+    let mut replicate: Option<String> = None;
     let mut quick = false;
     let mut shutdown = false;
     let mut overrides: Vec<(String, String)> = Vec::new();
@@ -49,6 +54,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = parse(&arg, args.next()),
+            "--replicate" => replicate = Some(parse(&arg, args.next())),
             "--quick" => quick = true,
             "--shutdown" => shutdown = true,
             "--tenants" | "--connections" | "--items" | "--batch" | "--window" | "--skew"
@@ -71,6 +77,7 @@ fn main() {
             ..LoadConfig::default()
         }
     };
+    cfg.replicate = replicate.clone();
     for (flag, value) in overrides {
         match flag.as_str() {
             "--tenants" => cfg.tenants = parse(&flag, Some(value)),
@@ -120,6 +127,15 @@ fn main() {
         "verify:   {}/{} certified intervals contained the exact truth; server counted {} items",
         report.probes_contained, report.probes, report.server_items
     );
+    if replicate.is_some() {
+        println!(
+            "replica:  {}/{} probes contained the truth; {} B full vs {} B delta on the wire",
+            report.replica_contained,
+            report.replica_probes,
+            report.replicate_full_bytes,
+            report.replicate_delta_bytes
+        );
+    }
 
     let mut failed = false;
     if report.probes_contained != report.probes {
@@ -130,15 +146,29 @@ fn main() {
         eprintln!("rsk-load: FAIL — server counted fewer items than were acknowledged");
         failed = true;
     }
+    if replicate.is_some() {
+        if report.replica_probes == 0 || report.replica_contained != report.replica_probes {
+            eprintln!("rsk-load: FAIL — a replica probe missed the ground truth");
+            failed = true;
+        }
+        if report.replicate_delta_bytes >= report.replicate_full_bytes {
+            eprintln!("rsk-load: FAIL — delta ships did not undercut full snapshots");
+            failed = true;
+        }
+    }
     if shutdown {
-        match Client::connect(&addr as &str).and_then(|mut c| {
-            c.shutdown()
-                .map_err(|e| std::io::Error::other(e.to_string()))
-        }) {
-            Ok(()) => println!("rsk-load: server shutdown requested"),
-            Err(e) => {
-                eprintln!("rsk-load: shutdown failed: {e}");
-                failed = true;
+        let mut targets = vec![addr.clone()];
+        targets.extend(replicate.clone());
+        for target in targets {
+            match Client::connect(&target as &str).and_then(|mut c| {
+                c.shutdown()
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            }) {
+                Ok(()) => println!("rsk-load: server {target} shutdown requested"),
+                Err(e) => {
+                    eprintln!("rsk-load: shutdown of {target} failed: {e}");
+                    failed = true;
+                }
             }
         }
     }

@@ -25,7 +25,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, send_request, ErrorCode, ProtocolError, Request, Response, StatsReply,
+    read_frame, send_request, ErrorCode, ProtocolError, Request, Response, SnapshotKind, StatsReply,
 };
 pub use crate::tenant::CertifiedAnswer;
 
@@ -156,6 +156,51 @@ impl Client {
     pub fn merge(&mut self, dst: u32, src: u32) -> Result<(), ClientError> {
         match self.call(&Request::Merge { dst, src })? {
             Response::Merged => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Capture a replication payload of `tenant`'s window.
+    ///
+    /// The returned bytes are self-describing: feed them to
+    /// [`Client::push_delta`] on another server (full snapshots and
+    /// deltas) or decode them locally with `SlimSummary::from_bytes`
+    /// (slim digests).
+    pub fn snapshot(&mut self, tenant: u32, kind: SnapshotKind) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::Snapshot { tenant, kind })? {
+            Response::Snapshot { payload } => Ok(payload),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Apply a shipped replication payload (full snapshot or delta) to
+    /// `tenant`'s window on this server.
+    pub fn push_delta(&mut self, tenant: u32, payload: &[u8]) -> Result<(), ClientError> {
+        match self.call(&Request::PushDelta {
+            tenant,
+            payload: payload.to_vec(),
+        })? {
+            Response::Replicated => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Certified estimate for `key` in `tenant`, answered through a
+    /// freshly distilled slim digest of the window instead of the full
+    /// sketch — the verification path for slim replication.
+    pub fn query_slim(&mut self, tenant: u32, key: u64) -> Result<CertifiedAnswer, ClientError> {
+        match self.call(&Request::SlimQuery { tenant, key })? {
+            Response::Certified {
+                value,
+                max_possible_error,
+                slack,
+                epoch,
+            } => Ok(CertifiedAnswer {
+                value,
+                max_possible_error,
+                slack,
+                epoch,
+            }),
             other => Err(ClientError::Unexpected(other)),
         }
     }

@@ -57,6 +57,6 @@ pub mod tenant;
 
 pub use client::{Client, ClientError};
 pub use load::{run as run_load, LoadConfig, LoadReport};
-pub use protocol::{ErrorCode, ProtocolError, Request, Response, StatsReply};
+pub use protocol::{ErrorCode, ProtocolError, Request, Response, SnapshotKind, StatsReply};
 pub use server::{ServeConfig, ServerHandle, ServerStats};
 pub use tenant::{CertifiedAnswer, SketchSpec, Tenant, TenantMap};

@@ -17,6 +17,15 @@
 //! the honest client-side backpressure signal reported by
 //! [`LoadReport::stalls`] — TCP flow control and the server's batch
 //! ceiling are the other two layers (see [`crate::server`]).
+//!
+//! ## Replication probes
+//!
+//! With [`LoadConfig::replicate`] set, a final phase ships every tenant
+//! to a second server — one full snapshot, then two delta cuts
+//! straddling a `Seal` — and probes the **replica** with certified and
+//! slim queries against the same tracked truth. The byte counts of the
+//! full versus delta ships land in the report, so the delta path's
+//! advantage is measured, not assumed.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -25,10 +34,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rsk_api::StreamSummary;
 use rsk_stream::zipf::ZipfSampler;
+use rsk_stream::GroundTruth;
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{read_frame, send_request, Request, Response};
+use crate::protocol::{read_frame, send_request, Request, Response, SnapshotKind};
 
 /// Load shape. `Default` is the full run; [`LoadConfig::quick`] is the
 /// CI-sized configuration (still ≥ 10⁶ updates end-to-end).
@@ -54,6 +65,10 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Certified probes per tenant (hottest keys first).
     pub probes: usize,
+    /// Second server to replicate every tenant to (full snapshot, then
+    /// delta ships across a seal), probing the replica for certified
+    /// answers. `None` skips the replication phase.
+    pub replicate: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -69,6 +84,7 @@ impl Default for LoadConfig {
             universe: 100_000,
             seed: 42,
             probes: 128,
+            replicate: None,
         }
     }
 }
@@ -128,11 +144,20 @@ pub struct LoadReport {
     pub server_items: u64,
     /// Server-side refused batches (batch-ceiling backpressure).
     pub server_rejected_batches: u64,
+    /// Certified + slim probes issued against the replica (0 when no
+    /// replica was configured).
+    pub replica_probes: u64,
+    /// Replica probes whose certified interval contained the truth.
+    pub replica_contained: u64,
+    /// Bytes shipped in the initial full snapshots, summed over tenants.
+    pub replicate_full_bytes: u64,
+    /// Bytes shipped in the delta cuts, summed over tenants.
+    pub replicate_delta_bytes: u64,
 }
 
 /// Ingest result of one pipelined connection.
 struct ConnResult {
-    truth: HashMap<u64, u64>,
+    truth: GroundTruth<u64>,
     batches: u64,
     stalls: u64,
     sent: u64,
@@ -186,7 +211,7 @@ fn drive_connection(
         .wrapping_add(u64::from(tenant) << 32 | u64::from(conn_index));
     let mut sampler = ZipfSampler::new(cfg.universe.max(1), cfg.skew, worker_seed);
 
-    let mut truth: HashMap<u64, u64> = HashMap::new();
+    let mut truth: GroundTruth<u64> = GroundTruth::new();
     let mut stalls = 0u64;
     let mut sent = 0u64;
     let mut batch = Vec::with_capacity(cfg.batch);
@@ -197,7 +222,7 @@ fn drive_connection(
         {
             let key = sampler.sample();
             batch.push((key, 1u64));
-            *truth.entry(key).or_insert(0) += 1;
+            truth.insert(&key, 1);
         }
         sent += batch.len() as u64;
 
@@ -248,7 +273,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
             );
         }
     }
-    let mut tenant_truth: HashMap<u32, HashMap<u64, u64>> = HashMap::new();
+    let mut tenant_truth: HashMap<u32, GroundTruth<u64>> = HashMap::new();
     let mut batches = 0u64;
     let mut stalls = 0u64;
     let mut total = 0u64;
@@ -256,8 +281,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         let result = w.join().expect("load worker panicked")?;
         let tenant = (i as u32) / cfg.connections;
         let truth = tenant_truth.entry(tenant).or_default();
-        for (k, v) in result.truth {
-            *truth.entry(k).or_insert(0) += v;
+        for (k, v) in result.truth.iter() {
+            truth.insert(k, v);
         }
         batches += result.batches;
         stalls += result.stalls;
@@ -271,13 +296,14 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     let mut probes = 0u64;
     let mut contained = 0u64;
     for tenant in 0..cfg.tenants {
-        let truth = &tenant_truth[&tenant];
-        let mut hottest: Vec<(&u64, &u64)> = truth.iter().collect();
-        hottest.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        // `to_pairs` enumerates in deterministic first-occurrence order,
+        // so a stable sort by count needs no defensive key tiebreak.
+        let mut hottest = tenant_truth[&tenant].to_pairs();
+        hottest.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
         let mut client = Client::connect(&cfg.addr as &str)?;
-        for (key, &count) in hottest.into_iter().take(cfg.probes) {
+        for (key, count) in hottest.into_iter().take(cfg.probes) {
             let probe_started = Instant::now();
-            let answer = client.query_certified(tenant, *key)?;
+            let answer = client.query_certified(tenant, key)?;
             latencies.push(
                 probe_started
                     .elapsed()
@@ -299,6 +325,68 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         latencies[idx.min(latencies.len() - 1)]
     };
 
+    // Replication phase: ship each tenant to the replica — one full
+    // snapshot, then two delta cuts straddling a seal — and hold the
+    // replica to the same certified contract as the primary.
+    let mut replica_probes = 0u64;
+    let mut replica_contained = 0u64;
+    let mut replicate_full_bytes = 0u64;
+    let mut replicate_delta_bytes = 0u64;
+    if let Some(replica_addr) = &cfg.replicate {
+        let mut src = Client::connect(&cfg.addr as &str)?;
+        let mut dst = Client::connect(replica_addr as &str)?;
+        for tenant in 0..cfg.tenants {
+            let truth = tenant_truth.get_mut(&tenant).expect("tenant was driven");
+            let mut hottest = truth.to_pairs();
+            hottest.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
+            let hot: Vec<u64> = hottest
+                .into_iter()
+                .take(cfg.probes.max(1))
+                .map(|(k, _)| k)
+                .collect();
+            let extra: Vec<(u64, u64)> = hot.iter().map(|&k| (k, 1u64)).collect();
+
+            // Ship 1: the first delta cut carries a full snapshot (it
+            // establishes the dirty-bitmap baseline on the primary).
+            let full = src.snapshot(tenant, SnapshotKind::Delta)?;
+            replicate_full_bytes += full.len() as u64;
+            dst.push_delta(tenant, &full)?;
+
+            // Ship 2: dirty the hot keys, cut a (small) delta.
+            src.ingest(tenant, &extra)?;
+            for &k in &hot {
+                truth.insert(&k, 1);
+            }
+            let d1 = src.snapshot(tenant, SnapshotKind::Delta)?;
+            replicate_delta_bytes += d1.len() as u64;
+            dst.push_delta(tenant, &d1)?;
+
+            // Ship 3: seal (one rotation — the delta carries the frozen
+            // generation's changes plus the fresh active), dirty again.
+            src.seal(tenant)?;
+            src.ingest(tenant, &extra)?;
+            for &k in &hot {
+                truth.insert(&k, 1);
+            }
+            let d2 = src.snapshot(tenant, SnapshotKind::Delta)?;
+            replicate_delta_bytes += d2.len() as u64;
+            dst.push_delta(tenant, &d2)?;
+
+            // The replica must now certify the same truth, over both
+            // the full window and the slim-digest query path.
+            for &k in &hot {
+                let want = truth.freq(&k);
+                replica_probes += 2;
+                if dst.query_certified(tenant, k)?.contains(want) {
+                    replica_contained += 1;
+                }
+                if dst.query_slim(tenant, k)?.contains(want) {
+                    replica_contained += 1;
+                }
+            }
+        }
+    }
+
     let mut control = Client::connect(&cfg.addr as &str)?;
     let stats = control.stats()?;
 
@@ -317,6 +405,10 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         p99_us: percentile(0.99),
         server_items: stats.items_ingested,
         server_rejected_batches: stats.rejected_batches,
+        replica_probes,
+        replica_contained,
+        replicate_full_bytes,
+        replicate_delta_bytes,
     })
 }
 
@@ -358,6 +450,57 @@ mod tests {
             "every certified interval must contain the exact truth"
         );
         assert_eq!(report.batches, 2 * 2 * 8);
+        assert_eq!(report.replica_probes, 0, "no replica was configured");
         server.shutdown();
+    }
+
+    #[test]
+    fn load_replicates_every_tenant_to_a_second_server() {
+        let spec = SketchSpec {
+            memory_bytes: 128 * 1024,
+            error_tolerance: 25,
+            seed: 3,
+        };
+        let primary = ServerHandle::start(ServeConfig {
+            accept_threads: 2,
+            spec,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let replica = ServerHandle::start(ServeConfig {
+            accept_threads: 2,
+            spec,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let cfg = LoadConfig {
+            addr: primary.local_addr().to_string(),
+            replicate: Some(replica.local_addr().to_string()),
+            tenants: 2,
+            connections: 2,
+            items_per_connection: 4096,
+            batch: 512,
+            window: 4,
+            universe: 2_000,
+            probes: 16,
+            ..LoadConfig::default()
+        };
+        let report = run(&cfg).unwrap();
+        // tenants × hot keys × two query paths (certified + slim).
+        assert_eq!(report.replica_probes, 2 * 16 * 2);
+        assert_eq!(
+            report.replica_contained, report.replica_probes,
+            "every replica answer must contain the exact truth"
+        );
+        assert!(
+            report.replicate_delta_bytes < report.replicate_full_bytes,
+            "two delta cuts ({} B) must undercut the full snapshots ({} B)",
+            report.replicate_delta_bytes,
+            report.replicate_full_bytes
+        );
+        // The replica counted its applied payloads: 3 ships per tenant.
+        assert_eq!(replica.stats().replications(), 2 * 3);
+        primary.shutdown();
+        replica.shutdown();
     }
 }

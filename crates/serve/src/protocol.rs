@@ -38,10 +38,15 @@ use std::io::{self, Read, Write};
 /// version is rejected with [`ProtocolError::BadVersion`].
 pub const VERSION: u8 = 1;
 
-/// Hard ceiling on the payload length a peer may declare, chosen so a
-/// max-size ingest batch fits with room to spare. Anything larger is
-/// treated as a framing attack / corruption and the connection dies.
-pub const MAX_FRAME_LEN: u32 = 1 << 20;
+/// Hard ceiling on the payload length a peer may declare, sized for the
+/// largest legitimate frame: a full replication snapshot of a tenant
+/// window ([`Request::PushDelta`] / [`Response::Snapshot`]); max-size
+/// ingest batches fit with two orders of magnitude to spare. Anything
+/// larger is treated as a framing attack / corruption and the
+/// connection dies. A snapshot that genuinely exceeds this is refused
+/// at the application layer with [`ErrorCode::ReplicateRefused`]
+/// instead of poisoning the stream.
+pub const MAX_FRAME_LEN: u32 = 1 << 23;
 
 /// Most items a single `Ingest` frame may carry. Larger batches are
 /// refused with [`ErrorCode::BatchTooLarge`] — this is the server-side
@@ -99,6 +104,10 @@ pub enum ErrorCode {
     MergeRefused = 4,
     /// The request named a tenant the server refuses to materialise.
     BadTenant = 5,
+    /// A replication operation was refused: the payload was corrupt,
+    /// truncated, or incompatible with the tenant's window, or the
+    /// requested snapshot does not fit in [`MAX_FRAME_LEN`].
+    ReplicateRefused = 6,
 }
 
 impl ErrorCode {
@@ -109,6 +118,32 @@ impl ErrorCode {
             3 => Self::TooManyConnections,
             4 => Self::MergeRefused,
             5 => Self::BadTenant,
+            6 => Self::ReplicateRefused,
+            _ => return None,
+        })
+    }
+}
+
+/// Which replication payload a [`Request::Snapshot`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SnapshotKind {
+    /// Complete window state ([`rsk_api::Replicate::snapshot_bytes`]).
+    Full = 0,
+    /// Buckets dirtied since the last cut, falling back to a full
+    /// snapshot when no cut exists
+    /// ([`rsk_api::Replicate::delta_bytes`]).
+    Delta = 1,
+    /// Query-only slim digest ([`rsk_api::Replicate::slim_bytes`]).
+    Slim = 2,
+}
+
+impl SnapshotKind {
+    fn from_u8(kind: u8) -> Option<Self> {
+        Some(match kind {
+            0 => Self::Full,
+            1 => Self::Delta,
+            2 => Self::Slim,
             _ => return None,
         })
     }
@@ -153,6 +188,36 @@ pub enum Request {
         /// Donor tenant id (left untouched).
         src: u32,
     },
+    /// Capture a replication payload of `tenant`'s window: a full
+    /// snapshot, a dirty-bucket delta since the last cut, or a slim
+    /// query-only digest (see [`SnapshotKind`]).
+    Snapshot {
+        /// Tenant whose window to capture.
+        tenant: u32,
+        /// Payload family to produce.
+        kind: SnapshotKind,
+    },
+    /// Apply a replication payload (full snapshot or delta — payloads
+    /// are self-describing) to `tenant`'s window. This is how a replica
+    /// server receives shipped state.
+    PushDelta {
+        /// Tenant window to apply the payload to (materialised on first
+        /// touch).
+        tenant: u32,
+        /// A payload produced by [`Request::Snapshot`] with
+        /// [`SnapshotKind::Full`] or [`SnapshotKind::Delta`].
+        payload: Vec<u8>,
+    },
+    /// Certified estimate answered through a slim digest of `tenant`'s
+    /// window — the same code path a collector holding only a shipped
+    /// [`SnapshotKind::Slim`] payload runs, exposed server-side for
+    /// verification.
+    SlimQuery {
+        /// Target tenant id.
+        tenant: u32,
+        /// Flow key to certify.
+        key: u64,
+    },
     /// Server-wide counters.
     Stats,
     /// Ask the server to stop accepting and drain.
@@ -192,6 +257,15 @@ pub enum Response {
     },
     /// `Merge` completed.
     Merged,
+    /// A replication payload captured by [`Request::Snapshot`].
+    Snapshot {
+        /// Self-describing replication payload (sniff with
+        /// `rsk_core::replicate::payload_kind`).
+        payload: Vec<u8>,
+    },
+    /// A [`Request::PushDelta`] payload was applied to the tenant's
+    /// window.
+    Replicated,
     /// Server-wide counters.
     Stats(StatsReply),
     /// Acknowledges `Shutdown`; the server stops accepting.
@@ -225,6 +299,8 @@ pub struct StatsReply {
     pub rejected_batches: u64,
     /// Connections refused at the connection ceiling.
     pub rejected_connections: u64,
+    /// Successful `Snapshot` captures plus `PushDelta` applications.
+    pub replications: u64,
 }
 
 mod opcode {
@@ -235,6 +311,9 @@ mod opcode {
     pub const MERGE: u8 = 0x05;
     pub const STATS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const SNAPSHOT: u8 = 0x08;
+    pub const PUSH_DELTA: u8 = 0x09;
+    pub const SLIM_QUERY: u8 = 0x0A;
 
     pub const INGEST_ACK: u8 = 0x81;
     pub const VALUE: u8 = 0x82;
@@ -243,6 +322,8 @@ mod opcode {
     pub const MERGED: u8 = 0x85;
     pub const STATS_REPLY: u8 = 0x86;
     pub const SHUTTING_DOWN: u8 = 0x87;
+    pub const SNAPSHOT_REPLY: u8 = 0x88;
+    pub const REPLICATED: u8 = 0x89;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -291,6 +372,17 @@ impl<'a> Reader<'a> {
             .ok_or(ProtocolError::Truncated)?;
         self.pos = end;
         Ok(s)
+    }
+
+    /// A `[len: u32][bytes]` field; the declared length is bounded by
+    /// [`MAX_FRAME_LEN`] and checked against the bytes actually present
+    /// before any allocation happens.
+    fn blob(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32()?;
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::CountTooLarge(len));
+        }
+        Ok(self.bytes(len as usize)?.to_vec())
     }
 
     fn finish(self) -> Result<(), ProtocolError> {
@@ -346,6 +438,22 @@ impl Request {
                 out.extend_from_slice(&dst.to_le_bytes());
                 out.extend_from_slice(&src.to_le_bytes());
             }
+            Self::Snapshot { tenant, kind } => {
+                out.push(opcode::SNAPSHOT);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.push(*kind as u8);
+            }
+            Self::PushDelta { tenant, payload } => {
+                out.push(opcode::PUSH_DELTA);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Self::SlimQuery { tenant, key } => {
+                out.push(opcode::SLIM_QUERY);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+            }
             Self::Stats => out.push(opcode::STATS),
             Self::Shutdown => out.push(opcode::SHUTDOWN),
         }
@@ -393,6 +501,20 @@ impl Request {
                 dst: r.u32()?,
                 src: r.u32()?,
             },
+            opcode::SNAPSHOT => {
+                let tenant = r.u32()?;
+                let raw = r.u8()?;
+                let kind = SnapshotKind::from_u8(raw).ok_or(ProtocolError::UnknownOpcode(raw))?;
+                Self::Snapshot { tenant, kind }
+            }
+            opcode::PUSH_DELTA => Self::PushDelta {
+                tenant: r.u32()?,
+                payload: r.blob()?,
+            },
+            opcode::SLIM_QUERY => Self::SlimQuery {
+                tenant: r.u32()?,
+                key: r.u64()?,
+            },
             opcode::STATS => Self::Stats,
             opcode::SHUTDOWN => Self::Shutdown,
             other => return Err(ProtocolError::UnknownOpcode(other)),
@@ -433,6 +555,12 @@ impl Response {
                 out.extend_from_slice(&epoch.to_le_bytes());
             }
             Self::Merged => out.push(opcode::MERGED),
+            Self::Snapshot { payload } => {
+                out.push(opcode::SNAPSHOT_REPLY);
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Self::Replicated => out.push(opcode::REPLICATED),
             Self::Stats(s) => {
                 out.push(opcode::STATS_REPLY);
                 out.extend_from_slice(&s.tenants.to_le_bytes());
@@ -444,6 +572,7 @@ impl Response {
                     s.merges,
                     s.rejected_batches,
                     s.rejected_connections,
+                    s.replications,
                 ] {
                     out.extend_from_slice(&ctr.to_le_bytes());
                 }
@@ -475,6 +604,8 @@ impl Response {
             },
             opcode::SEALED => Self::Sealed { epoch: r.u64()? },
             opcode::MERGED => Self::Merged,
+            opcode::SNAPSHOT_REPLY => Self::Snapshot { payload: r.blob()? },
+            opcode::REPLICATED => Self::Replicated,
             opcode::STATS_REPLY => Self::Stats(StatsReply {
                 tenants: r.u32()?,
                 connections: r.u32()?,
@@ -484,6 +615,7 @@ impl Response {
                 merges: r.u64()?,
                 rejected_batches: r.u64()?,
                 rejected_connections: r.u64()?,
+                replications: r.u64()?,
             }),
             opcode::SHUTTING_DOWN => Self::ShuttingDown,
             opcode::ERROR => {
@@ -603,6 +735,30 @@ mod tests {
             Request::QueryCertified { tenant: 0, key: 0 },
             Request::Seal { tenant: u32::MAX },
             Request::Merge { dst: 1, src: 2 },
+            Request::Snapshot {
+                tenant: 7,
+                kind: SnapshotKind::Full,
+            },
+            Request::Snapshot {
+                tenant: 7,
+                kind: SnapshotKind::Delta,
+            },
+            Request::Snapshot {
+                tenant: 0,
+                kind: SnapshotKind::Slim,
+            },
+            Request::PushDelta {
+                tenant: 7,
+                payload: vec![0x52, 0x53, 0x4B, 0x42, 1, 3],
+            },
+            Request::PushDelta {
+                tenant: 0,
+                payload: vec![],
+            },
+            Request::SlimQuery {
+                tenant: 5,
+                key: u64::MAX,
+            },
             Request::Stats,
             Request::Shutdown,
         ]
@@ -620,6 +776,11 @@ mod tests {
             },
             Response::Sealed { epoch: 8 },
             Response::Merged,
+            Response::Snapshot {
+                payload: vec![0x52, 0x53, 0x4B, 0x42, 1, 2, 0, 0],
+            },
+            Response::Snapshot { payload: vec![] },
+            Response::Replicated,
             Response::Stats(StatsReply {
                 tenants: 4,
                 connections: 16,
@@ -629,6 +790,7 @@ mod tests {
                 merges: 1,
                 rejected_batches: 9,
                 rejected_connections: 2,
+                replications: 3,
             }),
             Response::ShuttingDown,
             Response::Error {
@@ -713,6 +875,37 @@ mod tests {
         assert_eq!(
             Request::decode(&bytes).unwrap_err(),
             ProtocolError::CountTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn replication_field_lies_are_rejected() {
+        // Declared payload length larger than the bytes present.
+        let mut bytes = vec![VERSION, opcode::PUSH_DELTA];
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // tenant
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // claims 5 bytes
+        bytes.push(0); // carries 1
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::Truncated
+        );
+
+        // Declared length over MAX_FRAME_LEN is refused before allocation.
+        let mut bytes = vec![VERSION, opcode::PUSH_DELTA];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::CountTooLarge(u32::MAX)
+        );
+
+        // An unknown snapshot-kind byte names no payload family.
+        let mut bytes = vec![VERSION, opcode::SNAPSHOT];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(9);
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::UnknownOpcode(9)
         );
     }
 

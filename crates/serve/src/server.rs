@@ -36,6 +36,7 @@ use parking_lot::Mutex;
 
 use crate::protocol::{
     read_frame, send_response, ErrorCode, ProtocolError, Request, Response, StatsReply, MAX_BATCH,
+    MAX_FRAME_LEN,
 };
 use crate::tenant::{SketchSpec, TenantMap};
 
@@ -85,6 +86,7 @@ pub struct ServerStats {
     rejected_batches: AtomicU64,
     rejected_connections: AtomicU64,
     malformed_frames: AtomicU64,
+    replications: AtomicU64,
 }
 
 impl ServerStats {
@@ -111,6 +113,12 @@ impl ServerStats {
     /// Malformed payloads answered with an error frame.
     pub fn malformed_frames(&self) -> u64 {
         self.malformed_frames.load(Ordering::Relaxed)
+    }
+
+    /// Replication frames served: snapshots captured plus payloads
+    /// applied (`Snapshot` + `PushDelta`, successes only).
+    pub fn replications(&self) -> u64 {
+        self.replications.load(Ordering::Relaxed)
     }
 }
 
@@ -376,6 +384,52 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 message: e.to_string(),
             },
         },
+        Request::Snapshot { tenant, kind } => {
+            match shared.tenants.get_or_create(tenant).replicate_payload(kind) {
+                Ok(payload) => {
+                    // +2 for the version and opcode bytes, +4 for the
+                    // blob length field.
+                    if payload.len() + 6 > MAX_FRAME_LEN as usize {
+                        Response::Error {
+                            code: ErrorCode::ReplicateRefused,
+                            message: format!(
+                                "snapshot of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame ceiling",
+                                payload.len()
+                            ),
+                        }
+                    } else {
+                        shared.stats.replications.fetch_add(1, Ordering::Relaxed);
+                        Response::Snapshot { payload }
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::ReplicateRefused,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::PushDelta { tenant, payload } => {
+            match shared.tenants.get_or_create(tenant).apply_replica(&payload) {
+                Ok(()) => {
+                    shared.stats.replications.fetch_add(1, Ordering::Relaxed);
+                    Response::Replicated
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::ReplicateRefused,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::SlimQuery { tenant, key } => {
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let ans = shared.tenants.get_or_create(tenant).slim_certified(key);
+            Response::Certified {
+                value: ans.value,
+                max_possible_error: ans.max_possible_error,
+                slack: ans.slack,
+                epoch: ans.epoch,
+            }
+        }
         Request::Stats => Response::Stats(StatsReply {
             tenants: shared.tenants.len() as u32,
             connections: shared.live_connections.load(Ordering::SeqCst) as u32,
@@ -385,6 +439,7 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             merges: shared.stats.merges.load(Ordering::Relaxed),
             rejected_batches: shared.stats.rejected_batches(),
             rejected_connections: shared.stats.rejected_connections(),
+            replications: shared.stats.replications(),
         }),
         Request::Shutdown => Response::ShuttingDown,
     }
@@ -460,6 +515,57 @@ mod tests {
         assert_eq!(server.stats().rejected_batches(), 1);
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn replication_ships_a_tenant_across_servers() {
+        use crate::protocol::SnapshotKind;
+
+        let primary = ServerHandle::start(tiny()).unwrap();
+        let replica = ServerHandle::start(tiny()).unwrap();
+        let mut src = Client::connect(primary.local_addr()).unwrap();
+        let mut dst = Client::connect(replica.local_addr()).unwrap();
+
+        // Full snapshot ships the whole window.
+        src.ingest(1, &[(42, 10), (7, 3)]).unwrap();
+        let full = src.snapshot(1, SnapshotKind::Full).unwrap();
+        dst.push_delta(1, &full).unwrap();
+        assert!(dst.query_certified(1, 42).unwrap().contains(10));
+
+        // A delta cut establishes the baseline; subsequent cuts ship
+        // only dirtied buckets, which the replica folds on top.
+        let baseline = src.snapshot(1, SnapshotKind::Delta).unwrap();
+        dst.push_delta(1, &baseline).unwrap();
+        src.ingest(1, &[(42, 5)]).unwrap();
+        let delta = src.snapshot(1, SnapshotKind::Delta).unwrap();
+        assert!(delta.len() < baseline.len(), "delta should undercut full");
+        dst.push_delta(1, &delta).unwrap();
+        assert!(dst.query_certified(1, 42).unwrap().contains(15));
+
+        // Slim payloads answer standalone, and the slim query path on
+        // the replica certifies the same truth.
+        let slim = src.snapshot(1, SnapshotKind::Slim).unwrap();
+        assert!(slim.len() < full.len());
+        assert!(dst.query_slim(1, 42).unwrap().contains(15));
+
+        // Garbage is refused without poisoning the connection.
+        let err = dst.push_delta(1, b"not a payload").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Server {
+                code: ErrorCode::ReplicateRefused,
+                ..
+            }
+        ));
+        assert!(dst.query_certified(1, 42).unwrap().contains(15));
+
+        // Both sides counted their replication frames.
+        assert!(src.stats().unwrap().replications >= 3);
+        assert!(dst.stats().unwrap().replications >= 3);
+
+        drop((src, dst));
+        primary.shutdown();
+        replica.shutdown();
     }
 
     #[test]

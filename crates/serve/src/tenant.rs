@@ -24,8 +24,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rsk_api::{ConcurrentErrorSensing, Estimate, MergeError};
-use rsk_core::EpochedConcurrent;
+use rsk_api::{ConcurrentErrorSensing, Estimate, MergeError, Replicate, ReplicateError};
+use rsk_core::{EpochedConcurrent, SlimSummary};
+
+use crate::protocol::SnapshotKind;
 
 /// Sketch parameters every tenant is built with.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +133,48 @@ impl Tenant {
         let mut window = self.window.write();
         window.rotate();
         window.epoch()
+    }
+
+    /// Capture a replication payload of this tenant's window.
+    ///
+    /// `Full` and `Slim` read the window under the shared lock (captures
+    /// are lock-free inside the sketch); `Delta` takes the exclusive
+    /// lock because cutting updates the dirty-bitmap baseline.
+    ///
+    /// # Errors
+    /// Propagates the sketch layer's [`ReplicateError`].
+    pub fn replicate_payload(&self, kind: SnapshotKind) -> Result<Vec<u8>, ReplicateError> {
+        match kind {
+            SnapshotKind::Full => self.window.read().snapshot_bytes(),
+            SnapshotKind::Delta => self.window.write().delta_bytes(),
+            SnapshotKind::Slim => self.window.read().slim_bytes(),
+        }
+    }
+
+    /// Apply a shipped replication payload (full snapshot or delta —
+    /// payloads are self-describing) to this tenant's window.
+    ///
+    /// # Errors
+    /// Propagates the sketch layer's [`ReplicateError`]; on error the
+    /// window is untouched.
+    pub fn apply_replica(&self, payload: &[u8]) -> Result<(), ReplicateError> {
+        self.window.write().apply_bytes(payload)
+    }
+
+    /// Certified estimate answered through a freshly distilled
+    /// [`SlimSummary`] of the window — the code path a collector holding
+    /// only a shipped slim payload runs, exposed for verification.
+    pub fn slim_certified(&self, key: u64) -> CertifiedAnswer {
+        let window = self.window.read();
+        let slim = SlimSummary::from_epoched(&window);
+        let est = slim.query_with_error(&key);
+        let generations = 1 + u64::from(window.frozen().is_some());
+        CertifiedAnswer {
+            value: est.value,
+            max_possible_error: est.max_possible_error,
+            slack: window.contention_undershoot_bound() * generations,
+            epoch: window.epoch(),
+        }
     }
 
     /// Insertion failures accumulated across the window's generations.

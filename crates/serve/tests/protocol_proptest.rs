@@ -8,7 +8,9 @@
 //! points, random junk payloads.
 
 use proptest::prelude::*;
-use rsk_serve::protocol::{ProtocolError, Request, Response, StatsReply, MAX_BATCH, VERSION};
+use rsk_serve::protocol::{
+    ProtocolError, Request, Response, SnapshotKind, StatsReply, MAX_BATCH, VERSION,
+};
 use rsk_serve::ErrorCode;
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -33,12 +35,34 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::prelude::any::<u32>(),
     )
         .prop_map(|(dst, src)| Request::Merge { dst, src });
+    let snapshot =
+        (proptest::prelude::any::<u32>(), 0u8..3).prop_map(|(tenant, raw)| Request::Snapshot {
+            tenant,
+            kind: match raw {
+                0 => SnapshotKind::Full,
+                1 => SnapshotKind::Delta,
+                _ => SnapshotKind::Slim,
+            },
+        });
+    let push_delta = (
+        proptest::prelude::any::<u32>(),
+        proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256),
+    )
+        .prop_map(|(tenant, payload)| Request::PushDelta { tenant, payload });
+    let slim_query = (
+        proptest::prelude::any::<u32>(),
+        proptest::prelude::any::<u64>(),
+    )
+        .prop_map(|(tenant, key)| Request::SlimQuery { tenant, key });
     prop_oneof![
         ingest,
         query,
         certified,
         seal,
         merge,
+        snapshot,
+        push_delta,
+        slim_query,
         Just(Request::Stats),
         Just(Request::Shutdown),
     ]
@@ -76,10 +100,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
             proptest::prelude::any::<u64>(),
             proptest::prelude::any::<u64>(),
             proptest::prelude::any::<u64>(),
+            proptest::prelude::any::<u64>(),
         ),
     )
         .prop_map(
-            |((tenants, connections), (items_ingested, queries, seals), (merges, rb, rc))| {
+            |((tenants, connections), (items_ingested, queries, seals), (merges, rb, rc, rep))| {
                 Response::Stats(StatsReply {
                     tenants,
                     connections,
@@ -89,22 +114,26 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     merges,
                     rejected_batches: rb,
                     rejected_connections: rc,
+                    replications: rep,
                 })
             },
         );
-    let error = (0u8..6, proptest::collection::vec(32u8..127, 0..64)).prop_map(|(raw, msg)| {
+    let error = (0u8..7, proptest::collection::vec(32u8..127, 0..64)).prop_map(|(raw, msg)| {
         let code = match raw {
             0 | 1 => ErrorCode::Malformed,
             2 => ErrorCode::BatchTooLarge,
             3 => ErrorCode::TooManyConnections,
             4 => ErrorCode::MergeRefused,
-            _ => ErrorCode::BadTenant,
+            5 => ErrorCode::BadTenant,
+            _ => ErrorCode::ReplicateRefused,
         };
         Response::Error {
             code,
             message: String::from_utf8(msg).expect("printable ASCII"),
         }
     });
+    let snapshot_resp = proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256)
+        .prop_map(|payload| Response::Snapshot { payload });
     prop_oneof![
         ack,
         value,
@@ -112,6 +141,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
         sealed,
         Just(Response::Merged),
         stats,
+        snapshot_resp,
+        Just(Response::Replicated),
         Just(Response::ShuttingDown),
         error,
     ]

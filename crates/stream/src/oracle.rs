@@ -96,6 +96,15 @@ impl<K: Key> GroundTruth<K> {
     pub fn max_freq(&self) -> u64 {
         self.entries.iter().map(|(_, v)| *v).max().unwrap_or(0)
     }
+
+    /// All `(key, f(key))` pairs, in first-occurrence (stream) order.
+    ///
+    /// The order is part of the contract — callers that need a stable
+    /// ranking can sort these pairs with a *stable* sort and rely on
+    /// stream order as the tiebreak, without re-sorting defensively.
+    pub fn to_pairs(&self) -> Vec<(K, u64)> {
+        self.entries.clone()
+    }
 }
 
 impl<K: Key> StreamSummary<K> for GroundTruth<K> {
@@ -204,6 +213,13 @@ mod tests {
         }
         let got: Vec<u64> = gt.iter().map(|(k, _)| *k).collect();
         assert_eq!(got, expected);
+        // to_pairs pins the same order (and the same values as freq).
+        let pairs = gt.to_pairs();
+        assert_eq!(pairs.len(), expected.len());
+        for ((k, v), want) in pairs.iter().zip(&expected) {
+            assert_eq!(k, want);
+            assert_eq!(*v, gt.freq(k));
+        }
         // keys_above preserves the same relative order
         let hot = gt.keys_above(10);
         let hot_expected: Vec<u64> = expected

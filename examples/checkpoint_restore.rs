@@ -11,7 +11,7 @@
 //! cargo run --release --example checkpoint_restore
 //! ```
 
-use reliablesketch::core::snapshot::SketchSnapshot;
+use reliablesketch::core::replicate::SketchSnapshot;
 use reliablesketch::core::EmergencyPolicy;
 use reliablesketch::prelude::*;
 

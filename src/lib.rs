@@ -43,11 +43,12 @@ pub mod prelude {
     pub use crate::builder::{builder, SketchBuilder};
     pub use rsk_api::{
         Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy,
-        MemoryFootprint, Merge, MergeError, StreamSummary,
+        MemoryFootprint, Merge, MergeError, Replicate, ReplicateError, StreamSummary,
     };
     pub use rsk_core::{
         merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,
         ReliableSketch, ShardPlacement, ShardedReliable,
     };
+    pub use rsk_core::{SketchSnapshot, SlimShards, SlimSummary};
     pub use rsk_stream::{Dataset, GroundTruth, Item};
 }

@@ -27,8 +27,8 @@ fn every_registered_contender_runs_a_quick_error_scenario() {
         25,
     );
     // Ours + 8 baselines + 2 atomic + one sharded row per worker count +
-    // epoched + merged
-    assert_eq!(registry.len(), 9 + 4 + ctx.workers.len());
+    // epoched + merged + slim digest
+    assert_eq!(registry.len(), 9 + 5 + ctx.workers.len());
     for c in &registry {
         let inst = c.run(128 * 1024, ctx.seed, &sc.stream);
         let rep = sc.evaluate(inst.as_ref());

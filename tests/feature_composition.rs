@@ -7,7 +7,7 @@
 //! intervals containing the truth.
 
 use reliablesketch::core::epoch::EpochedReliable;
-use reliablesketch::core::snapshot::SketchSnapshot;
+use reliablesketch::core::replicate::SketchSnapshot;
 use reliablesketch::core::EmergencyPolicy;
 use reliablesketch::prelude::*;
 use std::collections::HashMap;

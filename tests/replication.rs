@@ -1,0 +1,264 @@
+//! Replication-layer acceptance: the binary codec, delta shipping, and
+//! the wire path are held to their contracts end-to-end.
+//!
+//! Property tests (satellite coverage for the `replicate` module):
+//!
+//! 1. **Codec round-trips** — `encode → decode → encode` is the
+//!    identity on valid payloads, and a restored sketch answers every
+//!    query exactly like the original.
+//! 2. **Rejection totality** — truncations of valid payloads and
+//!    arbitrary garbage always come back as typed errors, never panics
+//!    or misparses.
+//! 3. **`apply_delta` ≡ `merge_from_sequential`** — a replica kept in
+//!    sync by dirty-bitmap deltas reproduces the source *exactly*
+//!    (state replication), and therefore stays inside the certified
+//!    interval a merge-based collector derives from the same sequential
+//!    edge — the two shipping strategies agree on every answer they
+//!    certify.
+//!
+//! The wire test at the bottom is the acceptance pin: a tenant window
+//! replicated over real loopback TCP (full snapshot, then two delta
+//! ships straddling a seal) answers every probed key within its
+//! certified bound on the replica.
+
+use proptest::prelude::*;
+use reliablesketch::prelude::*;
+
+const MEM: usize = 16 * 1024;
+const LAMBDA: u64 = 25;
+
+fn config(seed: u64) -> ReliableConfig {
+    ReliableConfig {
+        memory_bytes: MEM,
+        lambda: LAMBDA,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A concurrent sketch over the *sequential* layer geometry, so answers
+/// are bit-comparable with `ReliableSketch` (the workspace's parity
+/// convention, cf. `tests/concurrent_parity.rs`).
+fn atomic_twin(seed: u64) -> ConcurrentReliable<u64> {
+    let cfg = config(seed);
+    let geometry = cfg.geometry();
+    ConcurrentReliable::with_geometry(cfg, geometry)
+}
+
+fn zipfish_stream(items: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut x = seed | 1;
+    (0..items)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // skewed small-universe keys so buckets collide and layers fill
+            let key = (x >> 33) % 700;
+            (key, 1 + (x >> 7) % 3)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Codec round-trip: decode∘encode ≡ identity on the bytes, and the
+    /// restored sketch is answer-for-answer identical.
+    #[test]
+    fn prop_binary_codec_roundtrips_identity(seed in 1u64..1 << 48, items in 400usize..2_000) {
+        let stream = zipfish_stream(items, seed);
+        let mut sk = ReliableSketch::<u64>::new(config(seed));
+        for (k, v) in &stream {
+            sk.insert(k, *v);
+        }
+        let snapshot = sk.snapshot();
+        let bytes = snapshot.to_bytes();
+        let decoded = SketchSnapshot::<u64>::from_bytes(&bytes).expect("own bytes decode");
+        prop_assert_eq!(&decoded.to_bytes(), &bytes, "re-encode must be bit-identical");
+        let restored = ReliableSketch::restore(decoded).expect("valid snapshot restores");
+        for (k, _) in stream.iter().take(300) {
+            let a = sk.query_with_error(k);
+            let b = restored.query_with_error(k);
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.max_possible_error, b.max_possible_error);
+        }
+    }
+
+    /// Rejection totality: every truncation of a valid payload and any
+    /// byte soup decodes to a typed error — never a panic, never a
+    /// silent misparse back to success.
+    #[test]
+    fn prop_truncation_and_garbage_are_rejected(
+        seed in 1u64..1 << 48,
+        frac in 0.0f64..1.0,
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut sk = ReliableSketch::<u64>::new(config(seed));
+        for (k, v) in zipfish_stream(300, seed) {
+            sk.insert(&k, v);
+        }
+        let bytes = sk.snapshot_bytes().expect("in-process snapshot");
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(SketchSnapshot::<u64>::from_bytes(&bytes[..cut]).is_err());
+        // garbage: either a typed error, or (vanishingly unlikely) a
+        // genuinely valid frame — in which case it must re-encode
+        // bit-for-bit, proving no aliasing
+        if let Ok(s) = SketchSnapshot::<u64>::from_bytes(&junk) {
+            prop_assert_eq!(s.to_bytes(), junk);
+        }
+        // a valid payload of the wrong kind is refused, not misread
+        prop_assert!(matches!(
+            SlimSummary::from_bytes(&bytes),
+            Err(ReplicateError::Incompatible(_))
+        ));
+    }
+
+    /// Delta shipping reproduces the source exactly, and agrees with the
+    /// merge path: a replica fed `apply_delta` answers bit-for-bit like
+    /// the source sketch, and every such answer lies inside the
+    /// certified interval a collector gets by `merge_from_sequential`
+    /// of the same edge stream.
+    #[test]
+    fn prop_apply_delta_matches_merge_from_sequential(
+        seed in 1u64..1 << 48,
+        dirt in proptest::collection::vec((0u64..700, 1u64..4), 1..120),
+    ) {
+        let base = zipfish_stream(1_200, seed);
+
+        // the sequential edge ingests everything (base + dirt)
+        let mut seq = ReliableSketch::<u64>::new(config(seed));
+        for (k, v) in base.iter().chain(&dirt) {
+            seq.insert(k, *v);
+        }
+
+        // the source ingests the base, cuts a full baseline to the
+        // replica, then absorbs the dirt in two randomly split delta
+        // rounds
+        let mut source = atomic_twin(seed);
+        for (k, v) in &base {
+            source.insert_concurrent(k, *v);
+        }
+        let mut replica = atomic_twin(seed);
+        replica.apply_bytes(&source.delta_bytes().expect("baseline cut")).expect("full apply");
+        let split = dirt.len() / 2;
+        for round in [&dirt[..split], &dirt[split..]] {
+            for (k, v) in round {
+                source.insert_concurrent(k, *v);
+            }
+            replica.apply_bytes(&source.delta_bytes().expect("delta cut")).expect("delta apply");
+        }
+
+        // the merge-path collector folds the whole edge in one merge
+        let mut collector = atomic_twin(seed);
+        collector.merge_from_sequential(&seq).expect("identical configuration");
+
+        for (k, _) in base.iter().take(250).chain(&dirt) {
+            let direct = source.query_with_error(k);
+            let shipped = replica.query_with_error(k);
+            prop_assert_eq!(direct.value, shipped.value, "delta ship must replicate state");
+            prop_assert_eq!(direct.max_possible_error, shipped.max_possible_error);
+            // single-threaded atomic over sequential geometry is
+            // bit-equal to the sequential edge, so the shipped answer
+            // must sit inside the merge path's certified interval
+            let merged = collector.query_with_error(k);
+            prop_assert!(
+                merged.value >= shipped.value
+                    && shipped.value >= merged.value.saturating_sub(merged.max_possible_error),
+                "merge path certifies [{} - {}, {}], delta path answered {}",
+                merged.value, merged.max_possible_error, merged.value, shipped.value
+            );
+        }
+    }
+}
+
+/// The acceptance pin: a tenant window replicated over real loopback
+/// TCP — one full snapshot, then two delta ships straddling an epoch
+/// seal — answers every probed key within its certified bound on the
+/// replica, through both the full-window and slim-digest query paths.
+#[test]
+fn wire_replication_stays_certified_across_seals() {
+    use rsk_serve::{Client, ServeConfig, ServerHandle, SketchSpec, SnapshotKind};
+    use std::collections::HashMap;
+
+    let spec = SketchSpec {
+        memory_bytes: 128 * 1024,
+        error_tolerance: LAMBDA,
+        seed: 0xfeed,
+    };
+    let primary = ServerHandle::start(ServeConfig {
+        accept_threads: 2,
+        spec,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let replica = ServerHandle::start(ServeConfig {
+        accept_threads: 2,
+        spec,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut src = Client::connect(primary.local_addr()).unwrap();
+    let mut dst = Client::connect(replica.local_addr()).unwrap();
+
+    let tenant = 9;
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    let ingest = |client: &mut Client, truth: &mut HashMap<u64, u64>, salt: u64| {
+        let items: Vec<(u64, u64)> = (0..400u64)
+            .map(|i| {
+                let x = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((x >> 40) % 300, 1 + (x >> 13) % 5)
+            })
+            .collect();
+        for (k, v) in &items {
+            *truth.entry(*k).or_insert(0) += v;
+        }
+        client.ingest(tenant, &items).unwrap();
+    };
+
+    // Full snapshot first (the cut doubles as the delta baseline) …
+    ingest(&mut src, &mut truth, 1);
+    let full = src.snapshot(tenant, SnapshotKind::Delta).unwrap();
+    dst.push_delta(tenant, &full).unwrap();
+
+    // … then delta ship 1 within the same epoch …
+    ingest(&mut src, &mut truth, 2);
+    let d1 = src.snapshot(tenant, SnapshotKind::Delta).unwrap();
+    assert!(d1.len() < full.len(), "delta must undercut the snapshot");
+    dst.push_delta(tenant, &d1).unwrap();
+
+    // … then a seal (epoch rotation) and delta ship 2 across it.
+    src.seal(tenant).unwrap();
+    ingest(&mut src, &mut truth, 3);
+    let d2 = src.snapshot(tenant, SnapshotKind::Delta).unwrap();
+    dst.push_delta(tenant, &d2).unwrap();
+
+    // Every probed key must certify on the replica, via the replicated
+    // window and via the slim digest distilled from it.
+    for (k, want) in &truth {
+        let certified = dst.query_certified(tenant, *k).unwrap();
+        assert!(
+            certified.contains(*want),
+            "replica misses key {k}: truth {want}, answer {certified:?}"
+        );
+        let slim = dst.query_slim(tenant, *k).unwrap();
+        assert!(
+            slim.contains(*want),
+            "slim digest misses key {k}: truth {want}, answer {slim:?}"
+        );
+    }
+
+    // The replica's answers match the primary's bit-for-bit: delta
+    // shipping is state replication, not approximation.
+    for k in truth.keys() {
+        let a = src.query_certified(tenant, *k).unwrap();
+        let b = dst.query_certified(tenant, *k).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.max_possible_error, b.max_possible_error);
+        assert_eq!(a.epoch, b.epoch);
+    }
+
+    drop((src, dst));
+    primary.shutdown();
+    replica.shutdown();
+}
