@@ -14,6 +14,9 @@
 //! * [`ErrorSensing`] — point-query with a certified [`Estimate`] interval
 //!   (the paper's "Maximum Possible Error"); only ReliableSketch and the
 //!   exact oracle can implement this;
+//! * [`TopK`] — certified top-K heavy hitters: entries carry the per-key
+//!   MPE as error bars and the answer certifies its own recall
+//!   ([`CertifiedTopK`]);
 //! * [`MemoryFootprint`] — bytes used, so experiments can sweep memory;
 //! * [`Algorithm`] — display name for harness tables;
 //! * [`Clear`] — reset without reallocation (benchmarks).
@@ -104,6 +107,118 @@ pub trait ErrorSensing<K: Key>: StreamSummary<K> {
     /// Estimate the value sum of `key` along with its Maximum Possible
     /// Error.
     fn query_with_error(&self, key: &K) -> Estimate;
+}
+
+/// One reported heavy hitter in a [`CertifiedTopK`] answer.
+///
+/// `count` never undershoots the key's true value sum and overshoots it
+/// by at most `error` (the sketch's certified per-key Maximum Possible
+/// Error at the moment the entry was claimed), so
+/// `truth ∈ [count − error, count]` — the same one-sided interval as
+/// [`Estimate`], carried per top-K entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopKEntry<K> {
+    /// The reported key.
+    pub key: K,
+    /// Certified upper bound on the key's true value sum.
+    pub count: u64,
+    /// Certified overestimation bound: `count − truth ≤ error`.
+    pub error: u64,
+}
+
+impl<K> TopKEntry<K> {
+    /// Lower end of the certified interval, `count − error` (saturating).
+    #[inline]
+    pub fn lower_bound(&self) -> u64 {
+        self.count.saturating_sub(self.error)
+    }
+
+    /// Does the certified interval contain `truth`?
+    #[inline]
+    pub fn contains(&self, truth: u64) -> bool {
+        self.lower_bound() <= truth && truth <= self.count
+    }
+}
+
+/// A certified top-K answer: up to `k` entries sorted by `count`
+/// descending, plus the two ceilings that turn the list into a *recall
+/// guarantee* rather than a best-effort report.
+///
+/// * [`miss_bound`](Self::miss_bound) — no key absent from the backing
+///   summary can have a true value sum above this;
+/// * [`next_count`](Self::next_count) — the certified count of the best
+///   summary entry *not* reported (the (k+1)-th), `0` when the summary
+///   held no more than `k` entries.
+///
+/// Any key with true count above
+/// [`guaranteed_floor()`](Self::guaranteed_floor) (the larger of the
+/// two) is provably among the reported entries; when additionally every
+/// reported entry's certified lower bound clears that floor
+/// ([`recall_certified()`](Self::recall_certified)), the reported set is
+/// provably *exactly* the set of keys whose true count exceeds the floor
+/// — recall 1.0, certified from the k-th/(k+1)-th gap, no oracle needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifiedTopK<K> {
+    /// Reported entries, `count` descending. May be shorter than the
+    /// requested `k` when the summary tracked fewer keys.
+    pub entries: Vec<TopKEntry<K>>,
+    /// Upper bound on the true count of any key the summary does not
+    /// track ([`u64::MAX`] for a vacuous answer from a sketch without a
+    /// top-K layer).
+    pub miss_bound: u64,
+    /// Certified count of the best unreported summary entry (`0` when
+    /// everything tracked was reported).
+    pub next_count: u64,
+}
+
+impl<K> CertifiedTopK<K> {
+    /// A vacuous answer: no entries, no guarantee (`miss_bound` = MAX).
+    pub fn vacuous() -> Self {
+        Self {
+            entries: Vec::new(),
+            miss_bound: u64::MAX,
+            next_count: 0,
+        }
+    }
+
+    /// The certified floor: every key with true count strictly above
+    /// this is among [`entries`](Self::entries).
+    #[inline]
+    pub fn guaranteed_floor(&self) -> u64 {
+        self.miss_bound.max(self.next_count)
+    }
+
+    /// Is the reported set provably exact? True when every entry's
+    /// certified lower bound strictly clears
+    /// [`guaranteed_floor()`](Self::guaranteed_floor): reported keys then
+    /// all have true counts above the floor, unreported keys all sit at
+    /// or below it, so the entry set equals the true top-`len(entries)`
+    /// (as a set — ordering *within* the reported set is not certified).
+    /// Vacuously true for an empty report (nothing claimed, nothing
+    /// wrong); callers wanting `k` certified entries should also check
+    /// `entries.len() == k`.
+    pub fn recall_certified(&self) -> bool {
+        let floor = self.guaranteed_floor();
+        self.entries.iter().all(|e| e.lower_bound() > floor)
+    }
+}
+
+/// A sketch carrying an error-certified top-K heavy-hitter layer.
+///
+/// The trait is object safe — a service can hold tenants as
+/// `Box<dyn TopK<u64>>` — and deliberately read-only: entries are
+/// claimed internally by the sketch's own insertion path (elephant
+/// promotion), never by the caller.
+pub trait TopK<K: Key> {
+    /// The certified top-`k` answer over everything inserted so far.
+    ///
+    /// Sketches without an enabled top-K layer return
+    /// [`CertifiedTopK::vacuous`].
+    fn certified_top_k(&self, k: usize) -> CertifiedTopK<K>;
+
+    /// Capacity of the backing summary, or `None` when the top-K layer
+    /// is disabled.
+    fn top_k_capacity(&self) -> Option<usize>;
 }
 
 /// Bytes of memory occupied by the sketch's data structure.

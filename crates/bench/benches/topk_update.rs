@@ -1,0 +1,83 @@
+//! The certified top-K layer's cost model: per-insert maintenance and
+//! answer extraction.
+//!
+//! The layer is a count-bucket doubly-linked list (Stream-Summary
+//! shape), so increment, promote, and evict are all O(1) — per-insert
+//! cost must stay **flat as capacity grows** (64 → 1024 entries), unlike
+//! a heap's O(log k). The `disabled` row is the same sketch without the
+//! layer: the gap between it and any capacity row is the layer's whole
+//! per-insert overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rsk_api::{StreamSummary, TopK};
+use rsk_core::ReliableSketch;
+use rsk_stream::{Dataset, Item};
+
+const SEED: u64 = 9090;
+const ITEMS: usize = 100_000;
+
+fn fresh(top_k: Option<usize>) -> ReliableSketch<u64> {
+    let sk = ReliableSketch::<u64>::builder()
+        .memory_bytes(512 * 1024)
+        .error_tolerance(25)
+        .seed(SEED)
+        .build::<u64>();
+    match top_k {
+        Some(capacity) => sk.with_top_k(capacity),
+        None => sk,
+    }
+}
+
+fn ingest(mut sk: ReliableSketch<u64>, stream: &[Item<u64>]) -> ReliableSketch<u64> {
+    for it in stream {
+        sk.insert(&it.key, it.value);
+    }
+    sk
+}
+
+/// Per-insert maintenance: flat across capacities is the O(1) claim.
+fn bench_topk_update(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(ITEMS, 3);
+    let mut group = c.benchmark_group("topk/update");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("disabled", |bench| {
+        bench.iter_batched(
+            || fresh(None),
+            |sk| ingest(sk, &stream),
+            BatchSize::LargeInput,
+        )
+    });
+    for capacity in [64usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |bench, &cap| {
+                bench.iter_batched(
+                    || fresh(Some(cap)),
+                    |sk| ingest(sk, &stream),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Answer extraction: sorting the monitored entries is O(capacity log
+/// capacity), paid per query, not per insert.
+fn bench_topk_answer(c: &mut Criterion) {
+    let stream = Dataset::IpTrace.generate(ITEMS, 3);
+    let mut group = c.benchmark_group("topk/answer");
+    for capacity in [64usize, 256, 1024] {
+        let sk = ingest(fresh(Some(capacity)), &stream);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |bench, _| bench.iter(|| sk.certified_top_k(16).entries.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_update, bench_topk_answer);
+criterion_main!(benches);

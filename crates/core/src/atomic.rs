@@ -109,8 +109,12 @@ use crate::config::ReliableConfig;
 use crate::emergency::EmergencyStore;
 use crate::filter::{AtomicMiceFilter, FILTER_SEED_SALT};
 use crate::geometry::LayerGeometry;
+use crate::topk::TopKSummary;
 use parking_lot::Mutex;
-use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use rsk_api::{
+    Algorithm, CertifiedTopK, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary,
+    TopK,
+};
 use rsk_hash::{splitmix64, HashFamily};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -504,6 +508,13 @@ pub struct ConcurrentReliable<K: Key> {
     array: AtomicBucketArray,
     failures: AtomicU64,
     emergency: Mutex<EmergencyStore<K>>,
+    /// The error-certified top-K layer ([`crate::topk`]). The mutex is
+    /// touched only on the promotion path — when the mice filter passes
+    /// value through (elephant traffic; every insert for the raw
+    /// variant) — so mouse-dominated hot paths never contend on it; the
+    /// bucket transitions that feed monitored counts were each committed
+    /// by the existing one-CAS step before the offer is taken.
+    topk: Option<Mutex<TopKSummary<K>>>,
     merged: Option<MergedOverlay>,
     /// Bumped whenever the sealed overlay mutates (every merge funnels
     /// through [`Self::seal_into_overlay`]); lets a replication cut detect
@@ -574,6 +585,7 @@ impl<K: Key> ConcurrentReliable<K> {
             array,
             failures: AtomicU64::new(0),
             emergency,
+            topk: None,
             merged: None,
             merge_epoch: 0,
             #[cfg(feature = "serde")]
@@ -615,6 +627,44 @@ impl<K: Key> ConcurrentReliable<K> {
         self.filter
             .as_ref()
             .map_or(0, AtomicMiceFilter::contention_undershoot_bound)
+    }
+
+    /// Attach the error-certified top-K layer ([`crate::topk`]),
+    /// mirroring [`crate::ReliableSketch::enable_top_k`]: offers happen
+    /// only when the atomic mice filter passes value through, so the
+    /// guarding mutex sees elephant traffic only. Enable *before*
+    /// ingesting. Under producer contention a claim's seed estimate may
+    /// trail the racing truth by the documented
+    /// [`Self::contention_undershoot_bound`]; single-owner histories are
+    /// bit-for-bit equal to the sequential twin's summary.
+    pub fn enable_top_k(&mut self, capacity: usize) {
+        let threshold = self.filter.as_ref().map_or(0, AtomicMiceFilter::threshold);
+        self.topk = Some(Mutex::new(TopKSummary::new(capacity, threshold)));
+    }
+
+    /// Builder-style [`Self::enable_top_k`].
+    #[must_use]
+    pub fn with_top_k(mut self, capacity: usize) -> Self {
+        self.enable_top_k(capacity);
+        self
+    }
+
+    /// Clone of the attached top-K summary, if enabled (read under its
+    /// mutex; the merge and epoch layers use this to union summaries).
+    pub fn top_k_summary(&self) -> Option<TopKSummary<K>> {
+        self.topk.as_ref().map(|tk| tk.lock().clone())
+    }
+
+    /// The top-K mutex itself (merge plumbing).
+    pub(crate) fn topk_cell(&self) -> Option<&Mutex<TopKSummary<K>>> {
+        self.topk.as_ref()
+    }
+
+    /// Drop the top-K layer — replica apply paths call this because a
+    /// restored bucket image carries no promotion history, so any
+    /// existing summary would certify a stream it never witnessed.
+    pub(crate) fn invalidate_top_k(&mut self) {
+        self.topk = None;
     }
 
     /// Has this sketch absorbed another via [`rsk_api::Merge`] (or
@@ -667,6 +717,7 @@ impl<K: Key> ConcurrentReliable<K> {
                 return; // absorbed: a mouse never touches a bucket
             }
         }
+        let passed = v;
         v = self.array.insert_step(0, idx0, fp, v);
         let mut layer = 1;
         while v > 0 && layer < self.geometry.depth() {
@@ -677,6 +728,12 @@ impl<K: Key> ConcurrentReliable<K> {
         if v > 0 {
             self.failures.fetch_add(1, Ordering::Relaxed);
             self.emergency.lock().record(key, v);
+        }
+        // elephant promotion: offer the passed value to the top-K layer
+        // after every CAS of this insert committed, so an unmonitored
+        // key's claim is seeded from the certified post-insert estimate
+        if let Some(tk) = &self.topk {
+            tk.lock().offer(key, passed, || self.query_with_error(key));
         }
     }
 
@@ -913,10 +970,24 @@ impl<K: Key> MemoryFootprint for ConcurrentReliable<K> {
         let overlay = self.merged.as_ref().map_or(0, |_| {
             self.array.total_buckets() * crate::config::BUCKET_BYTES
         });
+        let topk = self.topk.as_ref().map_or(0, |tk| tk.lock().memory_bytes());
         filter
             + self.array.total_buckets() * ATOMIC_BUCKET_BYTES
             + overlay
+            + topk
             + self.emergency.lock().memory_bytes()
+    }
+}
+
+impl<K: Key> TopK<K> for ConcurrentReliable<K> {
+    fn certified_top_k(&self, k: usize) -> CertifiedTopK<K> {
+        self.topk
+            .as_ref()
+            .map_or_else(CertifiedTopK::vacuous, |tk| tk.lock().certified_top_k(k))
+    }
+
+    fn top_k_capacity(&self) -> Option<usize> {
+        self.topk.as_ref().map(|tk| tk.lock().capacity())
     }
 }
 
@@ -938,6 +1009,9 @@ impl<K: Key> Clear for ConcurrentReliable<K> {
         self.array.reset();
         self.failures.store(0, Ordering::Relaxed);
         self.emergency.lock().clear();
+        if let Some(tk) = &self.topk {
+            tk.lock().clear();
+        }
         self.merged = None;
         self.merge_epoch = 0;
         #[cfg(feature = "serde")]

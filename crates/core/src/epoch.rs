@@ -56,10 +56,58 @@
 use crate::atomic::ConcurrentReliable;
 use crate::config::{ReliableConfig, ReliableConfigBuilder};
 use crate::sketch::ReliableSketch;
+use crate::topk::TopKSummary;
 use rsk_api::{
-    Algorithm, Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, Key,
-    MemoryFootprint, Merge, MergeError, StreamSummary,
+    Algorithm, CertifiedTopK, Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing,
+    Estimate, Key, MemoryFootprint, Merge, MergeError, StreamSummary, TopK, TopKEntry,
 };
+
+/// Answer `certified_top_k(k)` over a visible window: take the monitored
+/// candidates of each generation's summary (active first, then frozen,
+/// first occurrence wins), re-answer every candidate with the **window**
+/// estimate so the count/error pair covers both generations, and charge
+/// unmonitored keys the sum of the generations' miss bounds. A visible
+/// generation without a top-K summary has an unbounded miss (`u64::MAX`),
+/// which saturates the whole answer into a vacuous one.
+fn window_certified_top_k<K: Key>(
+    k: usize,
+    active: Option<&TopKSummary<K>>,
+    frozen_visible: bool,
+    frozen: Option<&TopKSummary<K>>,
+    query: impl Fn(&K) -> Estimate,
+) -> CertifiedTopK<K> {
+    let Some(active) = active else {
+        return CertifiedTopK::vacuous();
+    };
+    let mut miss_bound = active.miss_bound();
+    if frozen_visible {
+        miss_bound = miss_bound.saturating_add(frozen.map_or(u64::MAX, TopKSummary::miss_bound));
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut candidates: Vec<TopKEntry<K>> = Vec::new();
+    let entries = active
+        .entries_desc()
+        .into_iter()
+        .chain(frozen.iter().flat_map(|f| f.entries_desc()));
+    for entry in entries {
+        if seen.insert(entry.key) {
+            let est = query(&entry.key);
+            candidates.push(TopKEntry {
+                key: entry.key,
+                count: est.value,
+                error: est.max_possible_error,
+            });
+        }
+    }
+    candidates.sort_by_key(|e| core::cmp::Reverse(e.count));
+    let next_count = candidates.get(k).map_or(0, |e| e.count);
+    candidates.truncate(k);
+    CertifiedTopK {
+        entries: candidates,
+        miss_bound,
+        next_count,
+    }
+}
 
 /// Two-generation rotating window over ReliableSketches.
 #[derive(Debug, Clone)]
@@ -68,6 +116,9 @@ pub struct EpochedReliable<K: Key> {
     frozen: Option<ReliableSketch<K>>,
     config: ReliableConfig,
     epoch: u64,
+    /// Top-K capacity carried across rotations: each fresh active
+    /// generation is built with its own summary of this capacity.
+    top_k: Option<usize>,
 }
 
 impl<K: Key> EpochedReliable<K> {
@@ -87,7 +138,27 @@ impl<K: Key> EpochedReliable<K> {
             frozen: None,
             config,
             epoch: 0,
+            top_k: None,
         }
+    }
+
+    /// Attach an error-certified top-K layer of `capacity` slots to the
+    /// window: the active generation tracks its elephants from now on,
+    /// and every future generation starts with its own summary of the
+    /// same capacity, so [`TopK::certified_top_k`] answers over the
+    /// visible window. An already-frozen generation keeps whatever
+    /// summary it had when sealed (none, if enabled after the fact —
+    /// the window then answers vacuously until it rotates out).
+    pub fn enable_top_k(&mut self, capacity: usize) {
+        self.top_k = Some(capacity.max(1));
+        self.active.enable_top_k(capacity);
+    }
+
+    /// Builder-style [`Self::enable_top_k`].
+    #[must_use]
+    pub fn with_top_k(mut self, capacity: usize) -> Self {
+        self.enable_top_k(capacity);
+        self
     }
 
     /// Index of the currently active epoch (starts at 0, +1 per rotation).
@@ -116,7 +187,10 @@ impl<K: Key> EpochedReliable<K> {
     /// is returned so callers can archive or further aggregate it (e.g.
     /// [`rsk_api::Merge`] it into a long-horizon roll-up).
     pub fn rotate(&mut self) -> Option<ReliableSketch<K>> {
-        let fresh = ReliableSketch::new(self.config.clone());
+        let mut fresh = ReliableSketch::new(self.config.clone());
+        if let Some(capacity) = self.top_k {
+            fresh.enable_top_k(capacity);
+        }
         let sealed = core::mem::replace(&mut self.active, fresh);
         self.epoch += 1;
         self.frozen.replace(sealed)
@@ -201,6 +275,26 @@ impl<K: Key> MemoryFootprint for EpochedReliable<K> {
     }
 }
 
+impl<K: Key> TopK<K> for EpochedReliable<K> {
+    /// Certified heavy hitters of the visible window: each generation's
+    /// monitored elephants, re-answered with the window estimate (so
+    /// `count`/`error` cover both epochs), with unmonitored keys charged
+    /// the sum of the generations' miss bounds.
+    fn certified_top_k(&self, k: usize) -> CertifiedTopK<K> {
+        window_certified_top_k(
+            k,
+            self.active.top_k_summary(),
+            self.frozen.is_some(),
+            self.frozen.as_ref().and_then(ReliableSketch::top_k_summary),
+            |key| self.query_with_error(key),
+        )
+    }
+
+    fn top_k_capacity(&self) -> Option<usize> {
+        self.top_k
+    }
+}
+
 impl<K: Key> Algorithm for EpochedReliable<K> {
     fn name(&self) -> String {
         "Ours(Epoched)".into()
@@ -208,7 +302,8 @@ impl<K: Key> Algorithm for EpochedReliable<K> {
 }
 
 impl<K: Key> Clear for EpochedReliable<K> {
-    /// Drop both generations and restart at epoch 0.
+    /// Drop both generations and restart at epoch 0 (a configured top-K
+    /// layer stays enabled, with an emptied summary).
     fn clear(&mut self) {
         self.active.clear();
         self.frozen = None;
@@ -278,6 +373,14 @@ pub struct EpochedConcurrent<K: Key> {
     frozen: Option<ConcurrentReliable<K>>,
     config: ReliableConfig,
     epoch: u64,
+    /// Top-K capacity carried across rotations (see
+    /// [`Self::enable_top_k`]).
+    top_k: Option<usize>,
+    /// The sealed generation's top-K summary, **materialized once at
+    /// rotation** while the window is exclusively borrowed: sealed-epoch
+    /// top-K reads are plain walks of this snapshot — wait-free, no
+    /// mutex — matching the sealed generation's wait-free bucket reads.
+    frozen_topk: Option<TopKSummary<K>>,
     /// Epoch index at the last replication cut (see
     /// [`crate::replicate`]): `None` until the window first ships a
     /// delta, after which deltas describe "since epoch `cut_epoch`".
@@ -304,9 +407,38 @@ impl<K: Key> EpochedConcurrent<K> {
             frozen: None,
             config,
             epoch: 0,
+            top_k: None,
+            frozen_topk: None,
             #[cfg(feature = "serde")]
             cut_epoch: None,
         }
+    }
+
+    /// Attach an error-certified top-K layer of `capacity` slots to the
+    /// window (see [`EpochedReliable::enable_top_k`]): the active
+    /// generation tracks its elephants behind a promotion-path mutex,
+    /// every future generation starts with a fresh summary of the same
+    /// capacity, and rotation materializes the sealed generation's
+    /// summary for wait-free sealed-epoch reads
+    /// ([`Self::frozen_top_k`]).
+    pub fn enable_top_k(&mut self, capacity: usize) {
+        self.top_k = Some(capacity.max(1));
+        self.active.enable_top_k(capacity);
+    }
+
+    /// Builder-style [`Self::enable_top_k`].
+    #[must_use]
+    pub fn with_top_k(mut self, capacity: usize) -> Self {
+        self.enable_top_k(capacity);
+        self
+    }
+
+    /// The sealed generation's top-K summary, snapshotted at rotation.
+    /// Reading it takes no lock at all — the snapshot is immutable until
+    /// the next exclusive rotation — so sealed-epoch top-K readout is
+    /// wait-free, like the sealed generation's bucket reads.
+    pub fn frozen_top_k(&self) -> Option<&TopKSummary<K>> {
+        self.frozen_topk.as_ref()
     }
 
     /// Index of the currently active epoch (starts at 0, +1 per rotation).
@@ -359,6 +491,23 @@ impl<K: Key> EpochedConcurrent<K> {
         self.config = config;
         self.epoch = epoch;
         self.cut_epoch = None;
+        // Restored state carries no promotion history: answer vacuously
+        // until the window rotates into generations that tracked their
+        // own elephants.
+        self.frozen_topk = None;
+    }
+
+    /// Drop every top-K summary in the window (replica apply paths:
+    /// counters changed without promotion events, so any summary is
+    /// stale). The configured capacity survives, so post-rotation
+    /// generations resume tracking.
+    #[cfg(feature = "serde")]
+    pub(crate) fn invalidate_top_k(&mut self) {
+        self.active.invalidate_top_k();
+        if let Some(frozen) = self.frozen.as_mut() {
+            frozen.invalidate_top_k();
+        }
+        self.frozen_topk = None;
     }
 
     /// Epoch index at the last replication cut.
@@ -387,8 +536,12 @@ impl<K: Key> EpochedConcurrent<K> {
     /// quiescent across the call (the borrow checker enforces it for
     /// scoped threads).
     pub fn rotate(&mut self) -> Option<ConcurrentReliable<K>> {
-        let fresh = ConcurrentReliable::new(self.config.clone());
+        let mut fresh = ConcurrentReliable::new(self.config.clone());
+        if let Some(capacity) = self.top_k {
+            fresh.enable_top_k(capacity);
+        }
         let sealed = core::mem::replace(&mut self.active, fresh);
+        self.frozen_topk = sealed.top_k_summary();
         self.epoch += 1;
         self.frozen.replace(sealed)
     }
@@ -503,6 +656,28 @@ impl<K: Key + Send + Sync> ConcurrentSummary<K> for EpochedConcurrent<K> {
     }
 }
 
+impl<K: Key> TopK<K> for EpochedConcurrent<K> {
+    /// Certified heavy hitters of the visible window. The sealed
+    /// generation's candidates come from the rotation-time snapshot
+    /// ([`Self::frozen_top_k`]) — no lock; the active generation's
+    /// summary is cloned under its promotion mutex (elephant-rate
+    /// traffic only). Every candidate is re-answered with the window
+    /// estimate so `count`/`error` cover both epochs.
+    fn certified_top_k(&self, k: usize) -> CertifiedTopK<K> {
+        window_certified_top_k(
+            k,
+            self.active.top_k_summary().as_ref(),
+            self.frozen.is_some(),
+            self.frozen_topk.as_ref(),
+            |key| self.query_with_error(key),
+        )
+    }
+
+    fn top_k_capacity(&self) -> Option<usize> {
+        self.top_k
+    }
+}
+
 impl<K: Key> MemoryFootprint for EpochedConcurrent<K> {
     fn memory_bytes(&self) -> usize {
         self.active.memory_bytes()
@@ -510,6 +685,10 @@ impl<K: Key> MemoryFootprint for EpochedConcurrent<K> {
                 .frozen
                 .as_ref()
                 .map_or(0, MemoryFootprint::memory_bytes)
+            + self
+                .frozen_topk
+                .as_ref()
+                .map_or(0, TopKSummary::memory_bytes)
     }
 }
 
@@ -520,10 +699,12 @@ impl<K: Key> Algorithm for EpochedConcurrent<K> {
 }
 
 impl<K: Key> Clear for EpochedConcurrent<K> {
-    /// Drop both generations and restart at epoch 0.
+    /// Drop both generations and restart at epoch 0 (a configured top-K
+    /// layer stays enabled, with an emptied summary).
     fn clear(&mut self) {
         Clear::clear(&mut self.active);
         self.frozen = None;
+        self.frozen_topk = None;
         self.epoch = 0;
         #[cfg(feature = "serde")]
         {

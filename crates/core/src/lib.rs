@@ -34,6 +34,10 @@
 //!   `ingest_parallel`;
 //! * [`epoch::EpochedReliable`] / [`epoch::EpochedConcurrent`] —
 //!   two-generation rotating windows (sequential and lock-free);
+//! * [`topk::TopKSummary`] — the error-certified top-K layer: a
+//!   count-bucket Space-Saving list claimed on elephant promotion whose
+//!   entries carry the sketch's certified per-key error, behind the
+//!   [`rsk_api::TopK`] trait on every sketch flavour;
 //! * [`merge`] — distributed aggregation: [`rsk_api::Merge`] for the
 //!   sequential sketch, both concurrent types, and mixed
 //!   sequential→concurrent folds;
@@ -83,6 +87,7 @@ pub mod schedule;
 pub mod sketch;
 pub mod stats;
 pub mod theory;
+pub mod topk;
 
 pub use atomic::{AtomicBucketArray, ConcurrentReliable, ATOMIC_BUCKET_BYTES};
 pub use bucket::EsBucket;
@@ -100,3 +105,4 @@ pub use replicate::{SketchSnapshot, SlimShards, SlimSummary};
 pub use schedule::ShardPlacement;
 pub use sketch::ReliableSketch;
 pub use stats::{InsertTrace, QueryTrace, SketchStats, StopLayer};
+pub use topk::TopKSummary;

@@ -48,6 +48,15 @@
 //!    `YES > NO ∧ NO ⩾ λᵢ` is implied by every lock — costing only
 //!    tightness, never soundness.
 //!
+//! Top-K layers ([`crate::topk::TopKSummary`]) union key-wise: keys
+//! monitored on both sides sum counts and errors, keys monitored on one
+//! side are charged the other side's miss bound on both fields, and
+//! truncation back to capacity raises the miss bound — every surviving
+//! entry stays certified against the *combined* stream. Presence and
+//! capacity of the layer are checked before any operand is touched
+//! (the layer is a builder sidecar, so config equality cannot vouch for
+//! it).
+//!
 //! The mice filters add counter-wise without re-capping (each shard's
 //! counter upper-bounds that shard's absorbed mass), and emergency stores
 //! merge policy-wise; see
@@ -108,8 +117,29 @@ use crate::atomic::ConcurrentReliable;
 use crate::bucket::EsBucket;
 use crate::concurrent::ShardedReliable;
 use crate::config::ReliableConfig;
+use crate::topk::TopKSummary;
 use crate::ReliableSketch;
 use rsk_api::{Key, Merge, MergeError};
+
+/// Check top-K layer compatibility *before* any operand is mutated:
+/// the layer is a builder sidecar (not part of [`ReliableConfig`]), so
+/// config equality does not cover it. Presence must match (an operand
+/// without a summary has unknown elephants — the union could not charge
+/// its misses), and capacities must agree (the eviction floor argument
+/// is per-capacity). Returns the summaries' shared capacity check as a
+/// typed error; `Ok(())` when neither operand tracks top-K.
+fn check_topk_compat<K: Key>(
+    mine: Option<&TopKSummary<K>>,
+    theirs: Option<&TopKSummary<K>>,
+) -> Result<(), MergeError> {
+    match (mine, theirs) {
+        (Some(a), Some(b)) if a.capacity() != b.capacity() => {
+            Err(MergeError::Incompatible("top-K capacity mismatch".into()))
+        }
+        (Some(_), Some(_)) | (None, None) => Ok(()),
+        _ => Err(MergeError::Incompatible("top-K presence mismatch".into())),
+    }
+}
 
 /// Classify a configuration mismatch: identical up to the seed means the
 /// structures are congruent but hashed differently ([`SeedMismatch`]);
@@ -176,6 +206,7 @@ impl<K: Key> Merge for ReliableSketch<K> {
         if self.geometry() != other.geometry() {
             return Err(MergeError::ShapeMismatch);
         }
+        check_topk_compat(self.top_k_summary(), other.top_k_summary())?;
         let lambdas: Vec<u64> = self.geometry().lambdas().to_vec();
 
         let (other_filter, other_layers, other_emergency, other_stats, other_hints) =
@@ -196,6 +227,12 @@ impl<K: Key> Merge for ReliableSketch<K> {
 
         emergency.merge_from(other_emergency)?;
         stats.absorb(other_stats);
+
+        if let Some(theirs) = other.top_k_summary() {
+            if let Some(mine) = self.top_k_summary_mut().as_mut() {
+                mine.merge_from(theirs)?;
+            }
+        }
         Ok(())
     }
 }
@@ -270,6 +307,8 @@ impl<K: Key> Merge for ConcurrentReliable<K> {
         if self.geometry() != other.geometry() {
             return Err(MergeError::ShapeMismatch);
         }
+        let theirs_topk = other.top_k_summary();
+        check_topk_compat(self.top_k_summary().as_ref(), theirs_topk.as_ref())?;
         let (other_layers, other_hints) = other.effective_layers();
         let peer_filter = match other.peer_filter() {
             Some(f) => PeerFilter::Atomic(f),
@@ -284,6 +323,9 @@ impl<K: Key> Merge for ConcurrentReliable<K> {
             other.insertion_failures(),
         )?;
         self.array().stats().absorb(other.array().stats());
+        if let (Some(cell), Some(theirs)) = (self.topk_cell(), theirs_topk.as_ref()) {
+            cell.lock().merge_from(theirs)?;
+        }
         Ok(())
     }
 }
@@ -307,6 +349,7 @@ impl<K: Key> ConcurrentReliable<K> {
         if self.geometry() != other.geometry() {
             return Err(MergeError::ShapeMismatch);
         }
+        check_topk_compat(self.top_k_summary().as_ref(), other.top_k_summary())?;
         let (other_filter, other_layers, other_emergency, other_stats, other_hints) =
             other.peer_parts();
         let mapped: Vec<Vec<EsBucket<u64>>> = other_layers
@@ -335,6 +378,9 @@ impl<K: Key> ConcurrentReliable<K> {
             other.insertion_failures(),
         )?;
         self.array().stats().add_items(other_inserts);
+        if let (Some(cell), Some(theirs)) = (self.topk_cell(), other.top_k_summary()) {
+            cell.lock().merge_from(theirs)?;
+        }
         Ok(())
     }
 }
@@ -816,6 +862,126 @@ mod tests {
         assert!(a.merge(&wrong_count).is_err());
         let wrong_seed = ShardedReliable::<u64>::new(conc_config(9), 4);
         assert!(a.merge(&wrong_seed).is_err());
+    }
+
+    #[test]
+    fn merged_top_k_certifies_combined_elephants() {
+        use rsk_api::TopK;
+        let mut a = shard(11).with_top_k(8);
+        let mut b = shard(11).with_top_k(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // shared mice noise plus disjoint elephants per shard
+        for i in 0..4_000u64 {
+            let k = i % 400;
+            a.insert(&k, 1);
+            b.insert(&k, 1);
+            *truth.entry(k).or_insert(0) += 2;
+        }
+        for _ in 0..3_000 {
+            a.insert(&9001, 1);
+            *truth.entry(9001).or_insert(0) += 1;
+        }
+        for _ in 0..2_000 {
+            b.insert(&9002, 1);
+            *truth.entry(9002).or_insert(0) += 1;
+        }
+        a.merge(&b).unwrap();
+        let top = a.certified_top_k(2);
+        let keys: Vec<u64> = top.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![9001, 9002]);
+        for e in &top.entries {
+            assert!(
+                e.contains(truth[&e.key]),
+                "key {}: {} ∉ [{}, {}]",
+                e.key,
+                truth[&e.key],
+                e.lower_bound(),
+                e.count
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_top_k_mismatch_before_mutating() {
+        use rsk_api::TopK;
+        let mut a = shard(12).with_top_k(8);
+        a.insert(&1, 500);
+        let before = a.certified_top_k(1);
+
+        // presence mismatch: peer has no layer
+        let plain = shard(12);
+        assert!(matches!(a.merge(&plain), Err(MergeError::Incompatible(_))));
+        // capacity mismatch
+        let narrow = shard(12).with_top_k(4);
+        assert!(matches!(a.merge(&narrow), Err(MergeError::Incompatible(_))));
+        // a failed merge left the sketch untouched
+        assert!(!a.is_merged());
+        assert_eq!(a.certified_top_k(1), before);
+
+        // concurrent twin rejects the same way, before sealing
+        let mut ca = conc_shard(12);
+        ca.enable_top_k(8);
+        assert!(ca.merge(&conc_shard(12)).is_err());
+        assert!(!ca.is_merged());
+        let seq_plain = ReliableSketch::<u64>::new(conc_config(12));
+        assert!(ca.merge_from_sequential(&seq_plain).is_err());
+        assert!(!ca.is_merged());
+    }
+
+    #[test]
+    fn concurrent_and_mixed_merges_union_top_k() {
+        use rsk_api::TopK;
+        let config = conc_config(13);
+        let geometry = LayerGeometry::derive(
+            config.layer_bytes() / crate::atomic::ATOMIC_BUCKET_BYTES,
+            config.layer_lambda(),
+            config.r_w,
+            config.r_lambda,
+            config.depth,
+            config.lambda_floor_one,
+        );
+        let mut collector = crate::atomic::ConcurrentReliable::<u64>::with_geometry(
+            config.clone(),
+            geometry.clone(),
+        )
+        .with_top_k(8);
+        let peer = crate::atomic::ConcurrentReliable::<u64>::with_geometry(
+            config.clone(),
+            geometry.clone(),
+        )
+        .with_top_k(8);
+        let mut edge = ReliableSketch::<u64>::with_geometry(config, geometry).with_top_k(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..3_000u64 {
+            let k = i % 300;
+            collector.insert_concurrent(&k, 1);
+            peer.insert_concurrent(&k, 1);
+            edge.insert(&k, 1);
+            *truth.entry(k).or_insert(0) += 3;
+        }
+        for _ in 0..2_000 {
+            peer.insert_concurrent(&7001, 1);
+            *truth.entry(7001).or_insert(0) += 1;
+        }
+        for _ in 0..1_500 {
+            edge.insert(&7002, 1);
+            *truth.entry(7002).or_insert(0) += 1;
+        }
+        collector.merge(&peer).unwrap();
+        collector.merge_from_sequential(&edge).unwrap();
+        let top = collector.certified_top_k(2);
+        let keys: Vec<u64> = top.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![7001, 7002]);
+        for e in &top.entries {
+            assert!(
+                e.contains(truth[&e.key]),
+                "key {}: {} ∉ [{}, {}]",
+                e.key,
+                truth[&e.key],
+                e.lower_bound(),
+                e.count
+            );
+        }
     }
 
     #[test]

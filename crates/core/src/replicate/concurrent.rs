@@ -450,6 +450,11 @@ impl<K: Key> ConcurrentReliable<K> {
             *emergency.lock() = staged;
         }
         self.set_failures(delta.failures);
+        // Replicated counters arrive without their promotion history, so
+        // any top-K summary on this replica is stale: drop it and answer
+        // vacuously (mirrors full-snapshot restores, which never carry
+        // a summary).
+        self.invalidate_top_k();
         Ok(())
     }
 
@@ -612,7 +617,11 @@ impl<K: Key> EpochedConcurrent<K> {
                         "rotation-free window delta carries a frozen part".into(),
                     ));
                 }
-                self.active_mut().apply(delta.active)
+                self.active_mut().apply(delta.active)?;
+                // Replica windows track counters, not promotion history:
+                // no generation's top-K summary survives an apply.
+                self.invalidate_top_k();
+                Ok(())
             }
             Some(1) => {
                 let new_active = match delta.active {
@@ -637,6 +646,7 @@ impl<K: Key> EpochedConcurrent<K> {
                 }
                 self.rotate();
                 *self.active_mut() = new_active;
+                self.invalidate_top_k();
                 Ok(())
             }
             _ => Err(ReplicateError::Corrupt(

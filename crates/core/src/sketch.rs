@@ -26,7 +26,11 @@ use crate::emergency::EmergencyStore;
 use crate::filter::MiceFilter;
 use crate::geometry::LayerGeometry;
 use crate::stats::{InsertTrace, QueryTrace, SketchStats, StopLayer};
-use rsk_api::{Algorithm, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary};
+use crate::topk::TopKSummary;
+use rsk_api::{
+    Algorithm, CertifiedTopK, Clear, ErrorSensing, Estimate, Key, MemoryFootprint, StreamSummary,
+    TopK,
+};
 use rsk_hash::HashFamily;
 
 /// ReliableSketch: stream summary with all-keys error control.
@@ -61,6 +65,10 @@ pub struct ReliableSketch<K: Key> {
     /// merged queries keep descending wherever either shard might have
     /// pushed a key deeper; see the module docs of [`crate::merge`].
     divert_hints: Vec<Vec<bool>>,
+    /// The error-certified top-K layer ([`crate::topk`]), fed by
+    /// elephant promotion; `None` — zero cost — unless enabled through
+    /// [`Self::enable_top_k`].
+    topk: Option<TopKSummary<K>>,
 }
 
 impl<K: Key> ReliableSketch<K> {
@@ -113,7 +121,36 @@ impl<K: Key> ReliableSketch<K> {
             emergency,
             stats,
             divert_hints: Vec::new(),
+            topk: None,
         }
+    }
+
+    /// Attach the error-certified top-K layer ([`crate::topk`]): a
+    /// `capacity`-slot Space-Saving summary claimed whenever the mice
+    /// filter promotes an elephant (every insert for the raw variant),
+    /// each claim seeded from this sketch's own certified post-insert
+    /// estimate. Enable *before* ingesting — the summary only witnesses
+    /// promotions that happen after it exists. Replaces any previous
+    /// layer.
+    pub fn enable_top_k(&mut self, capacity: usize) {
+        let threshold = self.filter.as_ref().map_or(0, MiceFilter::threshold);
+        self.topk = Some(TopKSummary::new(capacity, threshold));
+    }
+
+    /// Builder-style [`Self::enable_top_k`].
+    #[must_use]
+    pub fn with_top_k(mut self, capacity: usize) -> Self {
+        self.enable_top_k(capacity);
+        self
+    }
+
+    /// The attached top-K summary, if enabled.
+    pub fn top_k_summary(&self) -> Option<&TopKSummary<K>> {
+        self.topk.as_ref()
+    }
+
+    pub(crate) fn top_k_summary_mut(&mut self) -> &mut Option<TopKSummary<K>> {
+        &mut self.topk
     }
 
     /// The configuration this sketch was built from.
@@ -163,6 +200,23 @@ impl<K: Key> ReliableSketch<K> {
     /// Hash-call accounting is identical either way: a precomputed index
     /// still cost one evaluation, just in the batch prefix loop.
     fn insert_traced_at(&mut self, key: &K, value: u64, idx0: Option<usize>) -> InsertTrace {
+        let (trace, passed) = self.insert_passed_at(key, value, idx0);
+        // elephant promotion: value cleared the filter (or the sketch is
+        // raw) — offer it to the top-K layer *after* the insert landed,
+        // so an unmonitored key's claim is seeded from the certified
+        // post-insert estimate (an upper bound on its full mass)
+        if passed > 0 && self.topk.is_some() {
+            if let Some(mut tk) = self.topk.take() {
+                tk.offer(key, passed, || self.query_traced(key).estimate);
+                self.topk = Some(tk);
+            }
+        }
+        trace
+    }
+
+    /// The Algorithm-1 walk; returns the trace together with the value
+    /// that cleared the mice filter (0 when fully absorbed — a mouse).
+    fn insert_passed_at(&mut self, key: &K, value: u64, idx0: Option<usize>) -> (InsertTrace, u64) {
         let mut v = value;
         let mut hash_calls = 0u64;
 
@@ -176,9 +230,10 @@ impl<K: Key> ReliableSketch<K> {
                     failed_remainder: 0,
                 };
                 self.stats.record_insert(&trace);
-                return trace;
+                return (trace, 0);
             }
         }
+        let passed = v;
 
         for i in 0..self.geometry.depth() {
             hash_calls += 1;
@@ -199,7 +254,7 @@ impl<K: Key> ReliableSketch<K> {
                     failed_remainder: 0,
                 };
                 self.stats.record_insert(&trace);
-                return trace;
+                return (trace, passed);
             }
 
             // (3) lock triggered: absorb up to λ_i − NO, divert the rest.
@@ -224,7 +279,7 @@ impl<K: Key> ReliableSketch<K> {
                 failed_remainder: 0,
             };
             self.stats.record_insert(&trace);
-            return trace;
+            return (trace, passed);
         }
 
         // all layers exhausted: insertion failure
@@ -235,7 +290,7 @@ impl<K: Key> ReliableSketch<K> {
             failed_remainder: v,
         };
         self.stats.record_insert(&trace);
-        trace
+        (trace, passed)
     }
 
     /// Insert a batch of items, amortizing the layer-0 hash over a tight
@@ -476,7 +531,20 @@ impl<K: Key> MemoryFootprint for ReliableSketch<K> {
     fn memory_bytes(&self) -> usize {
         let filter = self.filter.as_ref().map_or(0, |f| f.memory_bytes());
         let layers = self.geometry.total_buckets() * BUCKET_BYTES;
-        filter + layers + self.emergency.memory_bytes()
+        let topk = self.topk.as_ref().map_or(0, TopKSummary::memory_bytes);
+        filter + layers + topk + self.emergency.memory_bytes()
+    }
+}
+
+impl<K: Key> TopK<K> for ReliableSketch<K> {
+    fn certified_top_k(&self, k: usize) -> CertifiedTopK<K> {
+        self.topk
+            .as_ref()
+            .map_or_else(CertifiedTopK::vacuous, |tk| tk.certified_top_k(k))
+    }
+
+    fn top_k_capacity(&self) -> Option<usize> {
+        self.topk.as_ref().map(TopKSummary::capacity)
     }
 }
 
@@ -503,6 +571,9 @@ impl<K: Key> Clear for ReliableSketch<K> {
         self.emergency.clear();
         self.stats.reset();
         self.divert_hints.clear();
+        if let Some(tk) = &mut self.topk {
+            tk.clear();
+        }
     }
 }
 
@@ -689,6 +760,39 @@ mod tests {
         assert!(hh.iter().any(|(k, _)| *k == 7777), "elephant missing");
         assert!(hh[0].0 == 7777);
         assert!(hh[0].1.value >= 5000);
+    }
+
+    #[test]
+    fn top_k_layer_certifies_the_elephants() {
+        let mut sk = small_sketch(64 * 1024, 25).with_top_k(8);
+        assert_eq!(rsk_api::TopK::top_k_capacity(&sk), Some(8));
+        for i in 0..10_000u64 {
+            sk.insert(&(i % 1000), 1); // everyone gets 10 (mice)
+        }
+        for e in 0..3u64 {
+            for _ in 0..5_000 - 1_000 * e {
+                sk.insert(&(7_000 + e), 1); // elephants: 5000, 4000, 3000
+            }
+        }
+        let ans = rsk_api::TopK::certified_top_k(&sk, 3);
+        assert_eq!(ans.entries.len(), 3);
+        let keys: Vec<u64> = ans.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![7000, 7001, 7002]);
+        for (e, truth) in ans.entries.iter().zip([5000u64, 4000, 3000]) {
+            assert!(e.contains(truth), "{e:?} lost truth {truth}");
+        }
+        // each true elephant count dwarfs the floor: recall is certified
+        assert!(ans.recall_certified(), "floor {}", ans.guaranteed_floor());
+        // disabled layer answers vacuously
+        let raw = small_sketch(64 * 1024, 25);
+        assert_eq!(rsk_api::TopK::top_k_capacity(&raw), None);
+        assert_eq!(
+            rsk_api::TopK::certified_top_k(&raw, 3),
+            rsk_api::CertifiedTopK::vacuous()
+        );
+        // object safety
+        let dyn_tk: &dyn rsk_api::TopK<u64> = &sk;
+        assert_eq!(dyn_tk.certified_top_k(1).entries[0].key, 7000);
     }
 
     #[test]

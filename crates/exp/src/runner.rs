@@ -41,7 +41,7 @@ use crate::{
 use std::path::PathBuf;
 
 /// Every concrete target, in report order.
-pub const ALL_TARGETS: [&str; 27] = [
+pub const ALL_TARGETS: [&str; 28] = [
     "table1",
     "table3",
     "table4",
@@ -49,6 +49,7 @@ pub const ALL_TARGETS: [&str; 27] = [
     "fig5",
     "fig6",
     "fig7",
+    "topk",
     "fig8",
     "fig9",
     "fig10",
@@ -75,7 +76,7 @@ pub const ALL_TARGETS: [&str; 27] = [
 pub fn expand(target: &str) -> Vec<&'static str> {
     match target {
         "all" => ALL_TARGETS.to_vec(),
-        "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
+        "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "topk", "fig8", "fig9"],
         "speed" => vec!["fig10", "fig16", "scaling", "serve"],
         "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
         "hardware" => vec!["table3", "table4", "fig20"],
@@ -101,6 +102,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "fig5" => fig_zero_mem::fig5(ctx),
         "fig6" => fig_outliers::fig6(ctx),
         "fig7" => fig_elephant::fig7(ctx),
+        "topk" => fig_elephant::topk(ctx),
         "fig8" => fig_error::fig8(ctx),
         "fig9" => fig_error::fig9(ctx),
         "fig10" => fig_throughput::fig10(ctx),

@@ -88,6 +88,16 @@ impl<'a> Scenario<'a> {
         }
     }
 
+    /// Generate a churning-population workload — flows start and finish,
+    /// so the elephant set shifts over the run (the regime the epoch
+    /// machinery and the top-K layer's eviction path exist for). The
+    /// stream is deterministic per `(model, ctx.seed)`, so churn tables
+    /// pass the report-rot gate like every other registry scenario.
+    pub fn churn(ctx: &'a ExpContext, model: &rsk_stream::churn::ChurnModel, lambda: u64) -> Self {
+        let stream = model.generate(ctx.items, ctx.seed);
+        Self::from_stream(ctx, stream, lambda)
+    }
+
     /// Wrap an already-materialized stream (the intro's screening
     /// population, byte-valued testbed streams, …).
     pub fn from_stream(ctx: &'a ExpContext, stream: Vec<Item<u64>>, lambda: u64) -> Self {

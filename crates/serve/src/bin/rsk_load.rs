@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Pushes `tenants × connections × items` Zipf-skewed updates through
-//! pipelined ingest connections, then validates certified queries
-//! against exact ground truth. With `--replicate`, additionally ships
+//! pipelined ingest connections, then validates certified queries and
+//! certified top-K answers against exact ground truth. With `--replicate`, additionally ships
 //! every tenant to a second server (full snapshot, then delta cuts
 //! across a seal) and holds the replica to the same certified contract.
 //! Exits non-zero if any certified interval misses the truth, the
@@ -127,6 +127,10 @@ fn main() {
         "verify:   {}/{} certified intervals contained the exact truth; server counted {} items",
         report.probes_contained, report.probes, report.server_items
     );
+    println!(
+        "top-k:    {}/{} entries contained the exact truth; {} recall misses above the floor",
+        report.topk_contained, report.topk_probes, report.topk_recall_misses
+    );
     if replicate.is_some() {
         println!(
             "replica:  {}/{} probes contained the truth; {} B full vs {} B delta on the wire",
@@ -144,6 +148,14 @@ fn main() {
     }
     if report.server_items < report.total_updates {
         eprintln!("rsk-load: FAIL — server counted fewer items than were acknowledged");
+        failed = true;
+    }
+    if report.topk_probes == 0 || report.topk_contained != report.topk_probes {
+        eprintln!("rsk-load: FAIL — a top-K entry's certified interval missed the truth");
+        failed = true;
+    }
+    if report.topk_recall_misses != 0 {
+        eprintln!("rsk-load: FAIL — a true heavy key above the certified floor went unreported");
         failed = true;
     }
     if replicate.is_some() {

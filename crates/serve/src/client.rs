@@ -29,6 +29,35 @@ use crate::protocol::{
 };
 pub use crate::tenant::CertifiedAnswer;
 
+/// A decoded [`Response::TopK`]: the tenant's certified heavy hitters
+/// plus the metadata needed to interpret them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKAnswer {
+    /// Epoch index the answer was computed at.
+    pub epoch: u64,
+    /// Contention slack: each entry's interval and the floor widen by
+    /// this much under racing same-key writers (see
+    /// [`CertifiedAnswer::slack`]).
+    pub slack: u64,
+    /// Guaranteed ceiling on every unreported key's window count
+    /// (before slack). `u64::MAX` means the window cannot certify an
+    /// answer (e.g. freshly restored from a replica payload).
+    pub floor: u64,
+    /// `(key, count, error)` triples, heaviest first: truth ∈
+    /// `[count − error − slack, count + slack]`.
+    pub entries: Vec<(u64, u64, u64)>,
+}
+
+impl TopKAnswer {
+    /// Does entry `i`'s certified interval (widened by `slack`) contain
+    /// `truth`?
+    pub fn entry_contains(&self, i: usize, truth: u64) -> bool {
+        let (_, count, error) = self.entries[i];
+        let lower = count.saturating_sub(error + self.slack);
+        lower <= truth && truth <= count.saturating_add(self.slack)
+    }
+}
+
 /// Anything a request/response exchange can fail with.
 #[derive(Debug)]
 pub enum ClientError {
@@ -200,6 +229,25 @@ impl Client {
                 max_possible_error,
                 slack,
                 epoch,
+            }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// The `k` heaviest keys of `tenant`'s visible window, each with its
+    /// certified error, plus the floor every unreported key sits under.
+    pub fn top_k(&mut self, tenant: u32, k: u32) -> Result<TopKAnswer, ClientError> {
+        match self.call(&Request::TopK { tenant, k })? {
+            Response::TopK {
+                epoch,
+                slack,
+                floor,
+                entries,
+            } => Ok(TopKAnswer {
+                epoch,
+                slack,
+                floor,
+                entries,
             }),
             other => Err(ClientError::Unexpected(other)),
         }

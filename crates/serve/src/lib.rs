@@ -55,8 +55,8 @@ pub mod protocol;
 pub mod server;
 pub mod tenant;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, TopKAnswer};
 pub use load::{run as run_load, LoadConfig, LoadReport};
 pub use protocol::{ErrorCode, ProtocolError, Request, Response, SnapshotKind, StatsReply};
 pub use server::{ServeConfig, ServerHandle, ServerStats};
-pub use tenant::{CertifiedAnswer, SketchSpec, Tenant, TenantMap};
+pub use tenant::{CertifiedAnswer, SketchSpec, Tenant, TenantMap, DEFAULT_TOPK_CAPACITY};

@@ -5,7 +5,11 @@
 //! pipelined ingest streams (Zipf-skewed keys, deterministic per-worker
 //! seeds), then probes each tenant's hottest keys with certified
 //! queries and checks every answer against the exact ground truth the
-//! generator tracked while ingesting.
+//! generator tracked while ingesting. A top-K probe phase then fetches
+//! each tenant's certified heavy hitters and holds them to both halves
+//! of the top-K contract: every reported entry's interval must contain
+//! the exact truth, and every true heavy key above the advertised
+//! `floor + slack` must appear in the reply.
 //!
 //! ## Backpressure: the client half
 //!
@@ -144,6 +148,16 @@ pub struct LoadReport {
     pub server_items: u64,
     /// Server-side refused batches (batch-ceiling backpressure).
     pub server_rejected_batches: u64,
+    /// Top-K entries returned across all tenants and verified against
+    /// exact ground truth.
+    pub topk_probes: u64,
+    /// Top-K entries whose certified interval (widened by the advertised
+    /// slack) contained the exact truth.
+    pub topk_contained: u64,
+    /// True heavy keys whose exact count cleared the advertised
+    /// `floor + slack` yet were missing from the top-K reply — the
+    /// certified-recall contract says this is always 0.
+    pub topk_recall_misses: u64,
     /// Certified + slim probes issued against the replica (0 when no
     /// replica was configured).
     pub replica_probes: u64,
@@ -325,6 +339,35 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         latencies[idx.min(latencies.len() - 1)]
     };
 
+    // Top-K probe phase: fetch each tenant's certified heavy hitters
+    // and hold them to both halves of the contract — containment of the
+    // exact truth per entry, and recall of every true heavy key above
+    // the advertised floor.
+    let mut topk_probes = 0u64;
+    let mut topk_contained = 0u64;
+    let mut topk_recall_misses = 0u64;
+    {
+        let k = cfg.probes.clamp(1, crate::tenant::DEFAULT_TOPK_CAPACITY);
+        let mut client = Client::connect(&cfg.addr as &str)?;
+        for tenant in 0..cfg.tenants {
+            let truth = &tenant_truth[&tenant];
+            let answer = client.top_k(tenant, k as u32)?;
+            for (i, &(key, _, _)) in answer.entries.iter().enumerate() {
+                topk_probes += 1;
+                if answer.entry_contains(i, truth.freq(&key)) {
+                    topk_contained += 1;
+                }
+            }
+            let cutoff = answer.floor.saturating_add(answer.slack);
+            let reported: Vec<u64> = answer.entries.iter().map(|e| e.0).collect();
+            for (key, count) in truth.iter() {
+                if count > cutoff && !reported.contains(key) {
+                    topk_recall_misses += 1;
+                }
+            }
+        }
+    }
+
     // Replication phase: ship each tenant to the replica — one full
     // snapshot, then two delta cuts straddling a seal — and hold the
     // replica to the same certified contract as the primary.
@@ -405,6 +448,9 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         p99_us: percentile(0.99),
         server_items: stats.items_ingested,
         server_rejected_batches: stats.rejected_batches,
+        topk_probes,
+        topk_contained,
+        topk_recall_misses,
         replica_probes,
         replica_contained,
         replicate_full_bytes,
@@ -450,6 +496,17 @@ mod tests {
             "every certified interval must contain the exact truth"
         );
         assert_eq!(report.batches, 2 * 2 * 8);
+        // Two tenants × k = 16 heavy hitters (the summaries hold far
+        // more than 16 promoted elephants at this load).
+        assert_eq!(report.topk_probes, 2 * 16);
+        assert_eq!(
+            report.topk_contained, report.topk_probes,
+            "every top-K interval must contain the exact truth"
+        );
+        assert_eq!(
+            report.topk_recall_misses, 0,
+            "no true heavy key above floor + slack may go unreported"
+        );
         assert_eq!(report.replica_probes, 0, "no replica was configured");
         server.shutdown();
     }

@@ -218,6 +218,16 @@ pub enum Request {
         /// Flow key to certify.
         key: u64,
     },
+    /// The `k` heaviest keys of `tenant`'s visible window, each with its
+    /// certified error, plus the floor every unreported key is
+    /// guaranteed to sit under (see `docs/PROTOCOL.md` § Certification).
+    TopK {
+        /// Target tenant id.
+        tenant: u32,
+        /// How many entries to report (the server caps at the tenant's
+        /// top-K capacity).
+        k: u32,
+    },
     /// Server-wide counters.
     Stats,
     /// Ask the server to stop accepting and drain.
@@ -266,6 +276,22 @@ pub enum Response {
     /// A [`Request::PushDelta`] payload was applied to the tenant's
     /// window.
     Replicated,
+    /// Certified heavy hitters for a [`Request::TopK`]: for each entry
+    /// `(key, count, error)`, truth ∈ `[count − error − slack, count + slack]`;
+    /// every key *not* listed has window truth at most `floor + slack`.
+    TopK {
+        /// Epoch index the answer was computed at.
+        epoch: u64,
+        /// Documented contention slack over the window's generations.
+        slack: u64,
+        /// Guaranteed ceiling on every unreported key's window count
+        /// (before slack).
+        floor: u64,
+        /// `(key, count, error)` triples, heaviest first. Empty when the
+        /// tenant's window cannot certify an answer (e.g. freshly
+        /// restored from a replica payload) — `floor` is then `u64::MAX`.
+        entries: Vec<(u64, u64, u64)>,
+    },
     /// Server-wide counters.
     Stats(StatsReply),
     /// Acknowledges `Shutdown`; the server stops accepting.
@@ -314,6 +340,7 @@ mod opcode {
     pub const SNAPSHOT: u8 = 0x08;
     pub const PUSH_DELTA: u8 = 0x09;
     pub const SLIM_QUERY: u8 = 0x0A;
+    pub const TOP_K: u8 = 0x0B;
 
     pub const INGEST_ACK: u8 = 0x81;
     pub const VALUE: u8 = 0x82;
@@ -324,6 +351,7 @@ mod opcode {
     pub const SHUTTING_DOWN: u8 = 0x87;
     pub const SNAPSHOT_REPLY: u8 = 0x88;
     pub const REPLICATED: u8 = 0x89;
+    pub const TOP_K_REPLY: u8 = 0x8A;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -454,6 +482,11 @@ impl Request {
                 out.extend_from_slice(&tenant.to_le_bytes());
                 out.extend_from_slice(&key.to_le_bytes());
             }
+            Self::TopK { tenant, k } => {
+                out.push(opcode::TOP_K);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+            }
             Self::Stats => out.push(opcode::STATS),
             Self::Shutdown => out.push(opcode::SHUTDOWN),
         }
@@ -515,6 +548,10 @@ impl Request {
                 tenant: r.u32()?,
                 key: r.u64()?,
             },
+            opcode::TOP_K => Self::TopK {
+                tenant: r.u32()?,
+                k: r.u32()?,
+            },
             opcode::STATS => Self::Stats,
             opcode::SHUTDOWN => Self::Shutdown,
             other => return Err(ProtocolError::UnknownOpcode(other)),
@@ -561,6 +598,23 @@ impl Response {
                 out.extend_from_slice(payload);
             }
             Self::Replicated => out.push(opcode::REPLICATED),
+            Self::TopK {
+                epoch,
+                slack,
+                floor,
+                entries,
+            } => {
+                out.push(opcode::TOP_K_REPLY);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&slack.to_le_bytes());
+                out.extend_from_slice(&floor.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (key, count, error) in entries {
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(&count.to_le_bytes());
+                    out.extend_from_slice(&error.to_le_bytes());
+                }
+            }
             Self::Stats(s) => {
                 out.push(opcode::STATS_REPLY);
                 out.extend_from_slice(&s.tenants.to_le_bytes());
@@ -606,6 +660,37 @@ impl Response {
             opcode::MERGED => Self::Merged,
             opcode::SNAPSHOT_REPLY => Self::Snapshot { payload: r.blob()? },
             opcode::REPLICATED => Self::Replicated,
+            opcode::TOP_K_REPLY => {
+                let epoch = r.u64()?;
+                let slack = r.u64()?;
+                let floor = r.u64()?;
+                let count = r.u32()?;
+                if count as usize > MAX_BATCH {
+                    return Err(ProtocolError::CountTooLarge(count));
+                }
+                // Cross-check the declared count against the bytes that
+                // actually arrived before allocating for it.
+                let declared = (count as usize)
+                    .checked_mul(24)
+                    .ok_or(ProtocolError::CountTooLarge(count))?;
+                if r.buf.len() - r.pos != declared {
+                    return if r.buf.len() - r.pos < declared {
+                        Err(ProtocolError::Truncated)
+                    } else {
+                        Err(ProtocolError::TrailingBytes)
+                    };
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    entries.push((r.u64()?, r.u64()?, r.u64()?));
+                }
+                Self::TopK {
+                    epoch,
+                    slack,
+                    floor,
+                    entries,
+                }
+            }
             opcode::STATS_REPLY => Self::Stats(StatsReply {
                 tenants: r.u32()?,
                 connections: r.u32()?,
@@ -759,6 +844,11 @@ mod tests {
                 tenant: 5,
                 key: u64::MAX,
             },
+            Request::TopK { tenant: 4, k: 10 },
+            Request::TopK {
+                tenant: u32::MAX,
+                k: 0,
+            },
             Request::Stats,
             Request::Shutdown,
         ]
@@ -781,6 +871,22 @@ mod tests {
             },
             Response::Snapshot { payload: vec![] },
             Response::Replicated,
+            Response::TopK {
+                epoch: 3,
+                slack: 45,
+                floor: 1200,
+                entries: vec![
+                    (0xdead_beef, 9000, 25),
+                    (7, 8000, 0),
+                    (u64::MAX, 1201, 1201),
+                ],
+            },
+            Response::TopK {
+                epoch: 0,
+                slack: 0,
+                floor: u64::MAX,
+                entries: vec![],
+            },
             Response::Stats(StatsReply {
                 tenants: 4,
                 connections: 16,
@@ -874,6 +980,28 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             Request::decode(&bytes).unwrap_err(),
+            ProtocolError::CountTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn top_k_count_lies_are_rejected() {
+        // Declared entry count larger than the bytes present.
+        let mut bytes = vec![VERSION, opcode::TOP_K_REPLY];
+        bytes.extend_from_slice(&[0u8; 24]); // epoch, slack, floor
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // claims 5 entries
+        bytes.extend_from_slice(&[0u8; 24]); // carries 1
+        assert_eq!(
+            Response::decode(&bytes).unwrap_err(),
+            ProtocolError::Truncated
+        );
+
+        // Declared count over MAX_BATCH is refused before allocation.
+        let mut bytes = vec![VERSION, opcode::TOP_K_REPLY];
+        bytes.extend_from_slice(&[0u8; 24]);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Response::decode(&bytes).unwrap_err(),
             ProtocolError::CountTooLarge(u32::MAX)
         );
     }

@@ -430,6 +430,20 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 epoch: ans.epoch,
             }
         }
+        Request::TopK { tenant, k } => {
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let (top, slack, epoch) = shared.tenants.get_or_create(tenant).top_k(k as usize);
+            Response::TopK {
+                epoch,
+                slack,
+                floor: top.guaranteed_floor(),
+                entries: top
+                    .entries
+                    .iter()
+                    .map(|e| (e.key, e.count, e.error))
+                    .collect(),
+            }
+        }
         Request::Stats => Response::Stats(StatsReply {
             tenants: shared.tenants.len() as u32,
             connections: shared.live_connections.load(Ordering::SeqCst) as u32,

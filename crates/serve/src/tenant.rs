@@ -24,10 +24,18 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rsk_api::{ConcurrentErrorSensing, Estimate, MergeError, Replicate, ReplicateError};
+use rsk_api::{
+    CertifiedTopK, ConcurrentErrorSensing, Estimate, MergeError, Replicate, ReplicateError, TopK,
+};
 use rsk_core::{EpochedConcurrent, SlimSummary};
 
 use crate::protocol::SnapshotKind;
+
+/// Top-K slots every tenant window tracks. The layer is always on —
+/// its memory cost is `capacity × 24` bytes plus the index, two orders
+/// of magnitude under the default per-tenant budget — so the `TopK`
+/// frame needs no per-tenant configuration.
+pub const DEFAULT_TOPK_CAPACITY: usize = 128;
 
 /// Sketch parameters every tenant is built with.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +65,7 @@ impl SketchSpec {
             .memory_bytes(self.memory_bytes)
             .error_tolerance(self.error_tolerance)
             .seed(self.seed)
+            .top_k(DEFAULT_TOPK_CAPACITY)
             .build_epoched_concurrent::<u64>()
     }
 }
@@ -126,6 +135,19 @@ impl Tenant {
             slack: window.contention_undershoot_bound() * generations,
             epoch: window.epoch(),
         }
+    }
+
+    /// The `k` heaviest keys of the visible window with their certified
+    /// errors, plus the window's contention slack and epoch. The answer
+    /// is computed under the shared lock: candidate collection touches
+    /// only the promotion-path mutex (active) and the rotation-time
+    /// snapshot (frozen), never the data plane.
+    pub fn top_k(&self, k: usize) -> (CertifiedTopK<u64>, u64, u64) {
+        let window = self.window.read();
+        let top = window.certified_top_k(k);
+        let generations = 1 + u64::from(window.frozen().is_some());
+        let slack = window.contention_undershoot_bound() * generations;
+        (top, slack, window.epoch())
     }
 
     /// Rotate the epoch window; returns the new active epoch index.
@@ -324,6 +346,28 @@ mod tests {
         // Donor unchanged.
         assert!(a.certified(5).contains(30));
         assert!(matches!(map.merge(3, 3), Err(MergeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn top_k_spans_the_window_and_certifies() {
+        let map = map();
+        let t = map.get_or_create(4);
+        // elephant split across a seal, plus mice noise
+        t.ingest(&[(0xbeef, 4_000)]);
+        for m in 0..200u64 {
+            t.ingest(&[(m, 1)]);
+        }
+        t.seal();
+        t.ingest(&[(0xbeef, 2_000), (0xcafe, 3_000)]);
+        let (top, slack, epoch) = t.top_k(2);
+        assert_eq!(epoch, 1);
+        let keys: Vec<u64> = top.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![0xbeef, 0xcafe]);
+        assert!(top.entries[0].contains(6_000));
+        assert!(top.entries[1].contains(3_000));
+        assert!(top.recall_certified());
+        // same slack contract as certified point queries
+        assert_eq!(slack, t.certified(0xbeef).slack);
     }
 
     #[test]

@@ -54,6 +54,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::prelude::any::<u64>(),
     )
         .prop_map(|(tenant, key)| Request::SlimQuery { tenant, key });
+    let top_k = (
+        proptest::prelude::any::<u32>(),
+        proptest::prelude::any::<u32>(),
+    )
+        .prop_map(|(tenant, k)| Request::TopK { tenant, k });
     prop_oneof![
         ingest,
         query,
@@ -63,6 +68,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         snapshot,
         push_delta,
         slim_query,
+        top_k,
         Just(Request::Stats),
         Just(Request::Shutdown),
     ]
@@ -134,6 +140,25 @@ fn arb_response() -> impl Strategy<Value = Response> {
     });
     let snapshot_resp = proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256)
         .prop_map(|payload| Response::Snapshot { payload });
+    let top_k = (
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+        proptest::collection::vec(
+            (
+                proptest::prelude::any::<u64>(),
+                proptest::prelude::any::<u64>(),
+                proptest::prelude::any::<u64>(),
+            ),
+            0..48,
+        ),
+    )
+        .prop_map(|(epoch, slack, floor, entries)| Response::TopK {
+            epoch,
+            slack,
+            floor,
+            entries,
+        });
     prop_oneof![
         ack,
         value,
@@ -143,6 +168,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         stats,
         snapshot_resp,
         Just(Response::Replicated),
+        top_k,
         Just(Response::ShuttingDown),
         error,
     ]
@@ -218,5 +244,24 @@ proptest! {
         bytes.extend_from_slice(&claimed.to_le_bytes());
         bytes.extend(std::iter::repeat_n(0u8, real as usize * 16));
         prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    /// A top-K reply whose declared entry count disagrees with the
+    /// bytes that follow is rejected whichever way it lies — including
+    /// counts past `MAX_BATCH`, which must bounce before allocation.
+    #[test]
+    fn prop_topk_count_lies_rejected(
+        header in proptest::collection::vec(proptest::prelude::any::<u64>(), 3),
+        real in 0u32..16,
+        claimed in proptest::prelude::any::<u32>(),
+    ) {
+        prop_assume!(real != claimed);
+        let mut bytes = vec![VERSION, 0x8A];
+        for word in &header {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend(std::iter::repeat_n(0u8, real as usize * 24));
+        prop_assert!(Response::decode(&bytes).is_err());
     }
 }

@@ -57,6 +57,7 @@ use rsk_core::{
 pub fn builder() -> SketchBuilder {
     SketchBuilder {
         inner: ReliableConfig::builder(),
+        top_k: None,
     }
 }
 
@@ -70,6 +71,10 @@ pub fn builder() -> SketchBuilder {
 #[derive(Debug, Clone)]
 pub struct SketchBuilder {
     inner: ReliableConfigBuilder,
+    /// Top-K layer capacity — a sidecar, not part of [`ReliableConfig`]
+    /// (the query surface is orthogonal to the sketch geometry); applied
+    /// after construction by every `build_*` terminal that supports it.
+    top_k: Option<usize>,
 }
 
 impl SketchBuilder {
@@ -116,6 +121,19 @@ impl SketchBuilder {
         self
     }
 
+    /// Attach an error-certified top-K layer of `capacity` slots: the
+    /// built sketch tracks its elephants in a Space-Saving list whose
+    /// per-entry overestimation is the sketch's certified error, and
+    /// answers [`rsk_api::TopK::certified_top_k`]. Supported by the
+    /// sequential, concurrent, and both epoched shapes; the sharded
+    /// shape refuses at build time (shard-local summaries cannot certify
+    /// one global miss floor).
+    #[must_use]
+    pub fn top_k(mut self, capacity: usize) -> Self {
+        self.top_k = Some(capacity);
+        self
+    }
+
     /// The validated configuration this builder would hand every shape.
     ///
     /// # Panics
@@ -133,30 +151,55 @@ impl SketchBuilder {
     /// Single-threaded [`ReliableSketch`] — the paper's reference
     /// structure.
     pub fn build_sequential<K: Key>(self) -> ReliableSketch<K> {
-        self.inner.build()
+        let mut sk = self.inner.build();
+        if let Some(capacity) = self.top_k {
+            sk.enable_top_k(capacity);
+        }
+        sk
     }
 
     /// Lock-free [`ConcurrentReliable`] for shared-reference ingestion
     /// from any number of threads.
     pub fn build_concurrent<K: Key>(self) -> ConcurrentReliable<K> {
-        self.inner.build_concurrent()
+        let mut sk = self.inner.build_concurrent();
+        if let Some(capacity) = self.top_k {
+            sk.enable_top_k(capacity);
+        }
+        sk
     }
 
     /// Key-partitioned [`ShardedReliable`] over `n_shards` lock-free
     /// shards (deterministic parallel ingestion).
+    ///
+    /// # Panics
+    /// Panics if [`top_k`](Self::top_k) was requested: the sharded shape
+    /// does not carry a top-K layer (shard-local summaries cannot
+    /// certify one global miss floor).
     pub fn build_sharded<K: Key>(self, n_shards: usize) -> ShardedReliable<K> {
+        assert!(
+            self.top_k.is_none(),
+            "the sharded shape does not support a top-K layer"
+        );
         self.inner.build_sharded(n_shards)
     }
 
     /// Two-generation rotating window over sequential sketches.
     pub fn build_epoched<K: Key>(self) -> EpochedReliable<K> {
-        self.inner.build_epoched()
+        let mut w = self.inner.build_epoched();
+        if let Some(capacity) = self.top_k {
+            w.enable_top_k(capacity);
+        }
+        w
     }
 
     /// Two-generation rotating window over lock-free sketches — the
     /// multi-tenant serving shape (`rsk-serve` builds one per tenant).
     pub fn build_epoched_concurrent<K: Key>(self) -> EpochedConcurrent<K> {
-        self.inner.build_epoched_concurrent()
+        let mut w = self.inner.build_epoched_concurrent();
+        if let Some(capacity) = self.top_k {
+            w.enable_top_k(capacity);
+        }
+        w
     }
 }
 
@@ -225,6 +268,50 @@ mod tests {
         cw.rotate();
         cw.insert_shared(&1, 6);
         assert!(cw.query_with_error_concurrent(&1).contains(11));
+    }
+
+    #[test]
+    fn top_k_sidecar_reaches_every_supported_shape() {
+        use rsk_api::{ConcurrentSummary, TopK};
+        let mut seq = spec().top_k(8).build_sequential::<u64>();
+        let conc = spec().top_k(8).build_concurrent::<u64>();
+        let mut win = spec().top_k(8).build_epoched::<u64>();
+        let cwin = spec().top_k(8).build_epoched_concurrent::<u64>();
+        for sk_cap in [
+            seq.top_k_capacity(),
+            conc.top_k_capacity(),
+            win.top_k_capacity(),
+            cwin.top_k_capacity(),
+        ] {
+            assert_eq!(sk_cap, Some(8));
+        }
+        for _ in 0..5_000 {
+            seq.insert(&7, 1);
+            conc.insert_concurrent(&7, 1);
+            win.insert(&7, 1);
+            cwin.insert_concurrent(&7, 1);
+        }
+        for top in [
+            seq.certified_top_k(1),
+            conc.certified_top_k(1),
+            win.certified_top_k(1),
+            cwin.certified_top_k(1),
+        ] {
+            assert_eq!(top.entries.len(), 1);
+            assert_eq!(top.entries[0].key, 7);
+            assert!(top.entries[0].contains(5_000));
+            assert!(top.recall_certified());
+        }
+        // unconfigured sketches answer vacuously instead of guessing
+        let plain = spec().build_sequential::<u64>();
+        assert_eq!(plain.top_k_capacity(), None);
+        assert!(plain.certified_top_k(1).entries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded shape does not support")]
+    fn sharded_shape_refuses_top_k() {
+        let _ = spec().top_k(8).build_sharded::<u64>(4);
     }
 
     #[test]

@@ -42,12 +42,13 @@ pub use builder::{builder, SketchBuilder};
 pub mod prelude {
     pub use crate::builder::{builder, SketchBuilder};
     pub use rsk_api::{
-        Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate, IngestPolicy,
-        MemoryFootprint, Merge, MergeError, Replicate, ReplicateError, StreamSummary,
+        CertifiedTopK, Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate,
+        IngestPolicy, MemoryFootprint, Merge, MergeError, Replicate, ReplicateError, StreamSummary,
+        TopK, TopKEntry,
     };
     pub use rsk_core::{
         merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,
-        ReliableSketch, ShardPlacement, ShardedReliable,
+        ReliableSketch, ShardPlacement, ShardedReliable, TopKSummary,
     };
     pub use rsk_core::{SketchSnapshot, SlimShards, SlimSummary};
     pub use rsk_stream::{Dataset, GroundTruth, Item};

@@ -324,6 +324,110 @@ fn epoched_concurrent_windows_and_rollup() {
     }
 }
 
+/// The certified top-K layer rides the same parity claim as the sketch
+/// beneath it: a geometry-matched one-worker concurrent sketch maintains
+/// the *identical* summary — same entries, same counts, same certified
+/// error fields, same miss bound — as the sequential twin on the same
+/// stream, and both certified answers contain the exact truth.
+#[test]
+fn one_worker_topk_is_bit_equal_to_sequential() {
+    const CAPACITY: usize = 64;
+    let config = filtered_config(8);
+    let (atomic, classic) = twins(&config);
+    let atomic = atomic.with_top_k(CAPACITY);
+    let mut classic = classic.with_top_k(CAPACITY);
+    let (items, truth) = mixed_items(60_000, 61);
+    assert_eq!(atomic.ingest_parallel(&items, 1), items.len());
+    for &(k, v) in &items {
+        classic.insert(&k, v);
+    }
+
+    let a = atomic.top_k_summary().expect("layer enabled");
+    let c = classic.top_k_summary().expect("layer enabled");
+    assert_eq!(a.entries_desc(), c.entries_desc(), "summary divergence");
+    assert_eq!(a.miss_bound(), c.miss_bound());
+
+    let (ta, tc) = (atomic.certified_top_k(16), classic.certified_top_k(16));
+    assert_eq!(ta.entries, tc.entries);
+    assert_eq!(ta.miss_bound, tc.miss_bound);
+    assert_eq!(ta.next_count, tc.next_count);
+    assert_eq!(
+        tc.entries.len(),
+        16,
+        "a 60k-item Zipf stream has 16 elephants"
+    );
+    for e in &tc.entries {
+        assert!(
+            e.contains(truth[&e.key]),
+            "key {}: truth {} ∉ [{}, {}]",
+            e.key,
+            truth[&e.key],
+            e.lower_bound(),
+            e.count
+        );
+    }
+}
+
+/// Sealed-epoch top-K reads agree with rollup merges: the wait-free
+/// frozen snapshot a rotation materializes is bit-equal to the summary a
+/// one-worker twin of the sealed generation holds, and the window's
+/// two-generation answer tells the same heavy-hitter story as folding
+/// the generations into one collector via `Merge`.
+#[test]
+fn sealed_epoch_topk_reads_match_rollup_merge() {
+    const CAPACITY: usize = 64;
+    let config = filtered_config(8);
+    let mut window = EpochedConcurrent::<u64>::new(config.clone()).with_top_k(CAPACITY);
+    let gen_a = ConcurrentReliable::<u64>::new(config.clone()).with_top_k(CAPACITY);
+    let mut rollup = ConcurrentReliable::<u64>::new(config).with_top_k(CAPACITY);
+
+    let (items_a, truth_a) = mixed_items(40_000, 71);
+    let (items_b, truth_b) = mixed_items(40_000, 72);
+    window.ingest_parallel(&items_a, 1);
+    gen_a.ingest_parallel(&items_a, 1);
+    assert!(window.rotate().is_none(), "no frozen generation yet");
+
+    // the sealed generation's summary was materialized once at rotation;
+    // reading it takes no lock and matches the twin bit-for-bit
+    let sealed = window.frozen_top_k().expect("sealed snapshot");
+    let twin = gen_a.top_k_summary().expect("layer enabled");
+    assert_eq!(sealed.entries_desc(), twin.entries_desc());
+    assert_eq!(sealed.miss_bound(), twin.miss_bound());
+
+    window.ingest_parallel(&items_b, 1);
+    rollup.ingest_parallel(&items_b, 1);
+    rollup.merge(&gen_a).unwrap();
+
+    let mut truth = truth_a;
+    for (k, v) in &truth_b {
+        *truth.entry(*k).or_insert(0) += v;
+    }
+    let win = window.certified_top_k(8);
+    let fold = rollup.certified_top_k(8);
+    assert_eq!(win.entries.len(), 8);
+    assert_eq!(fold.entries.len(), 8);
+    // both views certify the combined truth entry-by-entry…
+    for e in win.entries.iter().chain(&fold.entries) {
+        assert!(
+            e.contains(truth[&e.key]),
+            "key {}: combined truth {} ∉ [{}, {}]",
+            e.key,
+            truth[&e.key],
+            e.lower_bound(),
+            e.count
+        );
+    }
+    // …and name the same heavy hitters (ordering within the set may
+    // differ: window answers re-query both generations, the fold sums
+    // summary entries)
+    let keys = |t: &CertifiedTopK<u64>| {
+        let mut v: Vec<u64> = t.entries.iter().map(|e| e.key).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(keys(&win), keys(&fold));
+}
+
 /// The redesigned `ConcurrentErrorSensing` surface — the path `rsk-serve`
 /// answers `QueryCertified` through — is bit-for-bit equal to the
 /// sequential `query_with_error` in the uncontended one-worker

@@ -14,6 +14,10 @@
 //!    just a vacuously wide interval.
 //! 3. **Accounting** — the server's counters agree with what the
 //!    clients actually sent.
+//! 4. **Certified top-K** — each tenant's top-K report names tenant 0's
+//!    heavy key only for tenant 0, every reported interval (slack-
+//!    widened) contains the exact truth, and every key above
+//!    `floor + slack` is reported.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
@@ -153,6 +157,37 @@ fn multi_tenant_certified_end_to_end() {
     assert_eq!(stats.tenants, TENANTS);
     assert_eq!(stats.items_ingested, total_sent);
     assert_eq!(stats.seals, u64::from(TENANTS));
+
+    // Pin 4: certified top-K over the sealed, racing-client window.
+    for (&tenant, truth) in &tenant_truth {
+        let answer = checker.top_k(tenant, 32).expect("top-k");
+        assert!(answer.epoch >= 1, "answers come from the sealed window");
+        assert!(!answer.entries.is_empty());
+        for (i, &(key, _, _)) in answer.entries.iter().enumerate() {
+            assert!(
+                answer.entry_contains(i, truth[&key]),
+                "tenant {tenant} key {key}: truth {} outside reported interval {:?} ± slack {}",
+                truth[&key],
+                answer.entries[i],
+                answer.slack
+            );
+        }
+        // recall: anything the floor contract says must be reported, is
+        let cutoff = answer.floor.saturating_add(answer.slack);
+        for (&key, &count) in truth {
+            assert!(
+                count <= cutoff || answer.entries.iter().any(|e| e.0 == key),
+                "tenant {tenant} key {key}: truth {count} clears floor+slack {cutoff} yet unreported"
+            );
+        }
+        // the hammered key tops tenant 0's report and nobody else's
+        let reports_heavy = answer.entries.iter().any(|e| e.0 == HEAVY_KEY);
+        if tenant == 0 {
+            assert_eq!(answer.entries[0].0, HEAVY_KEY, "heavy key must rank first");
+        } else {
+            assert!(!reports_heavy, "tenant {tenant} reported tenant 0's key");
+        }
+    }
 
     drop(checker);
     server.shutdown();

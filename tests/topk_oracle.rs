@@ -1,0 +1,198 @@
+//! Oracle-differential suite for the certified top-K layer: race
+//! [`CertifiedTopK`] answers against the exact [`GroundTruth`] oracle
+//! over Zipf, churning, and adversarial streams, and hold every answer
+//! to the two certified contracts:
+//!
+//! 1. **Containment** — every reported entry's interval
+//!    `[count − error, count]` contains the key's exact count;
+//! 2. **Recall** — every key whose exact count clears the answer's
+//!    [`guaranteed_floor`](CertifiedTopK::guaranteed_floor) appears
+//!    among the reported entries.
+//!
+//! The contracts must hold for *any* `(k, capacity)` pair — including
+//! `capacity < k`, where the report is short — and for any stream
+//! shape, which is what the property tests sweep.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use reliablesketch::prelude::*;
+use rsk_stream::adversarial::{round_robin, single_heavy};
+use rsk_stream::churn::ChurnModel;
+
+/// Generous for the ≤ 20 K-item streams of this suite (the paper ratio
+/// would be ~2 KB): the contracts are about certification logic, not
+/// memory pressure, so insertion failures stay out of the picture.
+const MEMORY: usize = 128 * 1024;
+const LAMBDA: u64 = 25;
+
+fn loaded(stream: &[Item<u64>], capacity: usize, seed: u64) -> ReliableSketch<u64> {
+    let mut sk = reliablesketch::builder()
+        .memory_bytes(MEMORY)
+        .error_tolerance(LAMBDA)
+        .seed(seed)
+        .top_k(capacity)
+        .build_sequential::<u64>();
+    for it in stream {
+        sk.insert(&it.key, it.value);
+    }
+    assert_eq!(sk.insertion_failures(), 0, "memory is generous by design");
+    sk
+}
+
+/// The two certified contracts, plus structural sanity, against the
+/// exact oracle.
+fn check_contracts(sk: &ReliableSketch<u64>, truth: &GroundTruth<u64>, k: usize) {
+    let top = sk.certified_top_k(k);
+    assert!(top.entries.len() <= k);
+    assert!(
+        top.entries.windows(2).all(|w| w[0].count >= w[1].count),
+        "entries must come count-descending"
+    );
+
+    // contract 1: containment
+    for e in &top.entries {
+        let f = truth.freq(&e.key);
+        assert!(
+            e.contains(f),
+            "key {}: truth {f} ∉ [{}, {}]",
+            e.key,
+            e.lower_bound(),
+            e.count
+        );
+    }
+
+    // contract 2: recall above the certified floor
+    let floor = top.guaranteed_floor();
+    let reported: HashSet<u64> = top.entries.iter().map(|e| e.key).collect();
+    for (key, f) in truth.iter() {
+        assert!(
+            f <= floor || reported.contains(key),
+            "key {key}: truth {f} clears floor {floor} yet is unreported"
+        );
+    }
+
+    // a certified-recall claim is a theorem, not a hope: every reported
+    // truth must then genuinely clear the floor
+    if top.recall_certified() {
+        for e in &top.entries {
+            assert!(
+                truth.freq(&e.key) > floor,
+                "certified recall with key {} at or below floor {floor}",
+                e.key
+            );
+        }
+    }
+}
+
+#[test]
+fn single_heavy_elephant_is_reported_and_certified() {
+    let stream = single_heavy(50_000, 0.4, 2_000, 9);
+    let truth = GroundTruth::from_items(&stream);
+    let sk = loaded(&stream, 64, 9);
+    check_contracts(&sk, &truth, 8);
+
+    // the one elephant carries 40% of the stream: it must be the top
+    // entry, and a k=1 report must certify itself
+    let top = sk.certified_top_k(1);
+    assert_eq!(top.entries.len(), 1);
+    let heavy = &top.entries[0];
+    assert_eq!(truth.freq(&heavy.key), truth.max_freq());
+    assert!(heavy.contains(truth.max_freq()));
+    assert!(
+        top.recall_certified(),
+        "a 20k-count elephant over a mice tail must certify: {top:?}"
+    );
+}
+
+#[test]
+fn round_robin_floor_never_lies() {
+    // the adversarial flat stream: every key identical, no true
+    // elephants — whatever the layer reports, the contracts must hold
+    let stream = round_robin(40_000, 200, 11);
+    let truth = GroundTruth::from_items(&stream);
+    let sk = loaded(&stream, 32, 11);
+    for k in [1, 8, 32] {
+        check_contracts(&sk, &truth, k);
+    }
+}
+
+#[test]
+fn churn_keeps_the_contracts_through_rotations() {
+    let stream = ChurnModel {
+        active_keys: 1_000,
+        rotation_period: 5_000,
+        churn_fraction: 0.3,
+        skew: 1.2,
+    }
+    .generate(60_000, 13);
+    let truth = GroundTruth::from_items(&stream);
+    let sk = loaded(&stream, 128, 13);
+    for k in [4, 16, 64] {
+        check_contracts(&sk, &truth, k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf streams across skews, seeds, and (k, capacity) shapes —
+    /// including capacity < k, where the report is legitimately short.
+    #[test]
+    fn prop_zipf_answers_stay_certified(
+        skew in 0.8f64..1.6,
+        items in 5_000usize..20_000,
+        seed in 0u64..1_000,
+        k in 1usize..32,
+        capacity in 8usize..96,
+    ) {
+        let stream = Dataset::Zipf { skew }.generate(items, seed);
+        let truth = GroundTruth::from_items(&stream);
+        let sk = loaded(&stream, capacity, seed);
+        check_contracts(&sk, &truth, k);
+    }
+
+    /// Churning populations: elephants retire mid-stream, so the summary
+    /// holds stale entries whose keys stopped arriving — containment and
+    /// the floor must survive that.
+    #[test]
+    fn prop_churn_answers_stay_certified(
+        active in 100u64..2_000,
+        fraction in 0.0f64..0.5,
+        skew in 0.8f64..1.4,
+        seed in 0u64..1_000,
+        k in 1usize..24,
+    ) {
+        let items = 20_000;
+        let stream = ChurnModel {
+            active_keys: active,
+            rotation_period: items / 8,
+            churn_fraction: fraction,
+            skew,
+        }
+        .generate(items, seed);
+        let truth = GroundTruth::from_items(&stream);
+        let sk = loaded(&stream, 64, seed);
+        check_contracts(&sk, &truth, k);
+    }
+
+    /// Adversarial shapes: one overwhelming elephant over a mice tail,
+    /// and the perfectly flat stream where nothing should certify as
+    /// heavier than anything else.
+    #[test]
+    fn prop_adversarial_answers_stay_certified(
+        share in 0.1f64..0.6,
+        mice in 100u64..2_000,
+        keys in 10u64..500,
+        seed in 0u64..1_000,
+        k in 1usize..16,
+    ) {
+        let heavy = single_heavy(15_000, share, mice, seed);
+        let flat = round_robin(15_000, keys, seed);
+        for stream in [&heavy, &flat] {
+            let truth = GroundTruth::from_items(stream);
+            let sk = loaded(stream, 48, seed);
+            check_contracts(&sk, &truth, k);
+        }
+    }
+}
