@@ -1,0 +1,161 @@
+//! Single-core batched-ingest throughput: the ISSUE-9 SIMD +
+//! cache-conscious hot path against the scalar item loop.
+//!
+//! Two groups:
+//!
+//! * `simd_ingest` — item-loop baseline vs `insert_batch` across batch
+//!   sizes, for the sequential and the lock-free sketch, filtered and
+//!   raw. Lane labels carry [`rsk_core::simd::backend()`], so a run with
+//!   `--features simd` reports `lanes-x4` rows and a default run reports
+//!   `scalar` rows — same binary layout, directly comparable. The batched
+//!   rows must never be *slower* than the item loop (the fallback is the
+//!   same code path); with the feature on, the lane-hash + prescan win
+//!   shows up as the gap between backends.
+//! * `hot_line` — the prefetch story in isolation: a sketch sized far
+//!   beyond L2 ingesting a max-entropy stream, so every layer-0 touch is
+//!   a cache miss. Batched ingest hides the DRAM round trip by touching
+//!   bucket lines [`rsk_core::simd::PREFETCH_DISTANCE`] items ahead;
+//!   the item loop eats the misses serially.
+//!
+//! Mops/s = elements / time (the single-core Mpps column of the
+//! throughput figure is produced by `rsk-exp`, not by this bench).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rsk_api::StreamSummary;
+use rsk_bench::{concurrent_config, BENCH_ITEMS};
+use rsk_core::{simd, ConcurrentReliable, ReliableConfig, ReliableSketch};
+use rsk_stream::Dataset;
+
+const SEED: u64 = 29;
+const BATCH_SIZES: [usize; 3] = [64, 256, 1024];
+
+fn raw_config(seed: u64) -> ReliableConfig {
+    ReliableConfig {
+        mice_filter: None,
+        ..concurrent_config(seed)
+    }
+}
+
+fn bench_simd_ingest(c: &mut Criterion) {
+    let stream = Dataset::Zipf { skew: 1.05 }.generate(BENCH_ITEMS, SEED);
+    let items: Vec<(u64, u64)> = stream.iter().map(|it| (it.key, it.value)).collect();
+    let backend = simd::backend();
+
+    let mut g = c.benchmark_group("simd_ingest");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    for (variant, cfg) in [
+        ("filtered", concurrent_config(SEED)),
+        ("raw", raw_config(SEED)),
+    ] {
+        g.bench_function(BenchmarkId::new("seq_item_loop", variant), |b| {
+            b.iter_batched(
+                || ReliableSketch::<u64>::new(cfg.clone()),
+                |mut sk| {
+                    for (k, v) in &items {
+                        sk.insert(k, *v);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(BenchmarkId::new("conc_item_loop", variant), |b| {
+            b.iter_batched(
+                || ConcurrentReliable::<u64>::new(cfg.clone()),
+                |sk| {
+                    for (k, v) in &items {
+                        sk.insert_concurrent(k, *v);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        for batch in BATCH_SIZES {
+            g.bench_function(
+                BenchmarkId::new(
+                    format!("seq_batched_{backend}"),
+                    format!("{variant}_{batch}"),
+                ),
+                |b| {
+                    b.iter_batched(
+                        || ReliableSketch::<u64>::new(cfg.clone()),
+                        |mut sk| {
+                            sk.ingest_batched(items.iter().copied(), batch);
+                            sk
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            g.bench_function(
+                BenchmarkId::new(
+                    format!("conc_batched_{backend}"),
+                    format!("{variant}_{batch}"),
+                ),
+                |b| {
+                    b.iter_batched(
+                        || ConcurrentReliable::<u64>::new(cfg.clone()),
+                        |sk| {
+                            sk.ingest_batched(items.iter().copied(), batch);
+                            sk
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_hot_line(c: &mut Criterion) {
+    // 8 MiB of buckets (≫ typical L2) + a max-entropy key stream: layer-0
+    // touches are cache-cold, which is the regime prefetch exists for.
+    let cold_config = ReliableConfig {
+        memory_bytes: 8 * 1024 * 1024,
+        mice_filter: None,
+        seed: SEED,
+        ..Default::default()
+    };
+    let items: Vec<(u64, u64)> = (0..BENCH_ITEMS as u64)
+        .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15), 1))
+        .collect();
+    let backend = simd::backend();
+
+    let mut g = c.benchmark_group("hot_line");
+    g.throughput(Throughput::Elements(BENCH_ITEMS as u64));
+    g.sample_size(10);
+
+    g.bench_function("conc_item_loop/cold", |b| {
+        b.iter_batched(
+            || ConcurrentReliable::<u64>::new(cold_config.clone()),
+            |sk| {
+                for (k, v) in &items {
+                    sk.insert_concurrent(k, *v);
+                }
+                sk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function(
+        BenchmarkId::new(format!("conc_batched_{backend}"), "cold"),
+        |b| {
+            b.iter_batched(
+                || ConcurrentReliable::<u64>::new(cold_config.clone()),
+                |sk| {
+                    sk.insert_batch(&items);
+                    sk
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_simd_ingest, bench_hot_line);
+criterion_main!(benches);

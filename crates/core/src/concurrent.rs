@@ -275,6 +275,48 @@ impl<K: Key> ShardedReliable<K> {
         self.shards[self.shard_of(key)].insert_concurrent(key, value);
     }
 
+    /// Insert a batch from one caller: order-preserving shard partition,
+    /// then each shard's sub-stream through
+    /// [`ConcurrentReliable::insert_batch`] (which carries the `simd`
+    /// lane hashing/prefetch/prescan machinery when the feature is on).
+    /// Keys never share a shard across the partition boundary, so this
+    /// is bit-identical to an in-order [`Self::insert_shared`] loop —
+    /// the same argument that makes [`Self::ingest_parallel`]
+    /// deterministic, pinned by `tests/simd_parity.rs`.
+    pub fn insert_batch(&self, items: &[(K, u64)]) {
+        let mut per_shard: Vec<Vec<(K, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(k, v) in items {
+            per_shard[self.shard_of(&k)].push((k, v));
+        }
+        for (shard, part) in per_shard.iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[shard].insert_batch(part);
+            }
+        }
+    }
+
+    /// Drain an item stream through [`Self::insert_batch`] in batches of
+    /// `batch_size` (clamped to ≥ 1), buffering only one batch at a time.
+    /// Returns the number of items processed.
+    pub fn ingest_batched<I>(&self, stream: I, batch_size: usize) -> usize
+    where
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        let batch_size = batch_size.max(1);
+        let mut buffer = Vec::with_capacity(batch_size);
+        let mut total = 0usize;
+        for item in stream {
+            buffer.push(item);
+            if buffer.len() == batch_size {
+                self.insert_batch(&buffer);
+                total += buffer.len();
+                buffer.clear();
+            }
+        }
+        self.insert_batch(&buffer);
+        total + buffer.len()
+    }
+
     /// Query with certified error through a shared reference.
     #[inline]
     pub fn query_shared(&self, key: &K) -> Estimate {

@@ -528,6 +528,15 @@ impl<K: Key> EpochedConcurrent<K> {
         self.active.insert_concurrent(key, value);
     }
 
+    /// Batched insert into the active epoch — delegates to
+    /// [`ConcurrentReliable::insert_batch`], so the `simd` lane
+    /// hashing/prefetch machinery applies per window generation and the
+    /// result is bit-identical to an [`Self::insert_shared`] item loop.
+    #[inline]
+    pub fn insert_batch(&self, items: &[(K, u64)]) {
+        self.active.insert_batch(items);
+    }
+
     /// Seal the active epoch and start a new one.
     ///
     /// The previously frozen generation — now outside the visible window —

@@ -38,6 +38,10 @@
 //!   count-bucket Space-Saving list claimed on elephant promotion whose
 //!   entries carry the sketch's certified per-key error, behind the
 //!   [`rsk_api::TopK`] trait on every sketch flavour;
+//! * [`simd`] — the vectorized single-core ingest machinery (`simd`
+//!   feature): multi-lane batch hashing, ×4 packed-word prescan,
+//!   software prefetch and the branchless CAS step, bit-identical to the
+//!   scalar fallback by construction and by differential test;
 //! * [`merge`] — distributed aggregation: [`rsk_api::Merge`] for the
 //!   sequential sketch, both concurrent types, and mixed
 //!   sequential→concurrent folds;
@@ -84,6 +88,7 @@ pub mod merge;
 #[cfg(feature = "serde")]
 pub mod replicate;
 pub mod schedule;
+pub mod simd;
 pub mod sketch;
 pub mod stats;
 pub mod theory;

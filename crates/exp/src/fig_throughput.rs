@@ -18,13 +18,23 @@ use rsk_metrics::throughput::time_mpps;
 use rsk_metrics::Table;
 use rsk_stream::Dataset;
 
+/// Batch size of the single-core batched-ingest column (matches the
+/// `simd_ingest` bench's largest lane).
+const BATCH: usize = 1024;
+
 /// Figure 10: throughput of all contenders.
 pub fn fig10(ctx: &ExpContext) -> Vec<Table> {
     let sc = Scenario::new(ctx, Dataset::IpTrace, 25);
     let mem = ctx.scale_mem(1 << 20);
     let mut t = Table::new(
         "Figure 10: throughput (Mpps), IP trace, 1 MB (paper scale)",
-        &["algorithm", "mode", "insert Mpps", "query Mpps"],
+        &[
+            "algorithm",
+            "mode",
+            "insert Mpps",
+            "batched Mpps (1-core)",
+            "query Mpps",
+        ],
     )
     .mark_volatile();
 
@@ -61,10 +71,24 @@ pub fn fig10(ctx: &ExpContext) -> Vec<Table> {
         if sink == u64::MAX {
             eprintln!("improbable checksum {sink}");
         }
+        // the single-core batched hot path (SIMD lane hashing + prescan +
+        // prefetch when built with `--features simd`), on a fresh twin so
+        // neither measurement pollutes the other; "—" where the
+        // contender has no batched surface
+        let mut twin = c.build(mem, ctx.seed);
+        let batched = if twin.ingest_batched(&[], BATCH) {
+            let mpps = time_mpps(sc.stream.len(), || {
+                twin.ingest_batched(&sc.stream, BATCH);
+            });
+            format!("{mpps:.2}")
+        } else {
+            "—".to_string()
+        };
         t.row(vec![
             c.label().to_string(),
             c.meta().mode.describe(),
             format!("{ins:.2}"),
+            batched,
             format!("{qry:.2}"),
         ]);
     }
@@ -88,9 +112,23 @@ mod tests {
         let concurrent = 4 + crate::DEFAULT_WORKERS.len();
         let contended = crate::DEFAULT_WORKERS.iter().filter(|&&w| w > 1).count();
         assert_eq!(t.len(), 11 + concurrent + contended);
+        let mut batched_rows = 0;
         for line in t.to_csv().lines().skip(1) {
-            let mpps: f64 = line.split(',').nth(2).unwrap().parse().unwrap();
+            let cols: Vec<&str> = line.split(',').collect();
+            let mpps: f64 = cols[2].parse().unwrap();
             assert!(mpps > 0.0, "non-positive throughput in {line}");
+            // the batched column is a positive Mpps for every contender
+            // with a batched surface, "—" for the rest
+            if cols[3] != "—" {
+                batched_rows += 1;
+                let batched: f64 = cols[3].parse().unwrap();
+                assert!(batched > 0.0, "non-positive batched Mpps in {line}");
+            }
+            let qry: f64 = cols[4].parse().unwrap();
+            assert!(qry > 0.0, "non-positive query Mpps in {line}");
         }
+        // Ours, Ours(Raw), and the concurrent lineup all expose the
+        // batched hot path; the 9 baselines never do
+        assert_eq!(batched_rows, 2 + concurrent + contended);
     }
 }

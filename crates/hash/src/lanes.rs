@@ -1,0 +1,224 @@
+//! Multi-lane (×4) hashing kernels for the batched sketch hot path.
+//!
+//! The sketch ingest loop spends most of its cycles hashing: one
+//! MurmurHash3 evaluation per layer probe plus one for the fingerprint.
+//! These kernels evaluate **four independent keys** through the exact
+//! same arithmetic as the scalar functions, expressed over fixed-size
+//! lane arrays ([`U32x4`]/[`U64x4`]) so LLVM can keep all four lanes in
+//! one vector register — "manual SIMD" without `core::arch` intrinsics,
+//! which the workspace-wide `#![forbid(unsafe_code)]` rules out.
+//!
+//! **Contract: every lane kernel is bit-identical to its scalar
+//! counterpart.** Each lane performs the same wrapping multiplies,
+//! rotates and xors in the same order as [`murmur3_x86_32`](crate::murmur3_x86_32) /
+//! [`splitmix64`](crate::splitmix64) on that lane's input, so `murmur3_u64_x4(ks, s)[l] ==
+//! murmur3_x86_32(&ks[l].to_le_bytes(), s)` for every lane `l`. The
+//! tests below pin this, and `rsk-core`'s `simd_parity` suite pins the
+//! whole ingest path built on top of it.
+
+/// Lane count of the manual-SIMD kernels (one 128-bit vector of `u32`).
+pub const LANES: usize = 4;
+
+/// Four `u32` lanes with elementwise wrapping arithmetic.
+///
+/// The loops below are trivially unrollable (fixed length 4, no
+/// cross-lane dependency), which is the shape LLVM's auto-vectorizer
+/// turns into `pmulld`/`prold`-style vector code on x86-64 and NEON on
+/// aarch64 — while staying 100 % safe, portable Rust.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct U32x4(pub [u32; 4]);
+
+impl U32x4 {
+    /// All four lanes set to `v`.
+    #[inline]
+    pub fn splat(v: u32) -> Self {
+        Self([v; 4])
+    }
+
+    /// Elementwise `wrapping_mul` by a scalar constant.
+    #[inline]
+    pub fn mulc(self, m: u32) -> Self {
+        Self(self.0.map(|x| x.wrapping_mul(m)))
+    }
+
+    /// Elementwise `rotate_left`.
+    #[inline]
+    pub fn rotl(self, r: u32) -> Self {
+        Self(self.0.map(|x| x.rotate_left(r)))
+    }
+
+    /// Elementwise `wrapping_add` of a scalar constant.
+    #[inline]
+    pub fn addc(self, a: u32) -> Self {
+        Self(self.0.map(|x| x.wrapping_add(a)))
+    }
+
+    /// Elementwise xor with another vector.
+    #[inline]
+    pub fn xor(self, o: Self) -> Self {
+        let mut out = self.0;
+        for (x, y) in out.iter_mut().zip(o.0) {
+            *x ^= y;
+        }
+        Self(out)
+    }
+
+    /// Elementwise `x ^= x >> s` (the avalanche-mix building block).
+    #[inline]
+    pub fn xorshift(self, s: u32) -> Self {
+        Self(self.0.map(|x| x ^ (x >> s)))
+    }
+}
+
+/// Four `u64` lanes: the packed-bucket-word comparator's view.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct U64x4(pub [u64; 4]);
+
+impl U64x4 {
+    /// Elementwise logical shift right.
+    #[inline]
+    pub fn lsr(self, s: u32) -> Self {
+        Self(self.0.map(|x| x >> s))
+    }
+
+    /// Elementwise equality mask (`true` where lanes agree).
+    #[inline]
+    pub fn eq_mask(self, o: Self) -> [bool; 4] {
+        core::array::from_fn(|l| self.0[l] == o.0[l])
+    }
+}
+
+const C1: u32 = 0xcc9e_2d51;
+const C2: u32 = 0x1b87_3593;
+
+/// The shared MurmurHash3 body for four keys of `NBLOCKS` whole 4-byte
+/// blocks and no tail (integer keys are block-aligned by construction).
+#[inline]
+fn murmur3_blocks_x4<const NBLOCKS: usize>(
+    blocks: [[u32; LANES]; NBLOCKS],
+    len: u32,
+    seed: u32,
+) -> [u32; LANES] {
+    let mut h1 = U32x4::splat(seed);
+    for block in blocks {
+        let k1 = U32x4(block).mulc(C1).rotl(15).mulc(C2);
+        h1 = h1.xor(k1).rotl(13).mulc(5).addc(0xe654_6b64);
+    }
+    h1 = h1.xor(U32x4::splat(len));
+    // fmix32, four lanes wide
+    h1 = h1.xorshift(16).mulc(0x85eb_ca6b);
+    h1 = h1.xorshift(13).mulc(0xc2b2_ae35);
+    h1.xorshift(16).0
+}
+
+/// Four-lane [`murmur3_x86_32`](crate::murmur3_x86_32) over `u64` keys (two LE blocks each).
+///
+/// `murmur3_u64_x4(keys, seed)[l] == murmur3_x86_32(&keys[l].to_le_bytes(), seed)`.
+#[inline]
+pub fn murmur3_u64_x4(keys: [u64; LANES], seed: u32) -> [u32; LANES] {
+    let lo = keys.map(|k| k as u32);
+    let hi = keys.map(|k| (k >> 32) as u32);
+    murmur3_blocks_x4([lo, hi], 8, seed)
+}
+
+/// Four-lane [`murmur3_x86_32`](crate::murmur3_x86_32) over `u32` keys (one LE block each).
+#[inline]
+pub fn murmur3_u32_x4(keys: [u32; LANES], seed: u32) -> [u32; LANES] {
+    murmur3_blocks_x4([keys], 4, seed)
+}
+
+/// Four-lane [`murmur3_x86_32`](crate::murmur3_x86_32) over `u128` keys (four LE blocks each).
+#[inline]
+pub fn murmur3_u128_x4(keys: [u128; LANES], seed: u32) -> [u32; LANES] {
+    let blocks: [[u32; LANES]; 4] = core::array::from_fn(|b| keys.map(|k| (k >> (32 * b)) as u32));
+    murmur3_blocks_x4(blocks, 16, seed)
+}
+
+/// Four-lane [`splitmix64`](crate::splitmix64): the batched seed-derivation mixer.
+#[inline]
+pub fn splitmix64_x4(xs: [u64; LANES]) -> [u64; LANES] {
+    let mut z = xs.map(|x| x.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    z = z.map(|z| (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = z.map(|z| (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb));
+    z.map(|z| z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{murmur3_x86_32, splitmix64};
+
+    fn mix(i: u64) -> u64 {
+        splitmix64(i.wrapping_mul(0x9e37_79b9) ^ 0x5bd1_e995)
+    }
+
+    #[test]
+    fn u64_lanes_match_scalar_murmur() {
+        for seed in [0u32, 1, 7, 0xdead_beef, u32::MAX] {
+            for base in 0..256u64 {
+                let keys = [mix(base), mix(base + 1), !base, base << 17];
+                let got = murmur3_u64_x4(keys, seed);
+                for l in 0..LANES {
+                    assert_eq!(got[l], murmur3_x86_32(&keys[l].to_le_bytes(), seed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u32_lanes_match_scalar_murmur() {
+        for seed in [0u32, 3, 0x9747_b28c] {
+            for base in 0..256u32 {
+                let keys = [base, base.wrapping_mul(0x85eb_ca6b), !base, base << 9];
+                let got = murmur3_u32_x4(keys, seed);
+                for l in 0..LANES {
+                    assert_eq!(got[l], murmur3_x86_32(&keys[l].to_le_bytes(), seed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u128_lanes_match_scalar_murmur() {
+        for seed in [0u32, 11, 0xffff_ffff] {
+            for base in 0..64u128 {
+                let keys = [
+                    base,
+                    base << 77,
+                    (mix(base as u64) as u128) << 64 | mix(base as u64 + 9) as u128,
+                    u128::MAX - base,
+                ];
+                let got = murmur3_u128_x4(keys, seed);
+                for l in 0..LANES {
+                    assert_eq!(got[l], murmur3_x86_32(&keys[l].to_le_bytes(), seed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_lanes_match_scalar() {
+        for base in 0..1024u64 {
+            let xs = [
+                base,
+                !base,
+                mix(base),
+                base.wrapping_mul(0x0101_0101_0101_0101),
+            ];
+            let got = splitmix64_x4(xs);
+            for l in 0..LANES {
+                assert_eq!(got[l], splitmix64(xs[l]));
+            }
+        }
+    }
+
+    #[test]
+    fn u64x4_shift_and_eq_mask() {
+        let a = U64x4([1 << 40, 2 << 40, 3 << 40, 4 << 40]);
+        assert_eq!(a.lsr(40).0, [1, 2, 3, 4]);
+        assert_eq!(
+            a.lsr(40).eq_mask(U64x4([1, 0, 3, 0])),
+            [true, false, true, false]
+        );
+    }
+}

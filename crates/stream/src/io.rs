@@ -178,4 +178,101 @@ mod tests {
         assert_eq!(read_binary(&path).unwrap(), vec![]);
         std::fs::remove_file(path).unwrap();
     }
+
+    #[test]
+    fn binary_rejects_every_truncation() {
+        let stream = vec![Item::new(3u64, 7), Item::new(u64::MAX, 1), Item::new(0, 0)];
+        let path = tmp("trunc.rskt");
+        write_binary(&path, &stream).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len(), 16 + 16 * stream.len());
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                read_binary(&path).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // trailing junk after the declared count is simply ignored
+        let mut padded = full.clone();
+        padded.extend_from_slice(b"junk");
+        std::fs::write(&path, &padded).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), stream);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// write → read is the identity on arbitrary streams,
+            /// including extreme keys/values and zero values.
+            #[test]
+            fn prop_binary_roundtrip_is_identity(
+                recs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+                tag in any::<u64>(),
+            ) {
+                let stream: Stream = recs.iter().map(|&(k, v)| Item::new(k, v)).collect();
+                let path = tmp(&format!("prop-bin-{tag:x}.rskt"));
+                write_binary(&path, &stream).unwrap();
+                prop_assert_eq!(read_binary(&path).unwrap(), stream);
+                std::fs::remove_file(path).unwrap();
+            }
+
+            /// Same identity through the CSV interchange format.
+            #[test]
+            fn prop_csv_roundtrip_is_identity(
+                recs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+                tag in any::<u64>(),
+            ) {
+                let stream: Stream = recs.iter().map(|&(k, v)| Item::new(k, v)).collect();
+                let path = tmp(&format!("prop-csv-{tag:x}.csv"));
+                write_csv(&path, &stream).unwrap();
+                prop_assert_eq!(read_csv(&path).unwrap(), stream);
+                std::fs::remove_file(path).unwrap();
+            }
+
+            /// Reading is total on garbage: arbitrary bytes either parse
+            /// or return a clean error — never a panic, never a partial
+            /// record that pretends to be a full one.
+            #[test]
+            fn prop_readers_are_total_on_garbage(
+                bytes in proptest::collection::vec(any::<u8>(), 0..256),
+                tag in any::<u64>(),
+            ) {
+                let path = tmp(&format!("prop-garbage-{tag:x}"));
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &bytes).unwrap();
+                if let Ok(stream) = read_binary(&path) {
+                    // accepted ⇒ the header and every record were complete
+                    prop_assert_eq!(bytes[..8].to_vec(), MAGIC.to_vec());
+                    let count =
+                        u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+                    prop_assert_eq!(stream.len(), count);
+                    prop_assert!(bytes.len() >= 16 + 16 * count);
+                }
+                let _ = read_csv(&path); // must not panic
+                std::fs::remove_file(path).unwrap();
+            }
+
+            /// A truncated binary trace is always rejected, whatever the
+            /// stream and wherever the cut lands.
+            #[test]
+            fn prop_binary_truncation_always_rejected(
+                recs in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..40),
+                cut_frac in 0u64..1000,
+                tag in any::<u64>(),
+            ) {
+                let stream: Stream = recs.iter().map(|&(k, v)| Item::new(k, v)).collect();
+                let path = tmp(&format!("prop-trunc-{tag:x}.rskt"));
+                write_binary(&path, &stream).unwrap();
+                let full = std::fs::read(&path).unwrap();
+                let cut = (cut_frac as usize * (full.len() - 1)) / 1000;
+                std::fs::write(&path, &full[..cut]).unwrap();
+                prop_assert!(read_binary(&path).is_err());
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+    }
 }
