@@ -17,6 +17,9 @@
 //! * [`TopK`] — certified top-K heavy hitters: entries carry the per-key
 //!   MPE as error bars and the answer certifies its own recall
 //!   ([`CertifiedTopK`]);
+//! * [`SubpopulationWeight`] — certified aggregate queries: the total
+//!   weight of a [`KeySet`]-selected key subset with a sound
+//!   [`CertifiedWeight`] interval summed from the per-key bounds;
 //! * [`MemoryFootprint`] — bytes used, so experiments can sweep memory;
 //! * [`Algorithm`] — display name for harness tables;
 //! * [`Clear`] — reset without reallocation (benchmarks).
@@ -219,6 +222,296 @@ pub trait TopK<K: Key> {
     /// Capacity of the backing summary, or `None` when the top-K layer
     /// is disabled.
     fn top_k_capacity(&self) -> Option<usize>;
+}
+
+/// A certified subpopulation-weight answer: the estimated total value of
+/// a [`KeySet`]-selected key subset, plus a sound interval around it.
+///
+/// The containment contract extends the per-key [`Estimate`] guarantee to
+/// aggregates (Cohen & Kaplan's subpopulation-weight query, answered with
+/// ReliableSketch's certified per-key bounds instead of tail
+/// probabilities):
+///
+/// ```text
+/// lo  ≤  truth  ≤  hi + slack        (truth = Σ f(k) over k ∈ set)
+/// lo  ≤  estimate  ≤  hi
+/// ```
+///
+/// * `lo`/`hi` are sums of per-key certified bounds (lower bounds and
+///   estimates for enumerable sets; for non-enumerable sets `hi` also
+///   charges every possibly-present untracked key its certified per-key
+///   ceiling — the top-K layer's `miss_bound` when enabled, the sketch's
+///   `mpe_ceiling` otherwise — which saturates to a vacuous-but-sound
+///   [`u64::MAX`] on unbounded sets);
+/// * `slack` is the *documented contention slack* of concurrent reads:
+///   the summed per-key amount by which a racing producer may leave an
+///   estimate trailing the truth (`(arrays − 1) × threshold` per key for
+///   a filtered concurrent ReliableSketch, × generations for an epoched
+///   window). Sequential sketches and quiescent concurrent sketches
+///   answer with `slack` still reported but not needed — the interval
+///   `[lo, hi]` alone then contains the truth.
+///
+/// # Examples
+///
+/// ```
+/// use rsk_api::CertifiedWeight;
+///
+/// let w = CertifiedWeight { estimate: 120, lo: 100, hi: 120, slack: 8 };
+/// assert_eq!(w.lower_bound(), 100);
+/// assert_eq!(w.upper_bound(), 128); // hi + slack, saturating
+/// assert!(w.contains(100) && w.contains(128));
+/// assert!(!w.contains(99) && !w.contains(129));
+/// assert_eq!(w.width(), 28);
+/// assert_eq!(CertifiedWeight::exact(7).width(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CertifiedWeight {
+    /// The estimated subset value sum (the answer a point-query sum would
+    /// give; `lo ≤ estimate ≤ hi`).
+    pub estimate: u64,
+    /// Certified lower bound on the true subset weight.
+    pub lo: u64,
+    /// Certified upper bound on the true subset weight, before contention
+    /// slack.
+    pub hi: u64,
+    /// Documented contention slack: a concurrent read may trail the truth
+    /// by at most this much, so the sound upper bound is `hi + slack`.
+    pub slack: u64,
+}
+
+impl CertifiedWeight {
+    /// An exact answer: `truth = estimate`, zero-width interval.
+    #[inline]
+    pub fn exact(value: u64) -> Self {
+        Self {
+            estimate: value,
+            lo: value,
+            hi: value,
+            slack: 0,
+        }
+    }
+
+    /// The empty-subset answer (exactly zero).
+    #[inline]
+    pub fn zero() -> Self {
+        Self::exact(0)
+    }
+
+    /// Lower end of the certified interval.
+    #[inline]
+    pub fn lower_bound(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper end of the certified interval, `hi + slack` (saturating).
+    #[inline]
+    pub fn upper_bound(&self) -> u64 {
+        self.hi.saturating_add(self.slack)
+    }
+
+    /// Does the certified interval contain `truth`?
+    #[inline]
+    pub fn contains(&self, truth: u64) -> bool {
+        self.lo <= truth && truth <= self.upper_bound()
+    }
+
+    /// Width of the certified interval, `upper_bound − lo`.
+    #[inline]
+    pub fn width(&self) -> u64 {
+        self.upper_bound().saturating_sub(self.lo)
+    }
+
+    /// Is the answer vacuous (upper bound saturated at [`u64::MAX`])?
+    ///
+    /// Returned for subsets the sketch cannot bound meaningfully — e.g. a
+    /// non-enumerable set queried against a flavour whose tracked-key
+    /// inventory cannot cover it. Still sound: the interval contains the
+    /// truth, it just excludes nothing above `lo`.
+    #[inline]
+    pub fn is_vacuous(&self) -> bool {
+        self.upper_bound() == u64::MAX
+    }
+}
+
+/// A predicate over `u64` keys selecting the subpopulation to weigh.
+///
+/// The three shapes are the natural selectors for network telemetry keys
+/// (flow IDs, addresses): an explicit list, a contiguous range, and a
+/// bit-mask pattern (the generalization of a CIDR prefix).
+///
+/// Construct through [`explicit`](Self::explicit),
+/// [`range`](Self::range), [`mask`](Self::mask) or
+/// [`prefix`](Self::prefix) — the constructors normalize (sort + dedup
+/// the explicit list, reduce the mask pattern) so that equal predicates
+/// compare equal and membership tests are `O(log n)` / `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rsk_api::KeySet;
+///
+/// let s = KeySet::explicit(vec![7, 3, 3, 9]);
+/// assert!(s.contains(3) && !s.contains(4));
+/// assert_eq!(s.cardinality(), Some(3));
+///
+/// let r = KeySet::range(10, 19);
+/// assert!(r.contains(10) && r.contains(19) && !r.contains(20));
+/// assert_eq!(r.cardinality(), Some(10));
+///
+/// // the /8-style prefix 0x2A______ over 32-bit keys:
+/// let p = KeySet::prefix(0x2A00_0000, 40); // 32 leading zeros + 8 prefix bits
+/// assert!(p.contains(0x2A12_3456));
+/// assert!(!p.contains(0x2B00_0000));
+/// assert_eq!(p.cardinality(), Some(1 << 24));
+///
+/// // enumeration is ascending and capped
+/// assert_eq!(KeySet::range(5, 7).enumerate(16), Some(vec![5, 6, 7]));
+/// assert_eq!(KeySet::range(0, 1_000_000).enumerate(16), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeySet {
+    /// An explicit key list (held sorted and deduplicated).
+    Explicit(Vec<u64>),
+    /// The inclusive range `start ..= end`.
+    Range {
+        /// Smallest member.
+        start: u64,
+        /// Largest member (inclusive).
+        end: u64,
+    },
+    /// All keys `k` with `k & mask == pattern` (pattern is normalized to
+    /// `pattern & mask`). `mask == u64::MAX` selects the single key
+    /// `pattern`; `mask == 0` selects the full universe.
+    Mask {
+        /// Required bit values on the masked positions.
+        pattern: u64,
+        /// Which bit positions the predicate constrains.
+        mask: u64,
+    },
+}
+
+impl KeySet {
+    /// An explicit key set (input is sorted and deduplicated).
+    pub fn explicit(mut keys: Vec<u64>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        KeySet::Explicit(keys)
+    }
+
+    /// The inclusive range `start ..= end`.
+    ///
+    /// # Panics
+    /// If `start > end` (an empty range is spelled
+    /// `KeySet::explicit(vec![])`).
+    pub fn range(start: u64, end: u64) -> Self {
+        assert!(start <= end, "KeySet::range requires start <= end");
+        KeySet::Range { start, end }
+    }
+
+    /// All keys matching `pattern` on the bit positions set in `mask`
+    /// (the pattern is normalized to the masked positions).
+    pub fn mask(pattern: u64, mask: u64) -> Self {
+        KeySet::Mask {
+            pattern: pattern & mask,
+            mask,
+        }
+    }
+
+    /// The CIDR-style prefix predicate: keys whose top `bits` bits equal
+    /// the top `bits` bits of `pattern`. `bits == 0` is the full
+    /// universe; `bits == 64` the single key `pattern`.
+    ///
+    /// # Panics
+    /// If `bits > 64`.
+    pub fn prefix(pattern: u64, bits: u32) -> Self {
+        assert!(bits <= 64, "prefix length exceeds the 64-bit key space");
+        let mask = if bits == 0 {
+            0
+        } else {
+            u64::MAX << (64 - bits)
+        };
+        Self::mask(pattern, mask)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        match self {
+            KeySet::Explicit(keys) => keys.binary_search(&key).is_ok(),
+            KeySet::Range { start, end } => (*start..=*end).contains(&key),
+            KeySet::Mask { pattern, mask } => key & mask == *pattern,
+        }
+    }
+
+    /// Number of members, or `None` when it does not fit a `u64` (only
+    /// the full 2⁶⁴ universe: `range(0, u64::MAX)` or `mask(_, 0)`).
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            KeySet::Explicit(keys) => Some(keys.len() as u64),
+            KeySet::Range { start, end } => end.checked_sub(*start)?.checked_add(1),
+            KeySet::Mask { mask, .. } => {
+                let free_bits = 64 - mask.count_ones();
+                if free_bits == 64 {
+                    None
+                } else {
+                    Some(1u64 << free_bits)
+                }
+            }
+        }
+    }
+
+    /// Is the set empty? (Only an explicit list can be.)
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        matches!(self, KeySet::Explicit(keys) if keys.is_empty())
+    }
+
+    /// The members in ascending order, or `None` when the set has more
+    /// than `limit` members (dense evaluation would be too expensive —
+    /// callers fall back to a tracked-key decode).
+    pub fn enumerate(&self, limit: usize) -> Option<Vec<u64>> {
+        let n = self.cardinality()?;
+        if n > limit as u64 {
+            return None;
+        }
+        match self {
+            KeySet::Explicit(keys) => Some(keys.clone()),
+            KeySet::Range { start, end } => Some((*start..=*end).collect()),
+            KeySet::Mask { pattern, mask } => {
+                // ascending submask enumeration of the free positions:
+                // v steps through the subsets of !mask in increasing order
+                let free = !mask;
+                let mut out = Vec::with_capacity(n as usize);
+                let mut v = 0u64;
+                loop {
+                    out.push(pattern | v);
+                    v = (v | mask).wrapping_add(1) & free;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+/// A sketch that answers certified subpopulation-weight queries: the
+/// total value carried by a [`KeySet`]-selected key subset, with a sound
+/// interval from the per-key certified bounds.
+///
+/// The trait is object safe — a service can hold tenants as
+/// `Box<dyn SubpopulationWeight>` — and is deliberately `u64`-keyed: the
+/// predicate shapes (ranges, masks) are defined on the key's bit pattern.
+///
+/// Contract: the returned interval must satisfy
+/// `lo ≤ Σ_{k ∈ set} f(k) ≤ hi + slack` under the same conditions as the
+/// implementation's point-query guarantee (sequential: always; concurrent:
+/// `slack` covers the documented bounded contention undershoot). The
+/// answer for the empty set must be [`CertifiedWeight::zero`].
+pub trait SubpopulationWeight {
+    /// The certified total weight of `set`.
+    fn subpopulation_weight(&self, set: &KeySet) -> CertifiedWeight;
 }
 
 /// Bytes of memory occupied by the sketch's data structure.
@@ -751,6 +1044,122 @@ mod tests {
         let boxed: Box<dyn ConcurrentSummary<u64>> = Box::new(SharedExact::default());
         boxed.insert_concurrent(&1, 3);
         assert_eq!(boxed.query_concurrent(&1), 3);
+    }
+
+    #[test]
+    fn certified_weight_interval_logic() {
+        let w = CertifiedWeight {
+            estimate: 50,
+            lo: 40,
+            hi: 55,
+            slack: 5,
+        };
+        assert_eq!(w.lower_bound(), 40);
+        assert_eq!(w.upper_bound(), 60);
+        assert!(w.contains(40) && w.contains(60) && !w.contains(39) && !w.contains(61));
+        assert_eq!(w.width(), 20);
+        assert!(!w.is_vacuous());
+        assert_eq!(CertifiedWeight::zero(), CertifiedWeight::exact(0));
+        let vac = CertifiedWeight {
+            estimate: 0,
+            lo: 0,
+            hi: u64::MAX,
+            slack: 0,
+        };
+        assert!(vac.is_vacuous() && vac.contains(u64::MAX));
+        // saturating slack also reads as vacuous
+        let sat = CertifiedWeight {
+            estimate: 1,
+            lo: 1,
+            hi: u64::MAX - 3,
+            slack: 100,
+        };
+        assert!(sat.is_vacuous());
+    }
+
+    #[test]
+    fn keyset_explicit_normalizes() {
+        let s = KeySet::explicit(vec![9, 1, 5, 5, 1]);
+        assert_eq!(s, KeySet::explicit(vec![1, 5, 9]));
+        assert_eq!(s.cardinality(), Some(3));
+        assert!(!s.is_empty());
+        assert!(s.contains(5) && !s.contains(2));
+        assert_eq!(s.enumerate(10), Some(vec![1, 5, 9]));
+        assert_eq!(s.enumerate(2), None);
+        let empty = KeySet::explicit(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.cardinality(), Some(0));
+        assert_eq!(empty.enumerate(0), Some(vec![]));
+    }
+
+    #[test]
+    fn keyset_range_edges() {
+        let r = KeySet::range(3, 3);
+        assert_eq!(r.cardinality(), Some(1));
+        assert_eq!(r.enumerate(4), Some(vec![3]));
+        let top = KeySet::range(u64::MAX - 1, u64::MAX);
+        assert_eq!(top.cardinality(), Some(2));
+        assert!(top.contains(u64::MAX));
+        // the full universe does not fit a u64 cardinality
+        let all = KeySet::range(0, u64::MAX);
+        assert_eq!(all.cardinality(), None);
+        assert_eq!(all.enumerate(usize::MAX), None);
+        assert!(all.contains(0) && all.contains(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "start <= end")]
+    fn keyset_range_rejects_inverted() {
+        let _ = KeySet::range(5, 4);
+    }
+
+    #[test]
+    fn keyset_mask_semantics() {
+        // pattern bits outside the mask are stripped
+        assert_eq!(KeySet::mask(0xFF, 0x0F), KeySet::mask(0x0F, 0x0F));
+        // constrain all but the low 4 bits: 16 members
+        let m = KeySet::mask(0b1010_0000, !0b1111u64);
+        assert!(m.contains(0b1010_0101) && !m.contains(0b1011_0000));
+        assert_eq!(m.cardinality(), Some(16));
+        let members = m.enumerate(16).unwrap();
+        assert_eq!(members.len(), 16);
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        assert!(members.iter().all(|&k| m.contains(k)));
+        // exact-key and universe masks
+        assert_eq!(KeySet::mask(42, u64::MAX).cardinality(), Some(1));
+        assert_eq!(KeySet::mask(42, u64::MAX).enumerate(1), Some(vec![42]));
+        assert_eq!(KeySet::mask(0, 0).cardinality(), None);
+        assert!(KeySet::mask(0, 0).contains(u64::MAX));
+    }
+
+    #[test]
+    fn keyset_prefix_matches_cidr_intuition() {
+        // 64-bit analogue of 10.0.0.0/8 over the low 32 bits:
+        // 32 zero bits of "padding" + 8 prefix bits
+        let p = KeySet::prefix(0x0A00_0000, 40);
+        assert!(p.contains(0x0A33_4455));
+        assert!(!p.contains(0x0B00_0000));
+        assert!(!p.contains(0x1_0A00_0000)); // padding bits differ
+        assert_eq!(p.cardinality(), Some(1 << 24));
+        assert_eq!(KeySet::prefix(7, 64).enumerate(1), Some(vec![7]));
+        assert_eq!(KeySet::prefix(7, 0).cardinality(), None);
+    }
+
+    #[test]
+    fn subpopulation_weight_is_object_safe() {
+        struct Zero;
+        impl SubpopulationWeight for Zero {
+            fn subpopulation_weight(&self, set: &KeySet) -> CertifiedWeight {
+                if set.is_empty() {
+                    CertifiedWeight::zero()
+                } else {
+                    CertifiedWeight::exact(0)
+                }
+            }
+        }
+        let boxed: Box<dyn SubpopulationWeight> = Box::new(Zero);
+        let w = boxed.subpopulation_weight(&KeySet::explicit(vec![]));
+        assert_eq!(w, CertifiedWeight::zero());
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //!   count-bucket Space-Saving list claimed on elephant promotion whose
 //!   entries carry the sketch's certified per-key error, behind the
 //!   [`rsk_api::TopK`] trait on every sketch flavour;
+//! * [`subpop`] — certified subpopulation-weight queries (Cohen &
+//!   Kaplan's aggregate): the total value of a [`rsk_api::KeySet`]-selected
+//!   key subset with a sound [`rsk_api::CertifiedWeight`] interval summed
+//!   from the per-key certified bounds, behind the object-safe
+//!   [`rsk_api::SubpopulationWeight`] trait on every sketch flavour;
 //! * [`simd`] — the vectorized single-core ingest machinery (`simd`
 //!   feature): multi-lane batch hashing, ×4 packed-word prescan,
 //!   software prefetch and the branchless CAS step, bit-identical to the
@@ -91,6 +96,7 @@ pub mod schedule;
 pub mod simd;
 pub mod sketch;
 pub mod stats;
+pub mod subpop;
 pub mod theory;
 pub mod topk;
 
@@ -110,4 +116,5 @@ pub use replicate::{SketchSnapshot, SlimShards, SlimSummary};
 pub use schedule::ShardPlacement;
 pub use sketch::ReliableSketch;
 pub use stats::{InsertTrace, QueryTrace, SketchStats, StopLayer};
+pub use subpop::DENSE_ENUMERATION_LIMIT;
 pub use topk::TopKSummary;

@@ -53,6 +53,12 @@ pub struct SlimSummary {
     /// the configured threshold per unmerged generation; grows
     /// counter-wise under merges (filters add without re-capping).
     pub filter_slack: u64,
+    /// Total value the source dropped through failed insertions under
+    /// [`crate::EmergencyPolicy::Disabled`] (zero in any configuration
+    /// that keeps the paper's guarantee intact). Point answers share the
+    /// source's undercount caveat; the aggregate layer charges this once
+    /// onto subset upper bounds, exactly as it does for the source.
+    pub dropped: u64,
     /// Documented worst-case widening vs the source's certified answer.
     slack: u64,
 }
@@ -88,6 +94,7 @@ impl SlimSummary {
             &hints,
             extras_from(emergency, fp_seed),
             filter.as_ref().map_or(0, |f| filter_ceiling(f.rows_raw())),
+            sketch.dropped_value(),
             1,
         )
     }
@@ -107,6 +114,7 @@ impl SlimSummary {
             sketch
                 .filter()
                 .map_or(0, |f| filter_ceiling(&f.rows_snapshot())),
+            sketch.dropped_value(),
             1,
         )
     }
@@ -124,6 +132,7 @@ impl SlimSummary {
             .filter()
             .map_or(0, |f| filter_ceiling(&f.rows_snapshot()));
         let mut extras = extras_from(&active.peer_emergency(), fp_seed);
+        let mut dropped = active.dropped_value();
         let mut gens = 1;
         if let Some(frozen) = window.frozen() {
             let (f_layers, f_hints) = frozen.effective_layers();
@@ -138,6 +147,7 @@ impl SlimSummary {
                 .filter()
                 .map_or(0, |f| filter_ceiling(&f.rows_snapshot()));
             extras.extend(extras_from(&frozen.peer_emergency(), fp_seed));
+            dropped = dropped.saturating_add(frozen.dropped_value());
             gens += 1;
         }
         distill(
@@ -148,6 +158,7 @@ impl SlimSummary {
             &hints,
             extras,
             filter_slack,
+            dropped,
             gens,
         )
     }
@@ -371,6 +382,7 @@ fn distill(
     hints: &[Vec<bool>],
     mut extras: Vec<(u64, u64, u64)>,
     filter_slack: u64,
+    dropped: u64,
     gens: u64,
 ) -> SlimSummary {
     let slim_layers = layers
@@ -420,6 +432,7 @@ fn distill(
         hints: slim_hints,
         extras: coalesced,
         filter_slack,
+        dropped,
         slack: filter_slack + gens * total_lambda,
     }
 }

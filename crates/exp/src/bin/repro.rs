@@ -8,14 +8,14 @@
 //! targets:
 //!   table1 table3 table4
 //!   fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!   fig15 fig16 fig17 fig18 fig19 fig20 ablation intro delta concurrent
-//!   scaling
+//!   fig15 fig16 fig17 fig18 fig19 fig20 topk subpop ablation intro
+//!   delta concurrent workloads scaling serve replicate
 //!   all        every target above; also regenerates REPORT.md
-//!   accuracy   fig4 fig5 fig6 fig7 fig8 fig9
-//!   speed      fig10 fig16 scaling
+//!   accuracy   fig4 fig5 fig6 fig7 topk subpop fig8 fig9
+//!   speed      fig10 fig16 scaling serve
 //!   params     fig11 fig12 fig13 fig14 fig15
 //!   hardware   table3 table4 fig20
-//!   beyond     ablation intro delta concurrent scaling
+//!   beyond     ablation intro delta concurrent workloads scaling replicate
 //! ```
 //!
 //! Tables print to stdout and are saved as CSV under `--out`
@@ -133,6 +133,6 @@ fn die(msg: &str) -> ! {
 
 const USAGE: &str = "usage: repro <target> [--items N] [--seed S] [--quick] [--out DIR]
                     [--workers W1,W2,..] [--contenders PAT1,PAT2,..]
-targets: table1 table3 table4 fig4..fig20 ablation intro delta concurrent scaling
-         serve replicate
+targets: table1 table3 table4 fig4..fig20 topk subpop ablation intro delta
+         concurrent workloads scaling serve replicate
 groups : all accuracy speed params hardware beyond";

@@ -48,8 +48,10 @@ pub mod fig_replicate;
 pub mod fig_scaling;
 pub mod fig_sensing;
 pub mod fig_serve;
+pub mod fig_subpop;
 pub mod fig_testbed;
 pub mod fig_throughput;
+pub mod fig_workloads;
 pub mod fig_zero_mem;
 pub mod runner;
 pub mod scenario;

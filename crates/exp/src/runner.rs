@@ -36,12 +36,13 @@
 use crate::{
     fig_ablation, fig_concurrent, fig_delta, fig_elephant, fig_error, fig_hash_calls, fig_intro,
     fig_layers, fig_outliers, fig_params, fig_replicate, fig_scaling, fig_sensing, fig_serve,
-    fig_testbed, fig_throughput, fig_zero_mem, tables, ExpContext, Table,
+    fig_subpop, fig_testbed, fig_throughput, fig_workloads, fig_zero_mem, tables, ExpContext,
+    Table,
 };
 use std::path::PathBuf;
 
 /// Every concrete target, in report order.
-pub const ALL_TARGETS: [&str; 28] = [
+pub const ALL_TARGETS: [&str; 30] = [
     "table1",
     "table3",
     "table4",
@@ -50,6 +51,7 @@ pub const ALL_TARGETS: [&str; 28] = [
     "fig6",
     "fig7",
     "topk",
+    "subpop",
     "fig8",
     "fig9",
     "fig10",
@@ -67,6 +69,7 @@ pub const ALL_TARGETS: [&str; 28] = [
     "intro",
     "delta",
     "concurrent",
+    "workloads",
     "scaling",
     "serve",
     "replicate",
@@ -76,7 +79,9 @@ pub const ALL_TARGETS: [&str; 28] = [
 pub fn expand(target: &str) -> Vec<&'static str> {
     match target {
         "all" => ALL_TARGETS.to_vec(),
-        "accuracy" => vec!["fig4", "fig5", "fig6", "fig7", "topk", "fig8", "fig9"],
+        "accuracy" => vec![
+            "fig4", "fig5", "fig6", "fig7", "topk", "subpop", "fig8", "fig9",
+        ],
         "speed" => vec!["fig10", "fig16", "scaling", "serve"],
         "params" => vec!["fig11", "fig12", "fig13", "fig14", "fig15"],
         "hardware" => vec!["table3", "table4", "fig20"],
@@ -85,6 +90,7 @@ pub fn expand(target: &str) -> Vec<&'static str> {
             "intro",
             "delta",
             "concurrent",
+            "workloads",
             "scaling",
             "replicate",
         ],
@@ -103,6 +109,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "fig6" => fig_outliers::fig6(ctx),
         "fig7" => fig_elephant::fig7(ctx),
         "topk" => fig_elephant::topk(ctx),
+        "subpop" => fig_subpop::subpop(ctx),
         "fig8" => fig_error::fig8(ctx),
         "fig9" => fig_error::fig9(ctx),
         "fig10" => fig_throughput::fig10(ctx),
@@ -120,6 +127,7 @@ pub fn run_target(name: &str, ctx: &ExpContext) -> Vec<Table> {
         "intro" => fig_intro::intro(ctx),
         "delta" => fig_delta::delta(ctx),
         "concurrent" => fig_concurrent::concurrent(ctx),
+        "workloads" => fig_workloads::workloads(ctx),
         "scaling" => fig_scaling::scaling(ctx),
         "serve" => fig_serve::serve(ctx),
         "replicate" => fig_replicate::replicate(ctx),

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Pushes `tenants × connections × items` Zipf-skewed updates through
-//! pipelined ingest connections, then validates certified queries and
-//! certified top-K answers against exact ground truth. With `--replicate`, additionally ships
+//! pipelined ingest connections, then validates certified queries,
+//! certified top-K answers, and certified subpopulation-weight
+//! aggregates against exact ground truth. With `--replicate`, additionally ships
 //! every tenant to a second server (full snapshot, then delta cuts
 //! across a seal) and holds the replica to the same certified contract.
 //! Exits non-zero if any certified interval misses the truth, the
@@ -131,6 +132,10 @@ fn main() {
         "top-k:    {}/{} entries contained the exact truth; {} recall misses above the floor",
         report.topk_contained, report.topk_probes, report.topk_recall_misses
     );
+    println!(
+        "subpop:   {}/{} subset intervals contained the exact subset truth",
+        report.subpop_contained, report.subpop_probes
+    );
     if replicate.is_some() {
         println!(
             "replica:  {}/{} probes contained the truth; {} B full vs {} B delta on the wire",
@@ -156,6 +161,10 @@ fn main() {
     }
     if report.topk_recall_misses != 0 {
         eprintln!("rsk-load: FAIL — a true heavy key above the certified floor went unreported");
+        failed = true;
+    }
+    if report.subpop_probes == 0 || report.subpop_contained != report.subpop_probes {
+        eprintln!("rsk-load: FAIL — a subpopulation interval missed the exact subset truth");
         failed = true;
     }
     if replicate.is_some() {

@@ -24,6 +24,8 @@
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use rsk_api::{CertifiedWeight, KeySet};
+
 use crate::protocol::{
     read_frame, send_request, ErrorCode, ProtocolError, Request, Response, SnapshotKind, StatsReply,
 };
@@ -55,6 +57,24 @@ impl TopKAnswer {
         let (_, count, error) = self.entries[i];
         let lower = count.saturating_sub(error + self.slack);
         lower <= truth && truth <= count.saturating_add(self.slack)
+    }
+}
+
+/// A decoded [`Response::Subpop`]: a certified subpopulation weight
+/// plus the epoch it was computed at. The weight's interval contract is
+/// [`CertifiedWeight`]'s: `lo ≤ truth ≤ hi + slack`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubpopAnswer {
+    /// The certified aggregate: estimate, bounds, and contention slack.
+    pub weight: CertifiedWeight,
+    /// Epoch index the answer was computed at.
+    pub epoch: u64,
+}
+
+impl SubpopAnswer {
+    /// Does the certified interval contain `truth`?
+    pub fn contains(&self, truth: u64) -> bool {
+        self.weight.contains(truth)
     }
 }
 
@@ -248,6 +268,35 @@ impl Client {
                 slack,
                 floor,
                 entries,
+            }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Certified subpopulation weight of `set` in `tenant`'s visible
+    /// window: the subset's true total value lies within the returned
+    /// interval (`lo ≤ truth ≤ hi + slack`). Explicit sets are capped
+    /// at the wire batch ceiling; range and mask predicates travel as
+    /// two words regardless of how many keys they select.
+    pub fn subpop(&mut self, tenant: u32, set: &KeySet) -> Result<SubpopAnswer, ClientError> {
+        match self.call(&Request::Subpop {
+            tenant,
+            set: set.clone(),
+        })? {
+            Response::Subpop {
+                estimate,
+                lo,
+                hi,
+                slack,
+                epoch,
+            } => Ok(SubpopAnswer {
+                weight: CertifiedWeight {
+                    estimate,
+                    lo,
+                    hi,
+                    slack,
+                },
+                epoch,
             }),
             other => Err(ClientError::Unexpected(other)),
         }

@@ -55,7 +55,7 @@ pub mod protocol;
 pub mod server;
 pub mod tenant;
 
-pub use client::{Client, ClientError, TopKAnswer};
+pub use client::{Client, ClientError, SubpopAnswer, TopKAnswer};
 pub use load::{run as run_load, LoadConfig, LoadReport};
 pub use protocol::{ErrorCode, ProtocolError, Request, Response, SnapshotKind, StatsReply};
 pub use server::{ServeConfig, ServerHandle, ServerStats};

@@ -9,7 +9,10 @@
 //! each tenant's certified heavy hitters and holds them to both halves
 //! of the top-K contract: every reported entry's interval must contain
 //! the exact truth, and every true heavy key above the advertised
-//! `floor + slack` must appear in the reply.
+//! `floor + slack` must appear in the reply. A subpopulation probe
+//! phase follows: per tenant, one certified aggregate query for each
+//! predicate shape (explicit hot set, range, mask, empty), each checked
+//! against the exact subset weight summed from the tracked truth.
 //!
 //! ## Backpressure: the client half
 //!
@@ -38,7 +41,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rsk_api::StreamSummary;
+use rsk_api::{KeySet, StreamSummary};
 use rsk_stream::zipf::ZipfSampler;
 use rsk_stream::GroundTruth;
 
@@ -158,6 +161,12 @@ pub struct LoadReport {
     /// `floor + slack` yet were missing from the top-K reply — the
     /// certified-recall contract says this is always 0.
     pub topk_recall_misses: u64,
+    /// Subpopulation-weight probes issued (explicit / range / mask /
+    /// empty predicate shapes per tenant).
+    pub subpop_probes: u64,
+    /// Subpopulation probes whose certified interval contained the
+    /// exact subset truth.
+    pub subpop_contained: u64,
     /// Certified + slim probes issued against the replica (0 when no
     /// replica was configured).
     pub replica_probes: u64,
@@ -368,6 +377,45 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         }
     }
 
+    // Subpopulation probe phase: per tenant, one aggregate query for
+    // each predicate shape — an explicit set of the hottest keys, a
+    // range over the low half of the universe, a mask (subnet-style)
+    // predicate, and the empty set — each checked against the exact
+    // subset weight the generator tracked.
+    let mut subpop_probes = 0u64;
+    let mut subpop_contained = 0u64;
+    {
+        let mut client = Client::connect(&cfg.addr as &str)?;
+        for tenant in 0..cfg.tenants {
+            let truth = &tenant_truth[&tenant];
+            let mut hottest = truth.to_pairs();
+            hottest.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
+            let hot: Vec<u64> = hottest
+                .iter()
+                .take(cfg.probes.clamp(1, crate::protocol::MAX_BATCH))
+                .map(|&(k, _)| k)
+                .collect();
+            let sets = [
+                KeySet::explicit(hot),
+                KeySet::range(0, cfg.universe / 2),
+                KeySet::mask(0b11, 0b111),
+                KeySet::explicit(vec![]),
+            ];
+            for set in sets {
+                let want: u64 = truth
+                    .iter()
+                    .filter(|(k, _)| set.contains(**k))
+                    .map(|(_, v)| v)
+                    .sum();
+                let answer = client.subpop(tenant, &set)?;
+                subpop_probes += 1;
+                if answer.contains(want) {
+                    subpop_contained += 1;
+                }
+            }
+        }
+    }
+
     // Replication phase: ship each tenant to the replica — one full
     // snapshot, then two delta cuts straddling a seal — and hold the
     // replica to the same certified contract as the primary.
@@ -451,6 +499,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         topk_probes,
         topk_contained,
         topk_recall_misses,
+        subpop_probes,
+        subpop_contained,
         replica_probes,
         replica_contained,
         replicate_full_bytes,
@@ -506,6 +556,12 @@ mod tests {
         assert_eq!(
             report.topk_recall_misses, 0,
             "no true heavy key above floor + slack may go unreported"
+        );
+        // Two tenants × four predicate shapes.
+        assert_eq!(report.subpop_probes, 2 * 4);
+        assert_eq!(
+            report.subpop_contained, report.subpop_probes,
+            "every subpopulation interval must contain the exact subset truth"
         );
         assert_eq!(report.replica_probes, 0, "no replica was configured");
         server.shutdown();

@@ -32,6 +32,7 @@
 //! assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
 //! ```
 
+use rsk_api::KeySet;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this crate. A frame carrying any other
@@ -71,6 +72,12 @@ pub enum ProtocolError {
     CountTooLarge(u32),
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A structured field is well-formed bytes but violates the frame's
+    /// canonical-form rules (e.g. an unsorted explicit key set, an
+    /// inverted range, or mask-pattern bits outside the mask). Canonical
+    /// form is required so that decode∘encode is the identity — a frame
+    /// that decodes must re-encode to the exact same bytes.
+    NonCanonical(&'static str),
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -83,6 +90,7 @@ impl core::fmt::Display for ProtocolError {
             Self::Oversized(n) => write!(f, "declared frame length {n} exceeds {MAX_FRAME_LEN}"),
             Self::CountTooLarge(n) => write!(f, "declared count {n} exceeds ceiling"),
             Self::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            Self::NonCanonical(what) => write!(f, "field violates canonical form: {what}"),
         }
     }
 }
@@ -228,6 +236,17 @@ pub enum Request {
         /// top-K capacity).
         k: u32,
     },
+    /// Certified subpopulation weight: the total value carried by a
+    /// [`KeySet`]-selected key subset of `tenant`'s visible window, with
+    /// a sound `[lo, hi + slack]` interval (see `docs/PROTOCOL.md`
+    /// § Certification). Explicit sets are capped at [`MAX_BATCH`] keys
+    /// and must arrive sorted strictly increasing (canonical form).
+    Subpop {
+        /// Target tenant id.
+        tenant: u32,
+        /// Predicate selecting the key subset.
+        set: KeySet,
+    },
     /// Server-wide counters.
     Stats,
     /// Ask the server to stop accepting and drain.
@@ -292,6 +311,22 @@ pub enum Response {
         /// restored from a replica payload) — `floor` is then `u64::MAX`.
         entries: Vec<(u64, u64, u64)>,
     },
+    /// Certified subpopulation weight for a [`Request::Subpop`]: the
+    /// subset's true total weight lies in `[lo, hi + slack]`, and
+    /// `lo ≤ estimate ≤ hi`. `hi == u64::MAX` marks a vacuous upper
+    /// bound (non-enumerable subset on an enumeration-only window).
+    Subpop {
+        /// Point estimate of the subset's total weight.
+        estimate: u64,
+        /// Certified lower bound on the true subset weight.
+        lo: u64,
+        /// Certified upper bound before contention slack.
+        hi: u64,
+        /// Documented contention slack over the window's generations.
+        slack: u64,
+        /// Epoch index the answer was computed at.
+        epoch: u64,
+    },
     /// Server-wide counters.
     Stats(StatsReply),
     /// Acknowledges `Shutdown`; the server stops accepting.
@@ -341,6 +376,7 @@ mod opcode {
     pub const PUSH_DELTA: u8 = 0x09;
     pub const SLIM_QUERY: u8 = 0x0A;
     pub const TOP_K: u8 = 0x0B;
+    pub const SUBPOP: u8 = 0x0C;
 
     pub const INGEST_ACK: u8 = 0x81;
     pub const VALUE: u8 = 0x82;
@@ -352,7 +388,13 @@ mod opcode {
     pub const SNAPSHOT_REPLY: u8 = 0x88;
     pub const REPLICATED: u8 = 0x89;
     pub const TOP_K_REPLY: u8 = 0x8A;
+    pub const SUBPOP_REPLY: u8 = 0x8B;
     pub const ERROR: u8 = 0xFF;
+
+    /// Key-set shape tags inside a `SUBPOP` body.
+    pub const KEYSET_EXPLICIT: u8 = 0;
+    pub const KEYSET_RANGE: u8 = 1;
+    pub const KEYSET_MASK: u8 = 2;
 }
 
 /// Cursor over a payload with strict bounds checking.
@@ -487,6 +529,29 @@ impl Request {
                 out.extend_from_slice(&tenant.to_le_bytes());
                 out.extend_from_slice(&k.to_le_bytes());
             }
+            Self::Subpop { tenant, set } => {
+                out.push(opcode::SUBPOP);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                match set {
+                    KeySet::Explicit(keys) => {
+                        out.push(opcode::KEYSET_EXPLICIT);
+                        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                        for k in keys {
+                            out.extend_from_slice(&k.to_le_bytes());
+                        }
+                    }
+                    KeySet::Range { start, end } => {
+                        out.push(opcode::KEYSET_RANGE);
+                        out.extend_from_slice(&start.to_le_bytes());
+                        out.extend_from_slice(&end.to_le_bytes());
+                    }
+                    KeySet::Mask { pattern, mask } => {
+                        out.push(opcode::KEYSET_MASK);
+                        out.extend_from_slice(&pattern.to_le_bytes());
+                        out.extend_from_slice(&mask.to_le_bytes());
+                    }
+                }
+            }
             Self::Stats => out.push(opcode::STATS),
             Self::Shutdown => out.push(opcode::SHUTDOWN),
         }
@@ -552,6 +617,61 @@ impl Request {
                 tenant: r.u32()?,
                 k: r.u32()?,
             },
+            opcode::SUBPOP => {
+                let tenant = r.u32()?;
+                let tag = r.u8()?;
+                let set = match tag {
+                    opcode::KEYSET_EXPLICIT => {
+                        let count = r.u32()?;
+                        if count as usize > MAX_BATCH {
+                            return Err(ProtocolError::CountTooLarge(count));
+                        }
+                        // Cross-check the declared count against the
+                        // bytes that actually arrived before allocating
+                        // for it (the key list ends the frame).
+                        let declared = (count as usize)
+                            .checked_mul(8)
+                            .ok_or(ProtocolError::CountTooLarge(count))?;
+                        if r.buf.len() - r.pos != declared {
+                            return if r.buf.len() - r.pos < declared {
+                                Err(ProtocolError::Truncated)
+                            } else {
+                                Err(ProtocolError::TrailingBytes)
+                            };
+                        }
+                        let mut keys = Vec::with_capacity(count as usize);
+                        for _ in 0..count {
+                            keys.push(r.u64()?);
+                        }
+                        if !keys.windows(2).all(|w| w[0] < w[1]) {
+                            return Err(ProtocolError::NonCanonical(
+                                "explicit key set must be sorted strictly increasing",
+                            ));
+                        }
+                        KeySet::Explicit(keys)
+                    }
+                    opcode::KEYSET_RANGE => {
+                        let start = r.u64()?;
+                        let end = r.u64()?;
+                        if start > end {
+                            return Err(ProtocolError::NonCanonical("range start exceeds end"));
+                        }
+                        KeySet::Range { start, end }
+                    }
+                    opcode::KEYSET_MASK => {
+                        let pattern = r.u64()?;
+                        let mask = r.u64()?;
+                        if pattern & !mask != 0 {
+                            return Err(ProtocolError::NonCanonical(
+                                "mask pattern has bits outside the mask",
+                            ));
+                        }
+                        KeySet::Mask { pattern, mask }
+                    }
+                    other => return Err(ProtocolError::UnknownOpcode(other)),
+                };
+                Self::Subpop { tenant, set }
+            }
             opcode::STATS => Self::Stats,
             opcode::SHUTDOWN => Self::Shutdown,
             other => return Err(ProtocolError::UnknownOpcode(other)),
@@ -613,6 +733,18 @@ impl Response {
                     out.extend_from_slice(&key.to_le_bytes());
                     out.extend_from_slice(&count.to_le_bytes());
                     out.extend_from_slice(&error.to_le_bytes());
+                }
+            }
+            Self::Subpop {
+                estimate,
+                lo,
+                hi,
+                slack,
+                epoch,
+            } => {
+                out.push(opcode::SUBPOP_REPLY);
+                for word in [estimate, lo, hi, slack, epoch] {
+                    out.extend_from_slice(&word.to_le_bytes());
                 }
             }
             Self::Stats(s) => {
@@ -691,6 +823,13 @@ impl Response {
                     entries,
                 }
             }
+            opcode::SUBPOP_REPLY => Self::Subpop {
+                estimate: r.u64()?,
+                lo: r.u64()?,
+                hi: r.u64()?,
+                slack: r.u64()?,
+                epoch: r.u64()?,
+            },
             opcode::STATS_REPLY => Self::Stats(StatsReply {
                 tenants: r.u32()?,
                 connections: r.u32()?,
@@ -849,6 +988,30 @@ mod tests {
                 tenant: u32::MAX,
                 k: 0,
             },
+            Request::Subpop {
+                tenant: 2,
+                set: KeySet::explicit(vec![3, 1, 4, 1, 5, 9, 2, 6]),
+            },
+            Request::Subpop {
+                tenant: 0,
+                set: KeySet::explicit(vec![]),
+            },
+            Request::Subpop {
+                tenant: 8,
+                set: KeySet::range(100, 200),
+            },
+            Request::Subpop {
+                tenant: 8,
+                set: KeySet::range(7, 7),
+            },
+            Request::Subpop {
+                tenant: 1,
+                set: KeySet::mask(0x0a00_0000_0000_0000, 0xff00_0000_0000_0000),
+            },
+            Request::Subpop {
+                tenant: 1,
+                set: KeySet::mask(0, 0),
+            },
             Request::Stats,
             Request::Shutdown,
         ]
@@ -886,6 +1049,20 @@ mod tests {
                 slack: 0,
                 floor: u64::MAX,
                 entries: vec![],
+            },
+            Response::Subpop {
+                estimate: 4096,
+                lo: 4000,
+                hi: 4200,
+                slack: 45,
+                epoch: 3,
+            },
+            Response::Subpop {
+                estimate: 0,
+                lo: 0,
+                hi: u64::MAX,
+                slack: 0,
+                epoch: 0,
             },
             Response::Stats(StatsReply {
                 tenants: 4,
@@ -1003,6 +1180,88 @@ mod tests {
         assert_eq!(
             Response::decode(&bytes).unwrap_err(),
             ProtocolError::CountTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn subpop_count_lies_are_rejected() {
+        // Declared key count larger than the bytes present.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // tenant
+        bytes.push(opcode::KEYSET_EXPLICIT);
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // claims 5 keys
+        bytes.extend_from_slice(&[0u8; 8]); // carries 1
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::Truncated
+        );
+
+        // Declared count over MAX_BATCH is refused before allocation.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(opcode::KEYSET_EXPLICIT);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::CountTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn subpop_non_canonical_forms_are_rejected() {
+        // Unsorted explicit keys: would not re-encode to the same bytes.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(opcode::KEYSET_EXPLICIT);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::NonCanonical(_)
+        ));
+
+        // Duplicate keys are equally non-canonical (strictly increasing).
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(opcode::KEYSET_EXPLICIT);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::NonCanonical(_)
+        ));
+
+        // An inverted range selects nothing representable.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(opcode::KEYSET_RANGE);
+        bytes.extend_from_slice(&10u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::NonCanonical(_)
+        ));
+
+        // Pattern bits outside the mask can never match any key.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(opcode::KEYSET_MASK);
+        bytes.extend_from_slice(&0xffu64.to_le_bytes());
+        bytes.extend_from_slice(&0x0fu64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::NonCanonical(_)
+        ));
+
+        // An unknown key-set tag names no predicate shape.
+        let mut bytes = vec![VERSION, opcode::SUBPOP];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(9);
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::UnknownOpcode(9)
         );
     }
 

@@ -444,6 +444,17 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                     .collect(),
             }
         }
+        Request::Subpop { tenant, set } => {
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let (w, epoch) = shared.tenants.get_or_create(tenant).subpop(&set);
+            Response::Subpop {
+                estimate: w.estimate,
+                lo: w.lo,
+                hi: w.hi,
+                slack: w.slack,
+                epoch,
+            }
+        }
         Request::Stats => Response::Stats(StatsReply {
             tenants: shared.tenants.len() as u32,
             connections: shared.live_connections.load(Ordering::SeqCst) as u32,
@@ -503,6 +514,43 @@ mod tests {
         assert_eq!(stats.seals, 1);
         assert_eq!(stats.merges, 1);
         assert!(stats.tenants >= 2);
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_subpop_answers_certified_aggregates() {
+        use rsk_api::KeySet;
+
+        let server = ServerHandle::start(tiny()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        client
+            .ingest(1, &[(10, 100), (11, 200), (12, 300), (500, 9)])
+            .unwrap();
+        client.seal(1).unwrap();
+        client.ingest(1, &[(10, 50)]).unwrap();
+
+        // Explicit, range, and mask predicates all certify the truth.
+        let ans = client
+            .subpop(1, &KeySet::explicit(vec![10, 11, 12]))
+            .unwrap();
+        assert!(ans.contains(650), "{ans:?}");
+        assert_eq!(ans.epoch, 1);
+        let ans = client.subpop(1, &KeySet::range(10, 12)).unwrap();
+        assert!(ans.contains(650), "{ans:?}");
+        // mask = !0b111 constrains all but the low 3 bits: {8..=15} ∩ keys.
+        let ans = client.subpop(1, &KeySet::mask(8, !0b111u64)).unwrap();
+        assert!(ans.contains(650), "{ans:?}");
+
+        // The empty subset is exactly zero; the full universe covers the
+        // total stream weight.
+        let ans = client.subpop(1, &KeySet::explicit(vec![])).unwrap();
+        assert_eq!(ans.weight.estimate, 0);
+        assert_eq!(ans.weight.hi, 0);
+        let ans = client.subpop(1, &KeySet::mask(0, 0)).unwrap();
+        assert!(ans.contains(659), "{ans:?}");
 
         drop(client);
         server.shutdown();

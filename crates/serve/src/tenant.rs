@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rsk_api::{
-    CertifiedTopK, ConcurrentErrorSensing, Estimate, MergeError, Replicate, ReplicateError, TopK,
+    CertifiedTopK, CertifiedWeight, ConcurrentErrorSensing, Estimate, KeySet, MergeError,
+    Replicate, ReplicateError, SubpopulationWeight, TopK,
 };
 use rsk_core::{EpochedConcurrent, SlimSummary};
 
@@ -148,6 +149,17 @@ impl Tenant {
         let generations = 1 + u64::from(window.frozen().is_some());
         let slack = window.contention_undershoot_bound() * generations;
         (top, slack, window.epoch())
+    }
+
+    /// Certified subpopulation weight of `set` across the visible
+    /// window, with the window's epoch attached. Answered under the
+    /// shared lock — the aggregate walks the same lock-free read paths
+    /// as certified point queries, and its `slack` field already carries
+    /// the per-key contention bound summed over the window's live
+    /// generations (the same convention as [`Tenant::certified`]).
+    pub fn subpop(&self, set: &KeySet) -> (CertifiedWeight, u64) {
+        let window = self.window.read();
+        (window.subpopulation_weight(set), window.epoch())
     }
 
     /// Rotate the epoch window; returns the new active epoch index.
@@ -368,6 +380,30 @@ mod tests {
         assert!(top.recall_certified());
         // same slack contract as certified point queries
         assert_eq!(slack, t.certified(0xbeef).slack);
+    }
+
+    #[test]
+    fn subpop_spans_the_window_and_certifies() {
+        let map = map();
+        let t = map.get_or_create(6);
+        // Subset weight split across a seal.
+        t.ingest(&[(10, 100), (11, 200), (500, 9)]);
+        t.seal();
+        t.ingest(&[(10, 50), (12, 300)]);
+
+        let (w, epoch) = t.subpop(&KeySet::range(10, 12));
+        assert_eq!(epoch, 1);
+        assert!(w.contains(650), "{w:?}");
+
+        // Empty subsets are exactly zero.
+        let (empty, _) = t.subpop(&KeySet::explicit(vec![]));
+        assert_eq!(empty, CertifiedWeight::zero());
+
+        // Same slack contract as certified point queries: per-key
+        // undershoot × live generations, summed over the subset.
+        let per_key = t.certified(10).slack;
+        let (three, _) = t.subpop(&KeySet::explicit(vec![10, 11, 12]));
+        assert_eq!(three.slack, per_key * 3);
     }
 
     #[test]

@@ -8,10 +8,27 @@
 //! points, random junk payloads.
 
 use proptest::prelude::*;
+use rsk_api::KeySet;
 use rsk_serve::protocol::{
     ProtocolError, Request, Response, SnapshotKind, StatsReply, MAX_BATCH, VERSION,
 };
 use rsk_serve::ErrorCode;
+
+fn arb_keyset() -> impl Strategy<Value = KeySet> {
+    let explicit = proptest::collection::vec(proptest::prelude::any::<u64>(), 0..64)
+        .prop_map(KeySet::explicit);
+    let range = (
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+    )
+        .prop_map(|(a, b)| KeySet::range(a.min(b), a.max(b)));
+    let mask = (
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+    )
+        .prop_map(|(pattern, mask)| KeySet::mask(pattern, mask));
+    prop_oneof![explicit, range, mask]
+}
 
 fn arb_request() -> impl Strategy<Value = Request> {
     let ingest = (
@@ -59,6 +76,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::prelude::any::<u32>(),
     )
         .prop_map(|(tenant, k)| Request::TopK { tenant, k });
+    let subpop = (proptest::prelude::any::<u32>(), arb_keyset())
+        .prop_map(|(tenant, set)| Request::Subpop { tenant, set });
     prop_oneof![
         ingest,
         query,
@@ -69,6 +88,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         push_delta,
         slim_query,
         top_k,
+        subpop,
         Just(Request::Stats),
         Just(Request::Shutdown),
     ]
@@ -159,6 +179,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
             floor,
             entries,
         });
+    let subpop = (
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+        proptest::prelude::any::<u64>(),
+    )
+        .prop_map(|(estimate, lo, hi, slack, epoch)| Response::Subpop {
+            estimate,
+            lo,
+            hi,
+            slack,
+            epoch,
+        });
     prop_oneof![
         ack,
         value,
@@ -169,6 +203,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         snapshot_resp,
         Just(Response::Replicated),
         top_k,
+        subpop,
         Just(Response::ShuttingDown),
         error,
     ]
@@ -222,7 +257,8 @@ proptest! {
                 | ProtocolError::UnknownOpcode(_)
                 | ProtocolError::CountTooLarge(_)
                 | ProtocolError::BadUtf8
-                | ProtocolError::Oversized(_),
+                | ProtocolError::Oversized(_)
+                | ProtocolError::NonCanonical(_),
             ) => {}
         }
         if let Ok(resp) = Response::decode(&bytes) {
@@ -244,6 +280,50 @@ proptest! {
         bytes.extend_from_slice(&claimed.to_le_bytes());
         bytes.extend(std::iter::repeat_n(0u8, real as usize * 16));
         prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    /// A subpop frame with an explicit key set whose declared count
+    /// disagrees with the bytes that follow is rejected whichever way it
+    /// lies — including counts past `MAX_BATCH`, which bounce before
+    /// allocation.
+    #[test]
+    fn prop_subpop_count_lies_rejected(
+        tenant in proptest::prelude::any::<u32>(),
+        real in 0u32..16,
+        claimed in proptest::prelude::any::<u32>(),
+    ) {
+        prop_assume!(real != claimed);
+        let mut bytes = vec![VERSION, 0x0C];
+        bytes.extend_from_slice(&tenant.to_le_bytes());
+        bytes.push(0); // explicit-set tag
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend(std::iter::repeat_n(0u8, real as usize * 8));
+        prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    /// An explicit key list that is not sorted strictly increasing is
+    /// rejected as non-canonical: decode must never accept bytes it
+    /// would re-encode differently.
+    #[test]
+    fn prop_subpop_non_canonical_keys_rejected(
+        tenant in proptest::prelude::any::<u32>(),
+        keys in proptest::collection::vec(proptest::prelude::any::<u64>(), 2..32),
+    ) {
+        let mut keys = keys;
+        keys.sort_unstable();
+        keys.reverse();
+        prop_assume!(keys.windows(2).any(|w| w[0] >= w[1]));
+        let mut bytes = vec![VERSION, 0x0C];
+        bytes.extend_from_slice(&tenant.to_le_bytes());
+        bytes.push(0); // explicit-set tag
+        bytes.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for k in &keys {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        prop_assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtocolError::NonCanonical("explicit key set must be sorted strictly increasing")
+        );
     }
 
     /// A top-K reply whose declared entry count disagrees with the

@@ -42,9 +42,9 @@ pub use builder::{builder, SketchBuilder};
 pub mod prelude {
     pub use crate::builder::{builder, SketchBuilder};
     pub use rsk_api::{
-        CertifiedTopK, Clear, ConcurrentErrorSensing, ConcurrentSummary, ErrorSensing, Estimate,
-        IngestPolicy, MemoryFootprint, Merge, MergeError, Replicate, ReplicateError, StreamSummary,
-        TopK, TopKEntry,
+        CertifiedTopK, CertifiedWeight, Clear, ConcurrentErrorSensing, ConcurrentSummary,
+        ErrorSensing, Estimate, IngestPolicy, KeySet, MemoryFootprint, Merge, MergeError,
+        Replicate, ReplicateError, StreamSummary, SubpopulationWeight, TopK, TopKEntry,
     };
     pub use rsk_core::{
         merge_all, ConcurrentReliable, EpochedConcurrent, EpochedReliable, ReliableConfig,

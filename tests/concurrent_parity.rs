@@ -428,6 +428,67 @@ fn sealed_epoch_topk_reads_match_rollup_merge() {
     assert_eq!(keys(&win), keys(&fold));
 }
 
+/// Subpopulation aggregates ride the same parity claim: a
+/// geometry-matched one-worker concurrent sketch answers every dense
+/// predicate with the *identical* `estimate`, `lo`, and `hi` as the
+/// sequential twin — the only difference being the honestly-reported
+/// contention slack term, exactly `|set| ×`
+/// `contention_undershoot_bound()` on the concurrent side and zero on
+/// the sequential one, so the interval widths differ by precisely that
+/// documented slack.
+#[test]
+fn one_worker_subpop_is_bit_equal_to_sequential() {
+    let config = filtered_config(8);
+    let (atomic, mut classic) = twins(&config);
+    let (items, truth) = mixed_items(60_000, 83);
+    assert_eq!(atomic.ingest_parallel(&items, 1), items.len());
+    for &(k, v) in &items {
+        classic.insert(&k, v);
+    }
+
+    let mut hot: Vec<(u64, u64)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
+    hot.sort_by_key(|&(k, v)| (std::cmp::Reverse(v), k));
+    let anchor = hot[0].0;
+    let per_key = atomic.contention_undershoot_bound();
+
+    let probes: Vec<(KeySet, u64)> = vec![
+        (KeySet::explicit(vec![]), 0),
+        (
+            KeySet::explicit(hot.iter().map(|&(k, _)| k).take(64).collect()),
+            64,
+        ),
+        (
+            // both endpoints inclusive: 1001 members
+            KeySet::range(anchor.saturating_sub(500), anchor.saturating_add(500)),
+            1_001,
+        ),
+        (KeySet::mask(anchor & !0xff, !0xffu64), 256),
+    ];
+    for (set, members) in &probes {
+        let a = atomic.subpopulation_weight(set);
+        let c = rsk_api::SubpopulationWeight::subpopulation_weight(&classic, set);
+        assert_eq!(
+            (a.estimate, a.lo, a.hi),
+            (c.estimate, c.lo, c.hi),
+            "dense divergence on {set:?}"
+        );
+        assert_eq!(c.slack, 0, "sequential reads carry no slack");
+        assert_eq!(a.slack, members * per_key, "slack convention on {set:?}");
+        assert_eq!(
+            a.width(),
+            c.width() + a.slack,
+            "widths must differ by exactly the documented slack"
+        );
+        // both intervals still contain the exact subset truth
+        let t: u64 = truth
+            .iter()
+            .filter(|(k, _)| set.contains(**k))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(a.contains(t) && c.contains(t), "truth escaped on {set:?}");
+    }
+}
+
 /// The redesigned `ConcurrentErrorSensing` surface — the path `rsk-serve`
 /// answers `QueryCertified` through — is bit-for-bit equal to the
 /// sequential `query_with_error` in the uncontended one-worker
